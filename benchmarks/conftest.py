@@ -1,0 +1,14 @@
+"""Shared benchmark configuration.
+
+Each benchmark module regenerates one experiment of the paper (see
+DESIGN.md's experiment index) and prints a paper-vs-measured report next to
+the pytest-benchmark timing table.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): marks a benchmark as regenerating a paper artifact"
+    )

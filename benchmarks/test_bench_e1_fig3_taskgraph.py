@@ -1,0 +1,57 @@
+"""E1 — Fig. 1 + Fig. 3: task-graph derivation of the running example.
+
+Regenerates the paper's Fig. 3 task graph from the Fig. 1 network with
+uniform 25 ms WCETs and reports every number the figure shows: hyperperiod,
+job count, the (A, D, C) tuples, the redundant edge removed by transitive
+reduction, and the load (=> 2 processors necessary).
+"""
+
+import pytest
+
+from repro.analysis import ExperimentReport
+from repro.apps import build_fig1_network, fig1_wcets
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+
+@pytest.mark.experiment("E1")
+def test_fig3_taskgraph_derivation(benchmark):
+    net = build_fig1_network()
+    wcets = fig1_wcets()
+
+    graph = benchmark(derive_task_graph, net, wcets)
+
+    load = task_graph_load(graph)
+    report = ExperimentReport("E1 task-graph derivation", "Fig. 1 + Fig. 3")
+    report.add("hyperperiod H (ms)", 200, int(graph.hyperperiod))
+    report.add("jobs", 10, len(graph))
+    report.add("CoefB server jobs", 2, len(graph.jobs_of("CoefB")))
+    report.add(
+        "CoefB[1] (A,D,C)", "(0,200,25)",
+        graph.job("CoefB[1]").describe().split(" ", 1)[1],
+        "d' = 700-200 = 500, truncated to H",
+    )
+    report.add(
+        "FilterA[2] (A,D,C)", "(100,200,25)",
+        graph.job("FilterA[2]").describe().split(" ", 1)[1],
+    )
+    report.add(
+        "InputA->NormA edge", "redundant (removed)",
+        "absent" if not graph.has_edge_named("InputA[1]", "NormA[1]") else "PRESENT",
+        "path via FilterA[1]",
+    )
+    report.add("edges after reduction", "~9 (figure)", graph.edge_count)
+    report.add("load", "-", f"{float(load.load):.3g}")
+    report.add("ceil(load) processors", 2, load.min_processors)
+    report.show()
+
+    assert len(graph) == 10
+    assert load.min_processors == 2
+    assert not graph.has_edge_named("InputA[1]", "NormA[1]")
+
+
+@pytest.mark.experiment("E1")
+def test_fig3_dense_rule_derivation(benchmark):
+    """Timing of the literal quadratic step-3 rule (cross-check path)."""
+    net = build_fig1_network()
+    graph = benchmark(derive_task_graph, net, 25, None, True)
+    assert len(graph) == 10

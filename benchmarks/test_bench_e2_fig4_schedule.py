@@ -1,0 +1,44 @@
+"""E2 — Fig. 4: static schedule of the running example on two processors.
+
+The paper shows a feasible 2-processor frame for the Fig. 3 task graph
+(Ci = 25 ms, H = 200 ms).  We regenerate it with the list scheduler and
+print the Gantt chart; a single processor must be infeasible (load 1.5).
+"""
+
+import pytest
+
+from repro.analysis import ExperimentReport
+from repro.apps import build_fig1_network
+from repro.errors import InfeasibleError
+from repro.runtime import schedule_gantt
+from repro.scheduling import find_feasible_schedule, list_schedule, minimum_processors
+from repro.taskgraph import derive_task_graph
+
+
+@pytest.mark.experiment("E2")
+def test_fig4_static_schedule(benchmark):
+    graph = derive_task_graph(build_fig1_network(), 25)
+
+    schedule = benchmark(find_feasible_schedule, graph, 2)
+
+    one_proc = list_schedule(graph, 1, "alap")
+    report = ExperimentReport("E2 static schedule", "Fig. 4")
+    report.add("feasible on M=2", "yes", "yes" if schedule.is_feasible() else "NO")
+    report.add("frame fits 200 ms", "yes",
+               "yes" if schedule.makespan() <= 200 else "NO",
+               f"makespan {schedule.makespan()} ms")
+    report.add("feasible on M=1", "no (load 1.5)",
+               "no" if not one_proc.is_feasible() else "YES")
+    report.add_text(schedule_gantt(schedule))
+    report.show()
+
+    assert schedule.is_feasible()
+    assert schedule.makespan() <= 200
+    assert not one_proc.is_feasible()
+
+
+@pytest.mark.experiment("E2")
+def test_fig4_minimum_processors(benchmark):
+    graph = derive_task_graph(build_fig1_network(), 25)
+    m, schedule = benchmark(minimum_processors, graph)
+    assert m == 2 and schedule.is_feasible()

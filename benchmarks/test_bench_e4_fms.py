@@ -1,0 +1,104 @@
+"""E4 + E5 — Section V-B: the FMS avionics case study.
+
+Reproduced numbers:
+
+* reduced hyperperiod 10 s (MagnDeclin 1600 -> 400 ms, body once per 4);
+* task graph with exactly **812 jobs** (paper: 812) and ~2k edge
+  constraints (paper: 1977; we report both the generating-set and the
+  fully-reduced counts — see EXPERIMENTS.md);
+* load ~0.23 (paper: ~0.23) => single-processor mapping feasible;
+* zero deadline misses on one processor (paper: same);
+* E5: functional equivalence with the uniprocessor fixed-priority
+  prototype, verified by output comparison.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentReport, approx, first_divergence
+from repro.apps import (
+    build_fms_network,
+    fms_scheduling_priorities,
+    fms_stimulus,
+    fms_wcets,
+)
+from repro.core import run_zero_delay
+from repro.runtime import miss_summary, run_static_order, served_horizon
+from repro.scheduling import UniprocessorFixedPriority, find_feasible_schedule
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+FRAMES = 2
+
+
+@pytest.mark.experiment("E4")
+def test_fms_taskgraph_and_load(benchmark):
+    net = build_fms_network()
+    wcets = fms_wcets()
+
+    graph = benchmark(derive_task_graph, net, wcets)
+
+    unreduced = derive_task_graph(net, wcets, reduce_edges=False)
+    load = task_graph_load(graph)
+
+    report = ExperimentReport("E4 FMS task graph", "Section V-B narrative")
+    report.add("hyperperiod (reduced)", "10 s", f"{int(graph.hyperperiod) // 1000} s")
+    report.add("jobs", 812, len(graph))
+    report.add("edges", 1977, graph.edge_count,
+               f"fully reduced; generating set {unreduced.edge_count}")
+    report.add("load", "~0.23", approx(float(load.load)))
+    report.add("ceil(load) processors", 1, load.min_processors)
+    report.show()
+
+    assert len(graph) == 812
+    assert load.min_processors == 1
+    assert abs(float(load.load) - 0.23) < 0.02
+
+
+@pytest.mark.experiment("E4")
+def test_fms_single_processor_run(benchmark):
+    net = build_fms_network()
+    graph = derive_task_graph(net, fms_wcets())
+    schedule = find_feasible_schedule(graph, 1)
+    horizon = graph.hyperperiod * FRAMES
+    stim = fms_stimulus(net, horizon).truncated(
+        served_horizon(net, graph.hyperperiod, FRAMES)
+    )
+
+    result = benchmark(run_static_order, net, schedule, FRAMES, stim)
+
+    ms = miss_summary(result)
+    report = ExperimentReport("E4 FMS single-processor execution", "Section V-B")
+    report.add("deadline misses (M=1)", 0, ms.missed_jobs,
+               f"{ms.executed_jobs} executed, {ms.false_jobs} false jobs")
+    report.add("frames simulated", "-", FRAMES)
+    report.show()
+    assert ms.missed_jobs == 0
+
+
+@pytest.mark.experiment("E5")
+def test_fms_uniprocessor_equivalence(benchmark):
+    """'...making the two implementations functionally equivalent, which we
+    verified by testing.'"""
+    net = build_fms_network()
+    graph = derive_task_graph(net, fms_wcets())
+    horizon = graph.hyperperiod * FRAMES
+    stim = fms_stimulus(net, horizon).truncated(
+        served_horizon(net, graph.hyperperiod, FRAMES)
+    )
+    prototype = UniprocessorFixedPriority(net, fms_scheduling_priorities(net))
+
+    proto_result = benchmark(prototype.functional_run, horizon, stim)
+
+    ref = run_zero_delay(net, horizon, stim)
+    schedule = find_feasible_schedule(graph, 2)
+    fppn_result = run_static_order(net, schedule, FRAMES, stim)
+
+    div_proto = first_divergence(ref.observable(), proto_result.observable())
+    div_fppn = first_divergence(ref.observable(), fppn_result.observable())
+
+    report = ExperimentReport("E5 functional equivalence", "Section V-B")
+    report.add("uniproc prototype == FPPN semantics", "equivalent",
+               "equivalent" if div_proto is None else f"DIVERGES: {div_proto}")
+    report.add("2-proc FPPN runtime == FPPN semantics", "equivalent",
+               "equivalent" if div_fppn is None else f"DIVERGES: {div_fppn}")
+    report.show()
+    assert div_proto is None and div_fppn is None

@@ -1,0 +1,85 @@
+"""E7 — Section V-A closing observation: job granularity vs runtime overhead.
+
+"this application is very fine grain (processing just one number per job),
+whereas more coarse grain implementation would make the relative impact of
+overhead small compared to the computation times."
+
+We sweep a granularity factor g (samples aggregated per job: period and
+WCETs scale by g, the frame-arrival overhead does not) and report the load
+including the overhead job plus the observed single-processor miss ratio.
+The expected shape: overhead-inclusive load falls below 1 as g grows and
+single-processor misses vanish (the crossover).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentReport, approx
+from repro.apps import build_fft_network, fft_stimulus, fft_wcets
+from repro.runtime import MultiprocessorExecutor, OverheadModel, miss_summary
+from repro.scheduling import list_schedule
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+SCALES = (1, 2, 4, 8)
+FRAMES = 6
+
+
+def sweep_point(scale):
+    net = build_fft_network(period=200 * scale)
+    graph = derive_task_graph(net, fft_wcets(scale))
+    overheads = OverheadModel.mppa_like()
+    load_ov = task_graph_load(overheads.as_overhead_job(graph, 41)).load
+    schedule = list_schedule(graph, 1, "alap")
+    rng = np.random.RandomState(scale)
+    stim = fft_stimulus([list(rng.randn(4)) for _ in range(FRAMES)])
+    result = MultiprocessorExecutor(net, schedule, overheads).run(FRAMES, stim)
+    return float(load_ov), miss_summary(result)
+
+
+@pytest.mark.experiment("E7")
+def test_granularity_overhead_sweep(benchmark):
+    results = benchmark(lambda: [sweep_point(s) for s in SCALES])
+
+    report = ExperimentReport(
+        "E7 granularity vs overhead (M=1, MPPA overhead model)", "V-A discussion"
+    )
+    for scale, (load_ov, ms) in zip(SCALES, results):
+        report.add(
+            f"g={scale} (period {200 * scale} ms)",
+            "misses iff load>1",
+            f"load {approx(load_ov)}, misses {ms.missed_jobs}/{ms.executed_jobs}",
+        )
+    report.show()
+
+    loads = [load for load, _ in results]
+    misses = [ms.missed_jobs for _, ms in results]
+    # Monotone decreasing relative overhead...
+    assert all(a > b for a, b in zip(loads, loads[1:]))
+    # ...fine grain misses, coarse grain does not: the paper's crossover.
+    assert misses[0] > 0
+    assert misses[-1] == 0
+    for load, miss in zip(loads, misses):
+        if load < 1:
+            assert miss == 0
+
+
+@pytest.mark.experiment("E7")
+def test_per_job_sync_cost_model(benchmark):
+    """Read/write sync cost (folded into WCETs on the real platform): the
+    per-job overhead knob must shift the measured frame span accordingly."""
+    from repro.runtime import frame_makespans
+
+    net = build_fft_network()
+    graph = derive_task_graph(net, fft_wcets())
+    schedule = list_schedule(graph, 2, "alap")
+    stim = fft_stimulus([[1, 2, 3, 4]] * FRAMES)
+
+    def run_with_sync(cost):
+        ov = OverheadModel.create(per_job=cost)
+        return MultiprocessorExecutor(net, schedule, ov).run(FRAMES, stim)
+
+    result = benchmark(run_with_sync, 2)
+    base = run_with_sync(0)
+    inflated = max(frame_makespans(result))
+    baseline = max(frame_makespans(base))
+    assert inflated > baseline

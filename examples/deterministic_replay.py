@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Deterministic replay: the property that motivates the whole paper.
+
+Scenario: a signal-processing application (the Fig. 1 running example) is
+deployed on different platforms — 2, 3 or 4 processors, different schedule
+heuristics, noisy execution times, runtime overhead.  A field trace
+(external samples + sporadic command arrivals) is captured once.
+
+The FPPN guarantee (Prop. 2.1 / 4.1): replaying the same trace on *any* of
+those deployments produces byte-identical channel data — which is what
+makes testing, fault analysis and triple-modular redundancy possible on
+multiprocessors.
+
+This example also demonstrates what the guarantee does NOT cover: feed a
+*different* input trace and the outputs legitimately change.
+
+Run:  python examples/deterministic_replay.py
+"""
+
+from repro import (
+    OverheadModel,
+    check_determinism,
+    derive_task_graph,
+    jittered_execution,
+    run_static_order,
+    find_feasible_schedule,
+)
+from repro.apps import build_fig1_network, fig1_stimulus, fig1_wcets
+from repro.runtime import served_horizon
+
+FRAMES = 5
+
+
+def main() -> None:
+    net = build_fig1_network()
+    wcets = fig1_wcets()
+    graph = derive_task_graph(net, wcets)
+
+    # The captured field trace.
+    trace = fig1_stimulus(FRAMES).truncated(
+        served_horizon(net, graph.hyperperiod, FRAMES)
+    )
+
+    # -- the full variant matrix, mechanically ------------------------------
+    report = check_determinism(
+        net,
+        wcets,
+        n_frames=FRAMES,
+        stimulus=trace,
+        processor_counts=(2, 3, 4),
+        heuristics=("alap", "blevel", "arrival"),
+        jitter_seeds=(0, 1, 2),
+        overheads=OverheadModel.create(first_frame_arrival=5, steady_frame_arrival=2),
+    )
+    print(report.summary())
+    assert report.deterministic
+
+    # -- and a hand-rolled pair of deployments for illustration --------------
+    deployment_a = find_feasible_schedule(graph, 2)
+    deployment_b = find_feasible_schedule(graph, 4)
+    run_a = run_static_order(
+        net, deployment_a, FRAMES, trace, execution_time=jittered_execution(99)
+    )
+    run_b = run_static_order(
+        net, deployment_b, FRAMES, trace, execution_time=jittered_execution(123)
+    )
+    assert run_a.observable() == run_b.observable()
+    print(
+        "\n2-processor deployment with jitter seed 99 and 4-processor "
+        "deployment with jitter seed 123 produced identical outputs."
+    )
+
+    # -- different inputs are, of course, different --------------------------
+    other_trace = fig1_stimulus(FRAMES, coef_arrivals=[50]).truncated(
+        served_horizon(net, graph.hyperperiod, FRAMES)
+    )
+    run_c = run_static_order(net, deployment_a, FRAMES, other_trace)
+    assert run_c.observable() != run_a.observable()
+    print(
+        "Changing the sporadic command trace changes the outputs — "
+        "determinism is a function of the inputs, not a constant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: author an FPPN, derive its task graph, schedule it, run it.
+
+This walks the full pipeline of the paper on a small two-rate pipeline:
+
+1. define processes, channels and functional priorities (Definition 2.1);
+2. execute the zero-delay reference semantics (Section II-B);
+3. derive the task graph over one hyperperiod (Section III-A);
+4. list-schedule it on a multiprocessor (Section III-B);
+5. simulate the online static-order policy and check that the outputs are
+   identical to the reference and that no deadline is missed (Section IV).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ChannelKind,
+    Network,
+    derive_task_graph,
+    find_feasible_schedule,
+    is_no_data,
+    miss_summary,
+    run_static_order,
+    run_zero_delay,
+    schedule_gantt,
+    task_graph_load,
+)
+
+
+def sample_source(ctx):
+    """Produce one sample per 100 ms period (the invocation count as data)."""
+    ctx.write("raw", float(ctx.k))
+
+
+def smoother(ctx):
+    """Exponential smoothing at twice the source rate."""
+    x = ctx.read("raw")
+    state = ctx.get("state", 0.0)
+    if not is_no_data(x):
+        state = 0.75 * state + 0.25 * x
+        ctx.assign("state", state)
+    ctx.write("smooth", state)
+
+
+def logger(ctx):
+    """Emit every other smoothed value as an external output sample."""
+    last = None
+    while True:
+        v = ctx.read("smooth")
+        if is_no_data(v):
+            break
+        last = v
+    ctx.write_output(last, "log")
+
+
+def main() -> None:
+    # -- 1. the model ----------------------------------------------------
+    net = Network("quickstart")
+    net.add_periodic("source", period=100, kernel=sample_source)
+    net.add_periodic("smoother", period=50, kernel=smoother)
+    net.add_periodic("logger", period=200, kernel=logger)
+    net.connect("source", "smoother", "raw", kind=ChannelKind.FIFO)
+    net.connect("smoother", "logger", "smooth", kind=ChannelKind.FIFO)
+    net.add_priority_chain("source", "smoother", "logger")
+    net.add_external_output("logger", "log")
+    net.validate()
+    print(f"network: {net}")
+
+    # -- 2. reference semantics ------------------------------------------
+    reference = run_zero_delay(net, horizon=600)
+    print(f"zero-delay reference executed {reference.job_count} jobs")
+    print(f"logged samples: {reference.output_values('log')}")
+
+    # -- 3. task graph ----------------------------------------------------
+    graph = derive_task_graph(net, wcet={"source": 10, "smoother": 15, "logger": 5})
+    load = task_graph_load(graph)
+    print(
+        f"task graph: {len(graph)} jobs / {graph.edge_count} edges per "
+        f"{graph.hyperperiod} ms frame, load {float(load.load):.3f} "
+        f"=> >= {load.min_processors} processor(s)"
+    )
+
+    # -- 4. compile-time schedule ------------------------------------------
+    schedule = find_feasible_schedule(graph, processors=load.min_processors)
+    print("static schedule (one frame):")
+    print(schedule_gantt(schedule))
+
+    # -- 5. online static-order execution ----------------------------------
+    result = run_static_order(net, schedule, n_frames=3)
+    summary = miss_summary(result)
+    print(
+        f"runtime: {summary.executed_jobs} jobs over {result.frames} frames, "
+        f"{summary.missed_jobs} deadline misses"
+    )
+    assert result.observable() == reference.observable(), "determinism violated!"
+    print("runtime outputs identical to the zero-delay reference — Prop. 2.1 holds")
+
+
+if __name__ == "__main__":
+    main()

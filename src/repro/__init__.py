@@ -1,0 +1,158 @@
+"""repro — Fixed Priority Process Networks (FPPN).
+
+A complete, executable reproduction of
+
+    P. Poplavko, D. Socci, P. Bourgos, S. Bensalem, M. Bozga,
+    "Models for Deterministic Execution of Real-Time Multiprocessor
+    Applications", DATE 2015.
+
+The library covers the full pipeline of the paper:
+
+* **model** — FPPN networks: processes (automata or kernels), FIFO /
+  blackboard channels, periodic and sporadic event generators, functional
+  priorities (:mod:`repro.core`);
+* **reference semantics** — zero-delay execution traces
+  (:func:`repro.core.run_zero_delay`);
+* **task graphs** — sporadic→server transformation, hyperperiod derivation,
+  ASAP/ALAP, the precedence-aware load metric (:mod:`repro.taskgraph`);
+* **scheduling** — non-preemptive multiprocessor list scheduling with SP
+  heuristics, plus the uniprocessor fixed-priority baseline
+  (:mod:`repro.scheduling`);
+* **runtime** — the online static-order policy simulated on ``M``
+  processors with overhead and jitter models (:mod:`repro.runtime`);
+* **applications** — the paper's Fig. 1 example, the FFT streaming use
+  case and the FMS avionics case study (:mod:`repro.apps`);
+* **analysis** — mechanical determinism checking and paper-style reports
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        Network, ChannelKind, derive_task_graph, find_feasible_schedule,
+        run_static_order, run_zero_delay,
+    )
+
+    net = Network("demo")
+    net.add_periodic("producer", period=100, kernel=lambda ctx: ctx.write("c", ctx.k))
+    net.add_periodic("consumer", period=100, kernel=lambda ctx: ctx.read("c"))
+    net.connect("producer", "consumer", "c", kind=ChannelKind.FIFO)
+    net.add_priority("producer", "consumer")
+    net.validate()
+
+    graph = derive_task_graph(net, wcet={"producer": 10, "consumer": 10})
+    schedule = find_feasible_schedule(graph, processors=1)
+    result = run_static_order(net, schedule, n_frames=5)
+    assert not result.misses()
+"""
+
+from .errors import (
+    ChannelError,
+    EventError,
+    FPPNError,
+    InfeasibleError,
+    ModelError,
+    RuntimeModelError,
+    SchedulingError,
+    SemanticsError,
+)
+from .core import (
+    Automaton,
+    Behavior,
+    ChannelKind,
+    JobContext,
+    KernelBehavior,
+    NO_DATA,
+    Network,
+    PeriodicGenerator,
+    Process,
+    SporadicGenerator,
+    Stimulus,
+    Time,
+    ZeroDelayExecutor,
+    as_time,
+    hyperperiod,
+    is_no_data,
+    run_zero_delay,
+)
+from .taskgraph import (
+    Job,
+    TaskGraph,
+    compute_bounds,
+    derive_task_graph,
+    necessary_condition,
+    task_graph_load,
+    transitive_reduction,
+)
+from .scheduling import (
+    StaticSchedule,
+    UniprocessorFixedPriority,
+    find_feasible_schedule,
+    list_schedule,
+    minimum_processors,
+    rate_monotonic_priorities,
+)
+from .runtime import (
+    MultiprocessorExecutor,
+    OverheadModel,
+    RuntimeResult,
+    jittered_execution,
+    miss_summary,
+    run_static_order,
+    runtime_gantt,
+    schedule_gantt,
+)
+from .analysis import DeterminismReport, check_determinism
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelError",
+    "EventError",
+    "FPPNError",
+    "InfeasibleError",
+    "ModelError",
+    "RuntimeModelError",
+    "SchedulingError",
+    "SemanticsError",
+    "Automaton",
+    "Behavior",
+    "ChannelKind",
+    "JobContext",
+    "KernelBehavior",
+    "NO_DATA",
+    "Network",
+    "PeriodicGenerator",
+    "Process",
+    "SporadicGenerator",
+    "Stimulus",
+    "Time",
+    "ZeroDelayExecutor",
+    "as_time",
+    "hyperperiod",
+    "is_no_data",
+    "run_zero_delay",
+    "Job",
+    "TaskGraph",
+    "compute_bounds",
+    "derive_task_graph",
+    "necessary_condition",
+    "task_graph_load",
+    "transitive_reduction",
+    "StaticSchedule",
+    "UniprocessorFixedPriority",
+    "find_feasible_schedule",
+    "list_schedule",
+    "minimum_processors",
+    "rate_monotonic_priorities",
+    "MultiprocessorExecutor",
+    "OverheadModel",
+    "RuntimeResult",
+    "jittered_execution",
+    "miss_summary",
+    "run_static_order",
+    "runtime_gantt",
+    "schedule_gantt",
+    "DeterminismReport",
+    "check_determinism",
+    "__version__",
+]

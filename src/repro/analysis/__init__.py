@@ -1,0 +1,33 @@
+"""Analysis utilities: determinism checking and experiment reporting."""
+
+from .determinism import (
+    DeterminismReport,
+    VariantOutcome,
+    check_determinism,
+    first_divergence,
+)
+from .report import ExperimentReport, Row, approx
+from .response import (
+    RtaResult,
+    hyperbolic_bound,
+    response_time_analysis,
+    rta_schedulable,
+    total_utilization,
+    utilization_bound,
+)
+
+__all__ = [
+    "DeterminismReport",
+    "VariantOutcome",
+    "check_determinism",
+    "first_divergence",
+    "ExperimentReport",
+    "Row",
+    "approx",
+    "RtaResult",
+    "hyperbolic_bound",
+    "response_time_analysis",
+    "rta_schedulable",
+    "total_utilization",
+    "utilization_bound",
+]

@@ -1,0 +1,65 @@
+"""Paper-style experiment reporting helpers.
+
+The benchmark harness prints, for every figure / narrative result of
+Section V, a row comparing the paper's number with the measured one.  These
+helpers keep that output uniform across benchmark modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass
+class Row:
+    """One paper-vs-measured comparison row."""
+
+    quantity: str
+    paper: Any
+    measured: Any
+    note: str = ""
+
+    def render(self, widths: Sequence[int]) -> str:
+        cells = [str(self.quantity), str(self.paper), str(self.measured), self.note]
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of comparison rows, renderable as a text table."""
+
+    experiment: str
+    artifact: str  # e.g. "Fig. 3", "Section V-B narrative"
+    rows: List[Row] = field(default_factory=list)
+    preamble: List[str] = field(default_factory=list)
+
+    def add(self, quantity: str, paper: Any, measured: Any, note: str = "") -> None:
+        self.rows.append(Row(quantity, paper, measured, note))
+
+    def add_text(self, text: str) -> None:
+        self.preamble.append(text)
+
+    def render(self) -> str:
+        header = Row("quantity", "paper", "measured", "note")
+        table = [header] + self.rows
+        widths = [
+            max(len(str(getattr(r, attr))) for r in table)
+            for attr in ("quantity", "paper", "measured", "note")
+        ]
+        lines = [f"== {self.experiment} ({self.artifact}) =="]
+        lines.extend(self.preamble)
+        lines.append(header.render(widths))
+        lines.append("  ".join("-" * w for w in widths).rstrip())
+        lines.extend(r.render(widths) for r in self.rows)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered report (used by benchmarks)."""
+        print()
+        print(self.render())
+
+
+def approx(measured: float, digits: int = 3) -> str:
+    """Uniform float formatting for measured values."""
+    return f"{measured:.{digits}g}"

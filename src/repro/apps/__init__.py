@@ -1,0 +1,46 @@
+"""Application networks: the paper's case studies plus random workloads."""
+
+from .example_fig1 import (
+    FIG1_WCET_MS,
+    build_fig1_network,
+    fig1_stimulus,
+    fig1_wcets,
+)
+from .fft import (
+    DEFAULT_PERIOD_MS,
+    FFT_POINTS,
+    FFT_STAGES,
+    build_fft_network,
+    fft_stimulus,
+    fft_wcets,
+    reference_fft,
+)
+from .fms import (
+    FMS_WCETS_MS,
+    build_fms_network,
+    fms_scheduling_priorities,
+    fms_stimulus,
+    fms_wcets,
+)
+from .workloads import random_network, random_wcets
+
+__all__ = [
+    "FIG1_WCET_MS",
+    "build_fig1_network",
+    "fig1_stimulus",
+    "fig1_wcets",
+    "DEFAULT_PERIOD_MS",
+    "FFT_POINTS",
+    "FFT_STAGES",
+    "build_fft_network",
+    "fft_stimulus",
+    "fft_wcets",
+    "reference_fft",
+    "FMS_WCETS_MS",
+    "build_fms_network",
+    "fms_scheduling_priorities",
+    "fms_stimulus",
+    "fms_wcets",
+    "random_network",
+    "random_wcets",
+]

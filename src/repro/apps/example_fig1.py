@@ -1,0 +1,188 @@
+"""The paper's running example (Fig. 1): an imaginary signal-processing
+application with a 200 ms input sample period, reconfigurable filter
+coefficients and a feedback loop.
+
+Network structure (process: generator):
+
+* ``InputA``   — periodic 200 ms; reads external samples, fans out to the
+  A-path (FilterA) and the B-path (FilterB);
+* ``FilterA``  — periodic 100 ms; filters the A-path with a feedback gain
+  read from NormA's blackboard (the paper's feedback loop — the process
+  graph is cyclic, the functional-priority graph is not);
+* ``NormA``    — periodic 200 ms; normalises FilterA's output, feeds the
+  gain back, produces the A-path output value;
+* ``OutputA``  — periodic 200 ms; writes external output 1;
+* ``FilterB``  — periodic 200 ms; filters the B-path with a coefficient
+  from the CoefB blackboard;
+* ``OutputB``  — periodic 100 ms; writes external output 2;
+* ``CoefB``    — sporadic, 2 per 700 ms; reconfigures FilterB's coefficient
+  (the utility role Section III-A motivates: its *user* is FilterB).
+
+With uniform ``Ci = 25 ms`` the derived task graph is exactly Fig. 3:
+hyperperiod 200 ms, 10 jobs (CoefB served by an imaginary 2-periodic server
+process with period 200 ms and corrected deadline 500 ms, truncated to 200),
+and the direct ``InputA -> NormA`` edge removed as redundant by transitive
+reduction.  ``ceil(load) = 2`` processors are necessary; Fig. 4's schedule
+fits the frame on two processors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.channels import ChannelKind, NO_DATA, is_no_data
+from ..core.invocations import Stimulus
+from ..core.network import Network
+from ..core.process import JobContext
+from ..core.timebase import TimeLike
+
+#: The uniform WCET used for Fig. 3 ("assuming Ci = 25ms").
+FIG1_WCET_MS = 25
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+def _input_a(ctx: JobContext) -> None:
+    """Read external sample [k] and fan it out to both processing paths."""
+    x = ctx.read_input("InputChannel")
+    if is_no_data(x):
+        x = 0.0
+    ctx.write("a_raw", x)
+    ctx.write("b_raw", x)
+
+
+def _filter_a(ctx: JobContext) -> None:
+    """A-path filter at 2x the input rate, with feedback gain from NormA."""
+    gain = ctx.read("a_norm")
+    if is_no_data(gain):
+        gain = 1.0
+    x = ctx.read("a_raw")
+    if not is_no_data(x):
+        state = ctx.get("state", 0.0)
+        state = 0.5 * state + 0.5 * gain * x
+        ctx.assign("state", state)
+        ctx.write("a_filt", state)
+
+
+def _norm_a(ctx: JobContext) -> None:
+    """Drain the A-path FIFO, normalise, feed the gain back."""
+    total, count = 0.0, 0
+    while True:
+        v = ctx.read("a_filt")
+        if is_no_data(v):
+            break
+        total += v
+        count += 1
+    if count:
+        mean = total / count
+        gain = 1.0 / (1.0 + abs(mean))
+        ctx.write("a_norm", gain)
+        ctx.write("a_out", mean)
+
+
+def _output_a(ctx: JobContext) -> None:
+    v = ctx.read("a_out")
+    ctx.write_output(None if is_no_data(v) else v, "OutputChannel1")
+
+
+def _filter_b(ctx: JobContext) -> None:
+    """B-path filter with a reconfigurable coefficient (CoefB blackboard)."""
+    coef = ctx.read("b_coef")
+    if is_no_data(coef):
+        coef = 1.0
+    x = ctx.read("b_raw")
+    if not is_no_data(x):
+        ctx.write("b_out", coef * x)
+
+
+def _output_b(ctx: JobContext) -> None:
+    """Runs at 100 ms against a 200 ms producer: holds the last value."""
+    v = ctx.read("b_out")
+    if is_no_data(v):
+        v = ctx.get("held", None)
+    else:
+        ctx.assign("held", v)
+    ctx.write_output(v, "OutputChannel2")
+
+
+def _coef_b(ctx: JobContext) -> None:
+    """Sporadic reconfiguration command: publish the new coefficient."""
+    cmd = ctx.read_input("CoefCommands")
+    if not is_no_data(cmd):
+        ctx.write("b_coef", cmd)
+
+
+# ---------------------------------------------------------------------------
+# network
+# ---------------------------------------------------------------------------
+def build_fig1_network() -> Network:
+    """Construct the Fig. 1 network (validated, ready for derivation)."""
+    net = Network("fig1-example")
+    net.add_periodic("InputA", period=200, kernel=_input_a)
+    net.add_periodic("FilterA", period=100, kernel=_filter_a)
+    net.add_periodic("NormA", period=200, kernel=_norm_a)
+    net.add_periodic("OutputA", period=200, kernel=_output_a)
+    net.add_periodic("FilterB", period=200, kernel=_filter_b)
+    net.add_periodic("OutputB", period=100, kernel=_output_b)
+    net.add_sporadic("CoefB", min_period=700, deadline=700, burst=2, kernel=_coef_b)
+
+    net.connect("InputA", "FilterA", "a_raw", kind=ChannelKind.FIFO)
+    net.connect("InputA", "FilterB", "b_raw", kind=ChannelKind.FIFO)
+    net.connect("FilterA", "NormA", "a_filt", kind=ChannelKind.FIFO)
+    net.connect("NormA", "FilterA", "a_norm", kind=ChannelKind.BLACKBOARD)
+    net.connect("NormA", "OutputA", "a_out", kind=ChannelKind.FIFO)
+    net.connect("FilterB", "OutputB", "b_out", kind=ChannelKind.FIFO)
+    net.connect("CoefB", "FilterB", "b_coef", kind=ChannelKind.BLACKBOARD)
+
+    # Functional priorities (arrows of Fig. 1).  InputA -> NormA is the
+    # direct relation whose task-graph edge Fig. 3 marks redundant.
+    net.add_priority("InputA", "FilterA")
+    net.add_priority("InputA", "FilterB")
+    net.add_priority("InputA", "NormA")
+    net.add_priority("FilterA", "NormA")
+    net.add_priority("NormA", "OutputA")
+    net.add_priority("FilterB", "OutputB")
+    net.add_priority("CoefB", "FilterB")
+
+    net.add_external_input("InputA", "InputChannel")
+    net.add_external_input("CoefB", "CoefCommands")
+    net.add_external_output("OutputA", "OutputChannel1")
+    net.add_external_output("OutputB", "OutputChannel2")
+
+    net.validate_taskgraph_subclass()
+    return net
+
+
+def fig1_wcets(value: TimeLike = FIG1_WCET_MS) -> Dict[str, TimeLike]:
+    """Uniform WCET map (25 ms by default, as in Fig. 3)."""
+    return {
+        name: value
+        for name in (
+            "InputA", "FilterA", "NormA", "OutputA", "FilterB", "OutputB", "CoefB",
+        )
+    }
+
+
+def fig1_stimulus(
+    n_frames: int,
+    coef_arrivals: Optional[List[TimeLike]] = None,
+) -> Stimulus:
+    """A deterministic stimulus for *n_frames* frames of 200 ms.
+
+    Input samples ramp linearly; CoefB commands default to one
+    reconfiguration at 350 ms and one at 1050 ms (legal for 2-per-700 ms).
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be >= 1")
+    samples = [float(k) for k in range(1, n_frames + 1)]
+    if coef_arrivals is None:
+        coef_arrivals = [t for t in (350, 1050) if t < 200 * n_frames]
+    commands = [0.5 + 0.25 * i for i in range(len(coef_arrivals))]
+    return Stimulus(
+        input_samples={
+            "InputChannel": samples,
+            "CoefCommands": commands,
+        },
+        sporadic_arrivals={"CoefB": coef_arrivals},
+    )

@@ -1,0 +1,212 @@
+"""The FFT streaming application of Section V-A (Fig. 5).
+
+A 4-point complex FFT as a process network of 14 processes:
+
+* ``generator`` — reads external sample ``[k]`` (a vector of four complex
+  numbers) and distributes it, bit-reversed, to stage 0;
+* ``FFT2_s_j`` for ``s in 0..2``, ``j in 0..3`` — the 3x4 grid of Fig. 5:
+  stage 0 is the bit-reversal/copy stage, stages 1 and 2 are radix-2
+  decimation-in-time butterfly stages with spans 1 and 2;
+* ``consumer`` — assembles the four spectrum values into the external
+  output sample.
+
+All channels are FIFOs whose direction coincides with the functional
+priority relation, so (as the paper observes) the task graph maps one-to-one
+onto the process-network graph: all processes share ``Tp = dp = 200 ms`` and
+every process contributes exactly one job per frame — 14 jobs, matching the
+runtime's "arrival of 14 jobs" per frame.
+
+The arithmetic is a genuine FFT: the test suite checks the streamed results
+against ``numpy.fft.fft`` sample-for-sample.
+
+WCETs default to 14 ms for the FFT2 grid and 9 ms for generator/consumer,
+giving the paper's load of 0.93; the frame-arrival overhead of the MPPA
+runtime (41 ms first frame / 20 ms after) is modelled by
+:class:`repro.runtime.overheads.OverheadModel.mppa_like`.  A granularity
+scale factor reproduces the paper's closing observation that coarser jobs
+shrink the relative overhead (benchmark E7).
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.channels import ChannelKind, is_no_data
+from ..core.invocations import Stimulus
+from ..core.network import Network
+from ..core.process import JobContext
+from ..core.timebase import Time, TimeLike, as_positive_time
+
+#: Number of FFT points and stage geometry of Fig. 5.
+FFT_POINTS = 4
+FFT_STAGES = 3          # bit-reverse stage + 2 butterfly stages
+NODES_PER_STAGE = 4
+
+#: Default timing (ms): Tp = dp = 200; grid nodes ~14 ms; endpoints 9 ms.
+DEFAULT_PERIOD_MS = 200
+GRID_WCET_MS = 14
+ENDPOINT_WCET_MS = 9
+
+_BIT_REVERSED = (0, 2, 1, 3)
+
+
+def _twiddle(stage: int, j: int) -> complex:
+    """DIT twiddle factor of node ``j`` in butterfly stage ``stage`` (1 or 2).
+
+    For span ``h = 2**(stage-1)`` the butterfly group size is ``2h`` and the
+    factor is ``exp(-2*pi*i * (j mod h) / (2h))``.
+    """
+    h = 2 ** (stage - 1)
+    return cmath.exp(-2j * cmath.pi * (j % h) / (2 * h))
+
+
+def _generator(ctx: JobContext) -> None:
+    """Distribute sample [k], bit-reversed, to the four stage-0 nodes."""
+    vec = ctx.read_input("fft_in")
+    if is_no_data(vec):
+        vec = (0j,) * FFT_POINTS
+    if len(vec) != FFT_POINTS:
+        raise ValueError(f"FFT input sample must have {FFT_POINTS} values")
+    for j in range(FFT_POINTS):
+        ctx.write(f"gen->FFT2_0_{j}", complex(vec[_BIT_REVERSED[j]]))
+
+
+def _make_stage0(j: int):
+    """Stage 0 node: forward the (already bit-reversed) value to stage 1."""
+
+    def kernel(ctx: JobContext) -> None:
+        v = ctx.read(f"gen->FFT2_0_{j}")
+        if is_no_data(v):
+            v = 0j
+        partner = j ^ 1  # span of the next stage
+        ctx.write(f"FFT2_0_{j}->FFT2_1_{j}", v)
+        ctx.write(f"FFT2_0_{j}->FFT2_1_{partner}", v)
+
+    return kernel
+
+
+def _make_butterfly(stage: int, j: int):
+    """Butterfly node of stage 1 or 2 computing element ``j``.
+
+    With span ``h``: the node owning element ``j`` combines its own input
+    ``a`` (element ``j`` of the previous stage) and its partner's input
+    ``b`` (element ``j ^ h``) as ``a + w*b`` when ``j``'s bit ``h`` is 0
+    and ``a_partner - w*b_partner``... concretely, for the upper element
+    ``u = j & ~h`` and lower ``l = j | h``::
+
+        out[u] = in[u] + w * in[l]
+        out[l] = in[u] - w * in[l]
+
+    Each node reads both inputs from dedicated FIFOs and emits only its own
+    element ``j``.
+    """
+    h = 2 ** (stage - 1)
+    w = _twiddle(stage, j)
+    upper = j & ~h
+    lower = j | h
+    is_upper = j == upper
+
+    def kernel(ctx: JobContext) -> None:
+        a = ctx.read(f"FFT2_{stage - 1}_{upper}->FFT2_{stage}_{j}")
+        b = ctx.read(f"FFT2_{stage - 1}_{lower}->FFT2_{stage}_{j}")
+        if is_no_data(a):
+            a = 0j
+        if is_no_data(b):
+            b = 0j
+        value = a + w * b if is_upper else a - w * b
+        if stage < FFT_STAGES - 1:
+            next_span = 2 ** stage
+            partner = j ^ next_span
+            ctx.write(f"FFT2_{stage}_{j}->FFT2_{stage + 1}_{j}", value)
+            ctx.write(f"FFT2_{stage}_{j}->FFT2_{stage + 1}_{partner}", value)
+        else:
+            ctx.write(f"FFT2_{stage}_{j}->consumer", value)
+
+    return kernel
+
+
+def _consumer(ctx: JobContext) -> None:
+    """Assemble the four spectrum values into output sample [k]."""
+    out: List[complex] = []
+    for j in range(FFT_POINTS):
+        v = ctx.read(f"FFT2_{FFT_STAGES - 1}_{j}->consumer")
+        out.append(0j if is_no_data(v) else v)
+    ctx.write_output(tuple(out), "fft_out")
+
+
+def build_fft_network(
+    period: TimeLike = DEFAULT_PERIOD_MS,
+) -> Network:
+    """Construct the Fig. 5 network with ``Tp = dp = period`` everywhere."""
+    T = as_positive_time(period, "period")
+    net = Network("fft-streaming")
+    net.add_periodic("generator", period=T, kernel=_generator)
+    for s in range(FFT_STAGES):
+        for j in range(NODES_PER_STAGE):
+            kernel = _make_stage0(j) if s == 0 else _make_butterfly(s, j)
+            net.add_periodic(f"FFT2_{s}_{j}", period=T, kernel=kernel)
+    net.add_periodic("consumer", period=T, kernel=_consumer)
+
+    # Channels and functional priorities follow the dataflow direction.
+    for j in range(NODES_PER_STAGE):
+        net.connect("generator", f"FFT2_0_{j}", f"gen->FFT2_0_{j}")
+        net.add_priority("generator", f"FFT2_0_{j}")
+    for s in range(1, FFT_STAGES):
+        span = 2 ** (s - 1)
+        for j in range(NODES_PER_STAGE):
+            writer = f"FFT2_{s - 1}_{j}"
+            for target in (j, j ^ span):
+                reader = f"FFT2_{s}_{target}"
+                net.connect(writer, reader, f"{writer}->{reader}")
+                net.add_priority(writer, reader)
+    for j in range(NODES_PER_STAGE):
+        writer = f"FFT2_{FFT_STAGES - 1}_{j}"
+        net.connect(writer, "consumer", f"{writer}->consumer")
+        net.add_priority(writer, "consumer")
+
+    net.add_external_input("generator", "fft_in")
+    net.add_external_output("consumer", "fft_out")
+    net.validate()
+    return net
+
+
+def fft_wcets(scale: TimeLike = 1) -> Dict[str, Time]:
+    """WCET map: 14 ms per grid node, 9 ms for generator/consumer, scaled.
+
+    ``scale`` models job granularity (samples aggregated per job): period
+    and WCETs grow together, the frame-arrival overhead does not — the E7
+    sweep.  Total per frame at scale 1: 9 + 12*14 + 9 = 186 ms, i.e. a load
+    of 186/200 = 0.93, the paper's figure.
+    """
+    s = as_positive_time(scale, "scale")
+    wcets: Dict[str, Time] = {
+        "generator": ENDPOINT_WCET_MS * s,
+        "consumer": ENDPOINT_WCET_MS * s,
+    }
+    for stage in range(FFT_STAGES):
+        for j in range(NODES_PER_STAGE):
+            wcets[f"FFT2_{stage}_{j}"] = GRID_WCET_MS * s
+    return wcets
+
+
+def fft_stimulus(vectors: Sequence[Sequence[complex]]) -> Stimulus:
+    """Stimulus feeding the given 4-point vectors as samples 1..n."""
+    normalized: List[Tuple[complex, ...]] = []
+    for vec in vectors:
+        if len(vec) != FFT_POINTS:
+            raise ValueError(f"each FFT input vector needs {FFT_POINTS} entries")
+        normalized.append(tuple(complex(v) for v in vec))
+    return Stimulus(input_samples={"fft_in": normalized})
+
+
+def reference_fft(vec: Sequence[complex]) -> Tuple[complex, ...]:
+    """Direct O(n^2) DFT used as an independent oracle in tests."""
+    n = len(vec)
+    out = []
+    for q in range(n):
+        acc = 0j
+        for t, v in enumerate(vec):
+            acc += complex(v) * cmath.exp(-2j * cmath.pi * q * t / n)
+        out.append(acc)
+    return tuple(out)

@@ -1,0 +1,192 @@
+"""Random FPPN workload generator.
+
+Produces reproducible random networks satisfying the Section III-A subclass
+restrictions (layered periodic dataflow + sporadic configuration processes
+attached to periodic users).  Used by:
+
+* property-based tests — determinism and schedule correctness must hold on
+  *arbitrary* subclass networks, not just the paper's three examples;
+* scalability benchmarks (E9) — job counts grow with the hyperperiod.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.channels import ChannelKind, is_no_data
+from ..core.network import Network
+from ..core.process import JobContext
+from ..core.timebase import Time, TimeLike
+
+#: Harmonic-friendly period menu (ms) keeping hyperperiods moderate.
+DEFAULT_PERIODS: Tuple[int, ...] = (100, 200, 400, 500, 1000)
+
+
+def _accumulator_kernel(inputs: Sequence[str], outputs: Sequence[str],
+                        external_in: Optional[str], external_out: Optional[str],
+                        salt: int):
+    """A deterministic numeric kernel touching every connected channel."""
+
+    def kernel(ctx: JobContext) -> None:
+        acc = ctx.get("acc", float(salt))
+        if external_in is not None:
+            v = ctx.read_input(external_in)
+            if not is_no_data(v):
+                acc += float(v)
+        for name in inputs:
+            v = ctx.read(name)
+            if not is_no_data(v):
+                acc = 0.75 * acc + 0.25 * float(v) + 1.0
+        acc = round(acc, 9)
+        ctx.assign("acc", acc)
+        for name in outputs:
+            ctx.write(name, acc)
+        if external_out is not None:
+            ctx.write_output(acc, external_out)
+
+    return kernel
+
+
+def random_network(
+    seed: int = 0,
+    n_periodic: int = 5,
+    n_sporadic: int = 2,
+    periods: Sequence[int] = DEFAULT_PERIODS,
+    fifo_probability: float = 0.5,
+    extra_channel_probability: float = 0.35,
+) -> Network:
+    """Generate a random subclass FPPN.
+
+    Structure: periodic processes are ordered in a random rate-monotonic-
+    compatible priority chain; channels go from higher- to lower-priority
+    processes (plus occasional feedback blackboards, which keep the FP DAG
+    acyclic because they reuse the forward ordering).  Each sporadic process
+    attaches to one periodic user with ``T_u <= T_p`` and carries
+    ``d_p = 2 T_p``.
+    """
+    if n_periodic < 1:
+        raise ValueError("need at least one periodic process")
+    rng = random.Random(seed)
+    net = Network(f"random-{seed}")
+
+    chosen = sorted(rng.choice(periods) for _ in range(n_periodic))
+    periodic_names: List[str] = []
+    wiring: Dict[str, Dict[str, List[str]]] = {}
+    for i, period in enumerate(chosen):
+        name = f"P{i}"
+        periodic_names.append(name)
+        wiring[name] = {"in": [], "out": []}
+        net.add_periodic(name, period=period, kernel=lambda ctx: None)
+
+    # Priority: the period-sorted order (rate-monotonic compatible).
+    for hi, lo in zip(periodic_names, periodic_names[1:]):
+        net.add_priority(hi, lo)
+
+    channels: List[Tuple[str, str, str, ChannelKind]] = []
+
+    def connect(writer: str, reader: str) -> None:
+        kind = (
+            ChannelKind.FIFO
+            if rng.random() < fifo_probability
+            else ChannelKind.BLACKBOARD
+        )
+        cname = f"{writer}->{reader}#{len(channels)}"
+        channels.append((writer, reader, cname, kind))
+        if not net.fp_related(writer, reader):
+            net.add_priority(writer, reader)
+
+    # Backbone: each process feeds the next (guarantees connectivity).
+    for a, b in zip(periodic_names, periodic_names[1:]):
+        connect(a, b)
+    # Extra forward channels.
+    for i, a in enumerate(periodic_names):
+        for b in periodic_names[i + 1:]:
+            if rng.random() < extra_channel_probability:
+                connect(a, b)
+    # Occasional feedback blackboard (cyclic process graph, acyclic FP).
+    for a, b in zip(periodic_names, periodic_names[1:]):
+        if rng.random() < 0.2:
+            cname = f"{b}->{a}#fb{len(channels)}"
+            channels.append((b, a, cname, ChannelKind.BLACKBOARD))
+
+    sporadic_names: List[str] = []
+    for s in range(n_sporadic):
+        user = rng.choice(periodic_names)
+        user_period = net.processes[user].period
+        factor = rng.choice((1, 2, 4))
+        s_period = user_period * factor
+        name = f"S{s}"
+        sporadic_names.append(name)
+        net.add_sporadic(
+            name,
+            min_period=s_period,
+            deadline=s_period * 2,
+            burst=rng.choice((1, 2, 3)),
+            kernel=lambda ctx: None,
+        )
+        cname = f"{name}->{user}#cfg{s}"
+        channels.append((name, user, cname, ChannelKind.BLACKBOARD))
+        # Paper-style: configs below their users.
+        net.add_priority(user, name)
+
+    # Create the channels and re-bind kernels now that wiring is known.
+    for writer, reader, cname, kind in channels:
+        net.connect(writer, reader, cname, kind=kind)
+
+    for i, name in enumerate(periodic_names + sporadic_names):
+        proc = net.processes[name]
+        ext_in = None
+        ext_out = None
+        if proc.is_sporadic or rng.random() < 0.4:
+            ext_in = f"{name}_in"
+            net.add_external_input(name, ext_in)
+        if rng.random() < 0.4:
+            ext_out = f"{name}_out"
+            net.add_external_output(name, ext_out)
+        proc.behavior = _rebound_behavior(proc, ext_in, ext_out, salt=i)
+
+    net.validate_taskgraph_subclass()
+    return net
+
+
+def _rebound_behavior(proc, ext_in, ext_out, salt):
+    from ..core.process import KernelBehavior
+
+    return KernelBehavior(
+        _accumulator_kernel(
+            list(proc.inputs), list(proc.outputs), ext_in, ext_out, salt
+        )
+    )
+
+
+def random_wcets(
+    network: Network, seed: int = 0, utilization_target: float = 0.5
+) -> Dict[str, Time]:
+    """WCETs scaled so frame utilization is roughly *utilization_target*.
+
+    Each process gets a WCET proportional to a random weight and its period,
+    then everything is scaled so that ``sum(C_i per frame) / H`` hits the
+    target (exact rational arithmetic; useful for schedulability sweeps).
+    """
+    if not 0 < utilization_target <= 1:
+        raise ValueError("utilization_target must be in (0, 1]")
+    rng = random.Random(seed + 1)
+    from ..taskgraph.servers import transform
+
+    pn = transform(network)
+    weights = {name: 1 + rng.randrange(1, 10) for name in network.processes}
+    # jobs per frame and effective period of each process
+    H = Time(1)
+    from ..core.timebase import rational_lcm
+
+    for period, _ in pn.effective.values():
+        H = rational_lcm(H, period)
+    total = Time(0)
+    for name, (period, burst) in pn.effective.items():
+        jobs = (H / period) * burst
+        total += weights[name] * jobs
+    scale = H * Time(str(utilization_target)) / total
+    return {
+        name: weights[name] * scale for name in network.processes
+    }

@@ -1,0 +1,248 @@
+"""Deterministic process automata (Definition 2.2, implemented literally).
+
+A process automaton is the tuple ``(lp0, Lp, Xp, Xp0, Ip, Op, Ap, Tp)``:
+
+* ``Lp`` — set of locations (source-code line numbers, informally),
+* ``lp0`` — initial location,
+* ``Xp`` / ``Xp0`` — internal variables and their initial valuation,
+* ``Ip`` / ``Op`` — input and output channels,
+* ``Ap`` — actions: variable assignments, reads from ``Ip``, writes to ``Op``,
+* ``Tp ⊆ Lp × Gp × Ap × Lp`` — the transition relation with guards ``Gp``
+  (predicates over ``Xp``).
+
+A **job execution run** is a non-empty sequence of steps from ``lp0`` back to
+``lp0``.  Determinism of the automaton is *enforced at runtime*: if two
+transitions are simultaneously enabled in the current location the run is
+aborted with :class:`~repro.errors.SemanticsError`, because a
+non-deterministic process would break Proposition 2.1.
+
+Guards are predicates ``g(vars) -> bool`` over the variable valuation;
+actions are small command objects (:class:`ReadOp`, :class:`WriteOp`,
+:class:`AssignOp`, ...) so that a transition's effect is fully inspectable —
+closer to the formal model than opaque callables, and what the structural
+tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import SemanticsError
+from .process import Behavior, JobContext
+
+Location = Hashable
+Guard = Callable[[Dict[str, Any]], bool]
+
+
+def true_guard(_vars: Dict[str, Any]) -> bool:
+    """The trivially-true guard (used when a transition is unconditional)."""
+    return True
+
+
+class Op:
+    """Base class of primitive automaton actions (elements of ``Ap``)."""
+
+    def execute(self, ctx: JobContext) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ReadOp(Op):
+    """``var ? channel`` — read internal channel into a variable."""
+
+    variable: str
+    channel: str
+
+    def execute(self, ctx: JobContext) -> None:
+        ctx.vars[self.variable] = ctx.read(self.channel)
+
+
+@dataclass(frozen=True)
+class WriteOp(Op):
+    """``var ! channel`` — write a variable's value to an internal channel."""
+
+    variable: str
+    channel: str
+
+    def execute(self, ctx: JobContext) -> None:
+        if self.variable not in ctx.vars:
+            raise SemanticsError(
+                f"write of undefined variable {self.variable!r} in process "
+                f"{ctx.process!r}"
+            )
+        ctx.write(self.channel, ctx.vars[self.variable])
+
+
+@dataclass(frozen=True)
+class ReadExternalOp(Op):
+    """``var ?[k] Ie`` — read the job's external input sample into a variable."""
+
+    variable: str
+    channel: Optional[str] = None
+
+    def execute(self, ctx: JobContext) -> None:
+        ctx.vars[self.variable] = ctx.read_input(self.channel)
+
+
+@dataclass(frozen=True)
+class WriteExternalOp(Op):
+    """``var ![k] Oe`` — write a variable's value as the job's output sample."""
+
+    variable: str
+    channel: Optional[str] = None
+
+    def execute(self, ctx: JobContext) -> None:
+        if self.variable not in ctx.vars:
+            raise SemanticsError(
+                f"write of undefined variable {self.variable!r} in process "
+                f"{ctx.process!r}"
+            )
+        ctx.write_output(ctx.vars[self.variable], self.channel)
+
+
+@dataclass(frozen=True)
+class AssignOp(Op):
+    """``var := f(vars)`` — compute a new value from the current valuation."""
+
+    variable: str
+    function: Callable[[Dict[str, Any]], Any]
+
+    def execute(self, ctx: JobContext) -> None:
+        ctx.assign(self.variable, self.function(ctx.vars))
+
+
+@dataclass(frozen=True)
+class NopOp(Op):
+    """The empty action (a pure control-flow transition)."""
+
+    def execute(self, ctx: JobContext) -> None:  # pragma: no cover - trivial
+        return None
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One element of the transition relation ``Tp``."""
+
+    source: Location
+    guard: Guard
+    ops: Tuple[Op, ...]
+    target: Location
+
+    def enabled(self, variables: Dict[str, Any]) -> bool:
+        return bool(self.guard(variables))
+
+
+class Automaton(Behavior):
+    """Executable deterministic automaton implementing :class:`Behavior`.
+
+    Parameters
+    ----------
+    initial_location:
+        ``lp0``.
+    initial_variables:
+        ``Xp0`` — copied for each execution of the owning network.
+    max_steps:
+        Safety bound on the length of one job run; exceeded means the
+        automaton does not return to its initial location (not a valid
+        subroutine), reported as :class:`SemanticsError`.
+    """
+
+    def __init__(
+        self,
+        initial_location: Location,
+        initial_variables: Optional[Dict[str, Any]] = None,
+        max_steps: int = 100_000,
+    ) -> None:
+        self._l0 = initial_location
+        self._x0 = dict(initial_variables or {})
+        self._transitions: List[Transition] = []
+        self._locations = {initial_location}
+        self._max_steps = max_steps
+
+    # -- construction -------------------------------------------------------
+    def add_transition(
+        self,
+        source: Location,
+        target: Location,
+        guard: Guard = true_guard,
+        ops: Sequence[Op] = (),
+    ) -> Transition:
+        """Add a transition ``(source, guard, ops, target)`` and return it."""
+        tr = Transition(source, guard, tuple(ops), target)
+        self._transitions.append(tr)
+        self._locations.add(source)
+        self._locations.add(target)
+        return tr
+
+    @property
+    def locations(self) -> frozenset:
+        """``Lp`` — the location set (implied by added transitions)."""
+        return frozenset(self._locations)
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        return tuple(self._transitions)
+
+    @property
+    def initial_location(self) -> Location:
+        return self._l0
+
+    # -- Behavior interface --------------------------------------------------
+    def initial_variables(self) -> Dict[str, Any]:
+        return dict(self._x0)
+
+    def run_job(self, ctx: JobContext) -> None:
+        """One job execution run: step from ``lp0`` until back at ``lp0``.
+
+        The run must take at least one step (a job run is a *non-empty*
+        step sequence).
+        """
+        location = self._l0
+        steps = 0
+        while True:
+            enabled = [
+                t for t in self._transitions
+                if t.source == location and t.enabled(ctx.vars)
+            ]
+            if len(enabled) > 1:
+                raise SemanticsError(
+                    f"process {ctx.process!r}: {len(enabled)} transitions "
+                    f"enabled at location {location!r} — automaton is "
+                    "non-deterministic"
+                )
+            if not enabled:
+                raise SemanticsError(
+                    f"process {ctx.process!r}: no enabled transition at "
+                    f"location {location!r} (deadlocked job run)"
+                )
+            tr = enabled[0]
+            for op in tr.ops:
+                op.execute(ctx)
+            location = tr.target
+            steps += 1
+            if location == self._l0:
+                return
+            if steps >= self._max_steps:
+                raise SemanticsError(
+                    f"process {ctx.process!r}: job run exceeded "
+                    f"{self._max_steps} steps without returning to the "
+                    "initial location"
+                )
+
+    # -- static inspection ----------------------------------------------------
+    def declared_reads(self) -> Optional[List[str]]:
+        names = []
+        for t in self._transitions:
+            for op in t.ops:
+                if isinstance(op, ReadOp):
+                    names.append(op.channel)
+        return sorted(set(names))
+
+    def declared_writes(self) -> Optional[List[str]]:
+        names = []
+        for t in self._transitions:
+            for op in t.ops:
+                if isinstance(op, WriteOp):
+                    names.append(op.channel)
+        return sorted(set(names))

@@ -1,0 +1,264 @@
+"""Channel substrate: FIFO and blackboard channel types.
+
+Section II-A of the paper defines two default channel types:
+
+* a **FIFO** with queue semantics, and
+* a **blackboard** that remembers the last written value and can be read
+  multiple times.
+
+Reading from an empty FIFO or a never-written blackboard returns an explicit
+*indicator of non-availability of data*; we model that indicator with the
+singleton :data:`NO_DATA` rather than ``None`` so that ``None`` remains a
+legal payload value.
+
+A channel *specification* (:class:`ChannelSpec`) is the static object held by
+an FPPN definition: name, type, writer/reader endpoints and an optional
+alphabet predicate.  A channel *state* (:class:`FifoState`,
+:class:`BlackboardState`) is the mutable runtime object created per
+execution.  Keeping the two separate lets a single network definition be
+executed many times (zero-delay run, multiprocessor simulation, determinism
+replays) without cross-talk.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from ..errors import ChannelError
+
+
+class _NoData:
+    """Singleton sentinel returned when a read finds no available data."""
+
+    _instance: Optional["_NoData"] = None
+
+    def __new__(cls) -> "_NoData":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NO_DATA"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_NoData, ())
+
+
+#: Indicator of non-availability of data (Section II-A).
+NO_DATA = _NoData()
+
+
+def is_no_data(value: Any) -> bool:
+    """True when *value* is the non-availability indicator."""
+    return isinstance(value, _NoData)
+
+
+class ChannelKind(enum.Enum):
+    """The two default channel types of the FPPN model."""
+
+    FIFO = "fifo"
+    BLACKBOARD = "blackboard"
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Static description of an internal channel ``c = (writer, reader)``.
+
+    Parameters
+    ----------
+    name:
+        Unique channel name within the network.
+    kind:
+        :class:`ChannelKind` selecting queue vs last-value semantics.
+    writer / reader:
+        Names of the writer and reader processes.  By Definition 2.1 a
+        channel is simultaneously a state variable and a writer/reader pair.
+    alphabet:
+        Optional predicate restricting legal payload values (``Σc`` in the
+        paper).  ``None`` means any Python object is accepted.
+    initial:
+        Optional initial value.  A blackboard with an initial value can be
+        read before the first write; a FIFO with an initial value starts
+        with that single token enqueued (classic dataflow "initial token",
+        required for feedback loops).
+    """
+
+    name: str
+    kind: ChannelKind
+    writer: str
+    reader: str
+    alphabet: Optional[Callable[[Any], bool]] = None
+    initial: Any = NO_DATA
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChannelError("channel name must be non-empty")
+        if self.writer == self.reader:
+            raise ChannelError(
+                f"channel {self.name!r}: writer and reader must be distinct "
+                f"processes (both are {self.writer!r})"
+            )
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """The ``(writer, reader)`` process-name pair."""
+        return (self.writer, self.reader)
+
+    def check_value(self, value: Any) -> None:
+        """Raise :class:`ChannelError` if *value* is outside the alphabet."""
+        if self.alphabet is not None and not self.alphabet(value):
+            raise ChannelError(
+                f"value {value!r} rejected by alphabet of channel {self.name!r}"
+            )
+
+    def new_state(self) -> "ChannelState":
+        """Create a fresh mutable runtime state for this channel."""
+        if self.kind is ChannelKind.FIFO:
+            return FifoState(self)
+        return BlackboardState(self)
+
+
+class ChannelState:
+    """Mutable runtime state of a channel; subclassed per channel kind."""
+
+    def __init__(self, spec: ChannelSpec) -> None:
+        self.spec = spec
+        #: Chronological log of every value ever written (used by the
+        #: determinism checker, Prop. 2.1: "sequences of values written at
+        #: all ... internal channels").
+        self.write_log: List[Any] = []
+
+    # -- interface -----------------------------------------------------
+    def write(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def read(self) -> Any:
+        """Read one value, or :data:`NO_DATA` when nothing is available."""
+        raise NotImplementedError
+
+    def peek(self) -> Any:
+        """Non-destructive read (same availability rules as :meth:`read`)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoState(ChannelState):
+    """Queue-semantics channel state.
+
+    Reads are *non-blocking* (unlike classic KPN): an empty queue yields
+    :data:`NO_DATA`.  The FPPN model moves all blocking into the event
+    structure, which is what makes it schedulable (Section II-A).
+    """
+
+    def __init__(self, spec: ChannelSpec) -> None:
+        super().__init__(spec)
+        self._queue: Deque[Any] = deque()
+        if not is_no_data(spec.initial):
+            self._queue.append(spec.initial)
+
+    def write(self, value: Any) -> None:
+        self.spec.check_value(value)
+        self._queue.append(value)
+        self.write_log.append(value)
+
+    def read(self) -> Any:
+        if not self._queue:
+            return NO_DATA
+        return self._queue.popleft()
+
+    def peek(self) -> Any:
+        if not self._queue:
+            return NO_DATA
+        return self._queue[0]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class BlackboardState(ChannelState):
+    """Last-value-semantics channel state.
+
+    The blackboard remembers the most recently written value; reads are
+    idempotent and never consume.  Before the first write (and with no
+    initial value) reads yield :data:`NO_DATA`.
+    """
+
+    def __init__(self, spec: ChannelSpec) -> None:
+        super().__init__(spec)
+        self._value: Any = spec.initial
+
+    def write(self, value: Any) -> None:
+        self.spec.check_value(value)
+        self._value = value
+        self.write_log.append(value)
+
+    def read(self) -> Any:
+        return self._value
+
+    def peek(self) -> Any:
+        return self._value
+
+    def __len__(self) -> int:
+        return 0 if is_no_data(self._value) else 1
+
+
+@dataclass
+class ExternalInputSpec:
+    """An external input channel ``I`` fed by an event generator.
+
+    The k-th job of the owning process reads sample ``[k]`` (1-based, as in
+    the paper's action notation ``x?[k]Ie``) within the window
+    ``[τk, τk + de]``.  Samples are supplied per execution via
+    :class:`repro.core.invocations.Stimulus`.
+    """
+
+    name: str
+    owner: str  # process whose generator owns this external channel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChannelError("external input name must be non-empty")
+
+
+@dataclass
+class ExternalOutputSpec:
+    """An external output channel ``O`` written by an event generator's process."""
+
+    name: str
+    owner: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChannelError("external output name must be non-empty")
+
+
+@dataclass
+class ExternalOutputState:
+    """Runtime log of samples written to an external output.
+
+    ``samples[k]`` holds the value written by job ``k`` (1-based index kept in
+    a dict so skipped/false jobs leave holes rather than shifting later
+    samples — exactly the indexed-sample semantics of the paper).
+    """
+
+    spec: ExternalOutputSpec
+    samples: dict = field(default_factory=dict)
+
+    def write(self, k: int, value: Any) -> None:
+        if k in self.samples:
+            raise ChannelError(
+                f"external output {self.spec.name!r}: sample [{k}] written twice"
+            )
+        self.samples[k] = value
+
+    def as_sequence(self) -> List[Tuple[int, Any]]:
+        """Samples as a list of ``(k, value)`` sorted by sample index."""
+        return sorted(self.samples.items())

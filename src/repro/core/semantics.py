@@ -1,0 +1,180 @@
+"""Zero-delay semantics of FPPNs (Section II-B).
+
+Given the invocation sequence ``(t1, P1), (t2, P2), ...`` (strictly increasing
+time stamps ``ti``, multisets ``Pi`` of processes invoked at ``ti``), the
+zero-delay execution trace is::
+
+    Trace(PN) = w(t1) ∘ α1 ∘ w(t2) ∘ α2 ...
+
+where ``αi`` concatenates the job execution runs of the processes in ``Pi``
+in an order respecting functional priority: if ``p1 → p2`` then the job(s) of
+``p1`` execute before the job(s) of ``p2``.
+
+This module implements the construction directly and is the **reference
+behaviour** for everything else: the multiprocessor runtime (Section IV) is
+correct exactly when its channel outputs coincide with this executor's
+(Propositions 2.1 and 4.1).
+
+Within one ``Pi``, processes unrelated by FP may execute in any order without
+affecting channel data (FP must cover channel-sharing pairs).  For trace
+reproducibility we fix the order deterministically: topological rank of the
+FP DAG, ties broken by process name; bursts of the same process execute in
+invocation-index order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SemanticsError
+from .channels import ChannelState, ExternalOutputState
+from .events import Invocation, merge_invocations
+from .invocations import Stimulus
+from .network import Network
+from .process import JobContext
+from .timebase import Time, TimeLike, as_positive_time
+from .trace import JobEnd, JobStart, Trace, Wait
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of one FPPN execution.
+
+    ``channel_logs`` and ``external_outputs`` are the objects Proposition 2.1
+    quantifies over; :meth:`observable` flattens them into a canonical,
+    comparable structure used by the determinism checker.
+    """
+
+    network_name: str
+    horizon: Time
+    trace: Trace
+    channel_logs: Dict[str, List[Any]]
+    external_outputs: Dict[str, List[Tuple[int, Any]]]
+    job_count: int
+    final_variables: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def observable(self) -> Dict[str, Any]:
+        """Canonical determinism observable: all channel write sequences."""
+        return {
+            "channels": {k: list(v) for k, v in sorted(self.channel_logs.items())},
+            "outputs": {k: list(v) for k, v in sorted(self.external_outputs.items())},
+        }
+
+    def output_values(self, channel: str) -> List[Any]:
+        """Values written to an external output, in sample order."""
+        return [v for _, v in self.external_outputs[channel]]
+
+
+class ZeroDelayExecutor:
+    """Executes a network under the zero-delay semantics."""
+
+    def __init__(self, network: Network) -> None:
+        network.validate()
+        self.network = network
+        self._rank = network.priority_rank()
+
+    # ------------------------------------------------------------------
+    def invocation_sequence(
+        self, horizon: TimeLike, stimulus: Optional[Stimulus] = None
+    ) -> List[Tuple[Time, List[Invocation]]]:
+        """The global sequence ``(t1, P1), (t2, P2), ...`` over ``[0, horizon)``.
+
+        Periodic invocations come from the generators; sporadic ones from the
+        stimulus arrival traces.
+        """
+        h = as_positive_time(horizon, "horizon")
+        stimulus = stimulus or Stimulus()
+        stimulus.validate(self.network)
+        per_process: List[Tuple[str, List[Time]]] = []
+        for proc in self.network.processes.values():
+            if proc.is_sporadic:
+                times = [t for t in stimulus.arrivals_for(proc.name) if t < h]
+            else:
+                times = proc.generator.invocations(h)
+            per_process.append((proc.name, times))
+        return merge_invocations(per_process)
+
+    def run(
+        self, horizon: TimeLike, stimulus: Optional[Stimulus] = None
+    ) -> ExecutionResult:
+        """Construct and execute the zero-delay trace over ``[0, horizon)``."""
+        h = as_positive_time(horizon, "horizon")
+        stimulus = stimulus or Stimulus()
+        sequence = self.invocation_sequence(h, stimulus)
+
+        trace = Trace()
+        channel_states: Dict[str, ChannelState] = {
+            name: spec.new_state() for name, spec in self.network.channels.items()
+        }
+        variables: Dict[str, Dict[str, Any]] = {
+            name: proc.fresh_variables() for name, proc in self.network.processes.items()
+        }
+        ext_out: Dict[str, ExternalOutputState] = {
+            name: ExternalOutputState(spec)
+            for name, spec in self.network.external_outputs.items()
+        }
+        job_count = 0
+
+        for t, invocations in sequence:
+            trace.append(Wait(t))
+            for inv in self._order_jobs(invocations):
+                self._run_job(inv, t, channel_states, variables, ext_out, stimulus, trace)
+                job_count += 1
+
+        return ExecutionResult(
+            network_name=self.network.name,
+            horizon=h,
+            trace=trace,
+            channel_logs={n: list(s.write_log) for n, s in channel_states.items()},
+            external_outputs={n: s.as_sequence() for n, s in ext_out.items()},
+            job_count=job_count,
+            final_variables=variables,
+        )
+
+    # ------------------------------------------------------------------
+    def _order_jobs(self, invocations: List[Invocation]) -> List[Invocation]:
+        """Order simultaneous invocations: FP rank, then name, then index."""
+        return sorted(
+            invocations, key=lambda inv: (self._rank[inv.process], inv.process, inv.index)
+        )
+
+    def _run_job(
+        self,
+        inv: Invocation,
+        now: Time,
+        channel_states: Mapping[str, ChannelState],
+        variables: Dict[str, Dict[str, Any]],
+        ext_out: Mapping[str, ExternalOutputState],
+        stimulus: Stimulus,
+        trace: Trace,
+    ) -> None:
+        proc = self.network.processes[inv.process]
+        ctx = JobContext(
+            process=proc.name,
+            k=inv.index,
+            now=now,
+            variables=variables[proc.name],
+            inputs={n: channel_states[n] for n in proc.inputs},
+            outputs={n: channel_states[n] for n in proc.outputs},
+            external_inputs={n: stimulus.samples_for(n) for n in proc.external_inputs},
+            external_outputs={n: ext_out[n] for n in proc.external_outputs},
+            trace=trace,
+        )
+        trace.append(JobStart(proc.name, inv.index))
+        try:
+            proc.behavior.run_job(ctx)
+        except SemanticsError:
+            raise
+        except Exception as exc:  # surface app bugs with job identity attached
+            raise SemanticsError(
+                f"job {proc.name}[{inv.index}] at t={now} raised {exc!r}"
+            ) from exc
+        trace.append(JobEnd(proc.name, inv.index))
+
+
+def run_zero_delay(
+    network: Network, horizon: TimeLike, stimulus: Optional[Stimulus] = None
+) -> ExecutionResult:
+    """One-call convenience wrapper around :class:`ZeroDelayExecutor`."""
+    return ZeroDelayExecutor(network).run(horizon, stimulus)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the FPPN library.
+
+Every error raised by :mod:`repro` derives from :class:`FPPNError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class FPPNError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ModelError(FPPNError):
+    """An FPPN network definition violates the model's well-formedness rules.
+
+    Examples: a cyclic functional-priority relation, a channel whose
+    writer/reader pair is not ordered by functional priority, duplicate
+    process names, or a sporadic process without a valid user process.
+    """
+
+
+class ChannelError(FPPNError):
+    """Illegal channel access (unknown channel, wrong endpoint, type error)."""
+
+
+class EventError(FPPNError):
+    """An event-generator definition or arrival trace is invalid.
+
+    Raised, for instance, when a sporadic arrival trace violates the
+    "at most m events in any half-open window of length T" constraint.
+    """
+
+
+class SemanticsError(FPPNError):
+    """Execution of the model semantics failed (e.g. non-returning automaton)."""
+
+
+class SchedulingError(FPPNError):
+    """The scheduler could not produce a schedule or was misconfigured."""
+
+
+class InfeasibleError(SchedulingError):
+    """No feasible schedule exists (or was found) for the requested platform.
+
+    Attributes
+    ----------
+    diagnostics:
+        Optional human-readable details, e.g. which job missed its deadline
+        in the best candidate schedule, or the load bound that was violated.
+    """
+
+    def __init__(self, message: str, diagnostics: str = "") -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class RuntimeModelError(FPPNError):
+    """The online policy / runtime simulator was driven with invalid input."""

@@ -1,0 +1,33 @@
+"""Interchange formats: DOT drawings, JSON artifacts, VCD waveforms."""
+
+from .dot import network_to_dot, task_graph_to_dot, write_dot
+from .json_io import (
+    FormatError,
+    load_json,
+    network_from_dict,
+    network_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    task_graph_from_dict,
+    task_graph_to_dict,
+)
+from .vcd import VcdError, runtime_result_to_vcd, write_vcd
+
+__all__ = [
+    "network_to_dot",
+    "task_graph_to_dot",
+    "write_dot",
+    "FormatError",
+    "load_json",
+    "network_from_dict",
+    "network_to_dict",
+    "save_json",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "task_graph_from_dict",
+    "task_graph_to_dict",
+    "VcdError",
+    "runtime_result_to_vcd",
+    "write_vcd",
+]

@@ -1,0 +1,122 @@
+"""Graphviz/DOT export of process networks and task graphs.
+
+The paper's figures are exactly these two drawings:
+
+* :func:`network_to_dot` — the process-network view (Figs. 1, 5, 7): one
+  node per process labelled with its generator (``"2 per 700ms"`` style),
+  solid edges for FIFO channels, dashed edges for blackboards, and dotted
+  grey edges for functional priorities that are not implied by a channel;
+* :func:`task_graph_to_dot` — the task-graph view (Figs. 3, 5): one node
+  per job labelled ``p[k] (A,D,C)``, server jobs drawn as boxes.
+
+The output is plain DOT text (no graphviz dependency); pipe it through
+``dot -Tsvg`` to render.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.channels import ChannelKind
+from ..core.network import Network
+from ..core.timebase import time_str
+from ..taskgraph.graph import TaskGraph
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _process_label(network: Network, name: str) -> str:
+    proc = network.processes[name]
+    gen = proc.generator
+    if gen.burst > 1:
+        rate = f"{gen.burst} per {time_str(gen.period)}ms"
+    else:
+        rate = f"{time_str(gen.period)}ms"
+    kind = "sporadic" if proc.is_sporadic else "periodic"
+    return f"{name}\\n{rate} ({kind})"
+
+
+def network_to_dot(
+    network: Network,
+    graph_name: Optional[str] = None,
+    include_external: bool = True,
+) -> str:
+    """Render a network as DOT (the Fig. 1 / Fig. 7 drawing)."""
+    lines: List[str] = [f"digraph {_quote(graph_name or network.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [fontsize=10];")
+
+    for name, proc in network.processes.items():
+        shape = "ellipse" if proc.is_sporadic else "box"
+        style = "dashed" if proc.is_sporadic else "solid"
+        lines.append(
+            f"  {_quote(name)} [label={_quote(_process_label(network, name))}, "
+            f"shape={shape}, style={style}];"
+        )
+
+    channel_pairs = set()
+    for c in network.channels.values():
+        style = "solid" if c.kind is ChannelKind.FIFO else "dashed"
+        channel_pairs.add(c.endpoints)
+        lines.append(
+            f"  {_quote(c.writer)} -> {_quote(c.reader)} "
+            f"[label={_quote(c.name)}, style={style}, fontsize=8];"
+        )
+
+    for hi, lo in sorted(network.priorities):
+        if (hi, lo) in channel_pairs or (lo, hi) in channel_pairs:
+            continue  # priority implied alongside a drawn channel
+        lines.append(
+            f"  {_quote(hi)} -> {_quote(lo)} "
+            f"[style=dotted, color=gray, arrowhead=open];"
+        )
+
+    if include_external:
+        for name, spec in network.external_inputs.items():
+            node = f"ext_in_{name}"
+            lines.append(
+                f"  {_quote(node)} [label={_quote(name)}, shape=plaintext];"
+            )
+            lines.append(f"  {_quote(node)} -> {_quote(spec.owner)} [color=blue];")
+        for name, spec in network.external_outputs.items():
+            node = f"ext_out_{name}"
+            lines.append(
+                f"  {_quote(node)} [label={_quote(name)}, shape=plaintext];"
+            )
+            lines.append(f"  {_quote(spec.owner)} -> {_quote(node)} [color=blue];")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def task_graph_to_dot(
+    graph: TaskGraph, graph_name: str = "taskgraph"
+) -> str:
+    """Render a task graph as DOT (the Fig. 3 drawing)."""
+    lines: List[str] = [f"digraph {_quote(graph_name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [fontsize=10];")
+    for job in graph.jobs:
+        label = (
+            f"{job.name}\\n({time_str(job.arrival)},"
+            f"{time_str(job.deadline)},{time_str(job.wcet)})"
+        )
+        shape = "box" if job.is_server else "ellipse"
+        lines.append(f"  {_quote(job.name)} [label={_quote(label)}, shape={shape}];")
+    for i, j in graph.edges():
+        lines.append(
+            f"  {_quote(graph.jobs[i].name)} -> {_quote(graph.jobs[j].name)};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(text: str, path: str) -> None:
+    """Write DOT text to *path* (convenience for examples/benchmarks)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")

@@ -1,0 +1,259 @@
+"""JSON-dict interchange for task graphs, schedules and network topologies.
+
+The authors' toolchain [10] passes artifacts between a compiler, a
+scheduler and a runtime as files; this module provides the equivalent
+interchange layer so the compile-time flow can be split across tools or
+stored next to experiment results:
+
+* task graphs and static schedules round-trip **losslessly** (rational
+  times are serialised as ``"num/den"`` strings);
+* networks are serialised **structurally** (processes, generators,
+  channels, priorities, external channels).  Behaviours are code, so
+  deserialisation takes a *kernel registry* mapping process names to
+  kernels — unknown names get no-op kernels, which is sufficient for every
+  scheduling-side use.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..core.channels import ChannelKind
+from ..core.network import Network
+from ..core.process import JobContext
+from ..core.timebase import Time, as_time
+from ..errors import FPPNError
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.jobs import Job
+from ..scheduling.schedule import ScheduledJob, StaticSchedule
+
+FORMAT_VERSION = 1
+
+
+class FormatError(FPPNError):
+    """A serialized artifact is malformed or has an unsupported version."""
+
+
+def _time_out(t: Optional[Time]) -> Optional[str]:
+    if t is None:
+        return None
+    return f"{t.numerator}/{t.denominator}"
+
+
+def _time_in(value: Any, what: str) -> Time:
+    try:
+        return as_time(value)
+    except (TypeError, ValueError) as exc:
+        raise FormatError(f"bad time value for {what}: {value!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# task graphs
+# ---------------------------------------------------------------------------
+def task_graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Lossless dict form of a task graph."""
+    return {
+        "format": "fppn-taskgraph",
+        "version": FORMAT_VERSION,
+        "hyperperiod": _time_out(graph.hyperperiod),
+        "jobs": [
+            {
+                "process": j.process,
+                "k": j.k,
+                "arrival": _time_out(j.arrival),
+                "deadline": _time_out(j.deadline),
+                "wcet": _time_out(j.wcet),
+                "is_server": j.is_server,
+                "subset_index": j.subset_index,
+                "slot": j.slot,
+            }
+            for j in graph.jobs
+        ],
+        "edges": [list(e) for e in graph.edges()],
+    }
+
+
+def task_graph_from_dict(data: Mapping[str, Any]) -> TaskGraph:
+    """Inverse of :func:`task_graph_to_dict`."""
+    _check_header(data, "fppn-taskgraph")
+    jobs = []
+    for i, row in enumerate(data.get("jobs", [])):
+        try:
+            jobs.append(
+                Job(
+                    process=row["process"],
+                    k=int(row["k"]),
+                    arrival=_time_in(row["arrival"], f"job {i} arrival"),
+                    deadline=_time_in(row["deadline"], f"job {i} deadline"),
+                    wcet=_time_in(row["wcet"], f"job {i} wcet"),
+                    is_server=bool(row.get("is_server", False)),
+                    subset_index=row.get("subset_index"),
+                    slot=row.get("slot"),
+                )
+            )
+        except KeyError as exc:
+            raise FormatError(f"job {i} missing field {exc}") from exc
+    hyper = data.get("hyperperiod")
+    edges = [tuple(e) for e in data.get("edges", [])]
+    return TaskGraph(
+        jobs, edges,
+        None if hyper is None else _time_in(hyper, "hyperperiod"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# schedules
+# ---------------------------------------------------------------------------
+def schedule_to_dict(schedule: StaticSchedule) -> Dict[str, Any]:
+    """Lossless dict form of a static schedule (references jobs by name)."""
+    return {
+        "format": "fppn-schedule",
+        "version": FORMAT_VERSION,
+        "processors": schedule.processors,
+        "graph": task_graph_to_dict(schedule.graph),
+        "entries": [
+            {
+                "job": schedule.graph.jobs[e.job_index].name,
+                "processor": e.processor,
+                "start": _time_out(e.start),
+            }
+            for e in schedule.entries
+        ],
+    }
+
+
+def schedule_from_dict(data: Mapping[str, Any]) -> StaticSchedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    _check_header(data, "fppn-schedule")
+    graph = task_graph_from_dict(data["graph"])
+    entries = []
+    for row in data.get("entries", []):
+        entries.append(
+            ScheduledJob(
+                graph.index_of(row["job"]),
+                int(row["processor"]),
+                _time_in(row["start"], f"start of {row['job']}"),
+            )
+        )
+    return StaticSchedule(graph, int(data["processors"]), entries)
+
+
+# ---------------------------------------------------------------------------
+# networks (structural)
+# ---------------------------------------------------------------------------
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Structural dict form of a network (behaviours are not serialised)."""
+    processes = []
+    for name, proc in network.processes.items():
+        gen = proc.generator
+        processes.append(
+            {
+                "name": name,
+                "sporadic": proc.is_sporadic,
+                "period": _time_out(gen.period),
+                "deadline": _time_out(gen.deadline),
+                "burst": gen.burst,
+                "offset": _time_out(getattr(gen, "offset", Fraction(0)))
+                if not proc.is_sporadic else None,
+            }
+        )
+    return {
+        "format": "fppn-network",
+        "version": FORMAT_VERSION,
+        "name": network.name,
+        "processes": processes,
+        "channels": [
+            {
+                "name": c.name,
+                "kind": c.kind.value,
+                "writer": c.writer,
+                "reader": c.reader,
+            }
+            for c in network.channels.values()
+        ],
+        "priorities": sorted(list(p) for p in network.priorities),
+        "external_inputs": [
+            {"name": n, "owner": s.owner} for n, s in network.external_inputs.items()
+        ],
+        "external_outputs": [
+            {"name": n, "owner": s.owner} for n, s in network.external_outputs.items()
+        ],
+    }
+
+
+KernelRegistry = Mapping[str, Callable[[JobContext], None]]
+
+
+def network_from_dict(
+    data: Mapping[str, Any],
+    kernels: Optional[KernelRegistry] = None,
+) -> Network:
+    """Rebuild a network from its structural dict.
+
+    *kernels* maps process names to kernel callables; processes without an
+    entry get a no-op kernel (adequate for derivation/scheduling, which
+    never execute behaviours).
+    """
+    _check_header(data, "fppn-network")
+    kernels = kernels or {}
+    net = Network(data.get("name", "network"))
+    for row in data.get("processes", []):
+        name = row["name"]
+        kernel = kernels.get(name)
+        if row.get("sporadic"):
+            net.add_sporadic(
+                name,
+                min_period=_time_in(row["period"], f"{name} period"),
+                deadline=_time_in(row["deadline"], f"{name} deadline"),
+                burst=int(row.get("burst", 1)),
+                kernel=kernel,
+            )
+        else:
+            net.add_periodic(
+                name,
+                period=_time_in(row["period"], f"{name} period"),
+                deadline=_time_in(row["deadline"], f"{name} deadline"),
+                burst=int(row.get("burst", 1)),
+                offset=_time_in(row.get("offset") or 0, f"{name} offset"),
+                kernel=kernel,
+            )
+    for row in data.get("channels", []):
+        net.connect(
+            row["writer"], row["reader"], row["name"],
+            kind=ChannelKind(row["kind"]),
+        )
+    for hi, lo in data.get("priorities", []):
+        net.add_priority(hi, lo)
+    for row in data.get("external_inputs", []):
+        net.add_external_input(row["owner"], row["name"])
+    for row in data.get("external_outputs", []):
+        net.add_external_output(row["owner"], row["name"])
+    return net
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+def save_json(data: Mapping[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _check_header(data: Mapping[str, Any], expected: str) -> None:
+    fmt = data.get("format")
+    if fmt != expected:
+        raise FormatError(f"expected format {expected!r}, got {fmt!r}")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported {expected} version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )

@@ -1,0 +1,50 @@
+"""Online static-order policy and multiprocessor runtime simulation."""
+
+from .executor import (
+    JobRecord,
+    MultiprocessorExecutor,
+    RuntimeResult,
+    jittered_execution,
+    run_static_order,
+    wcet_execution,
+)
+from .gantt import runtime_gantt, schedule_gantt
+from .metrics import (
+    MissSummary,
+    frame_makespans,
+    jobs_of_process,
+    miss_summary,
+    processor_utilization,
+    response_times,
+)
+from .overheads import OverheadModel
+from .static_order import (
+    ArrivalBinding,
+    BoundArrival,
+    FramePlan,
+    PlannedJob,
+    served_horizon,
+)
+
+__all__ = [
+    "JobRecord",
+    "MultiprocessorExecutor",
+    "RuntimeResult",
+    "jittered_execution",
+    "run_static_order",
+    "wcet_execution",
+    "runtime_gantt",
+    "schedule_gantt",
+    "MissSummary",
+    "frame_makespans",
+    "jobs_of_process",
+    "miss_summary",
+    "processor_utilization",
+    "response_times",
+    "OverheadModel",
+    "ArrivalBinding",
+    "BoundArrival",
+    "FramePlan",
+    "PlannedJob",
+    "served_horizon",
+]

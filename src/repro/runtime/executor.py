@@ -1,0 +1,383 @@
+"""Multiprocessor runtime simulator executing the static-order policy.
+
+This is the library's substitute for the paper's MPPA/Linux runtime
+(Section V): a deterministic discrete-event simulation of ``M`` processors
+executing the frame-periodic static-order policy of Section IV, including:
+
+* invocation synchronisation (periodic invocations, early/absent sporadic
+  invocations with false-job marking),
+* precedence synchronisation against task-graph predecessors,
+* per-processor mutual exclusion in static-schedule order,
+* the frame-arrival overhead model of Section V-A,
+* actual execution times that may differ from WCETs (jitter injection) —
+  the policy must stay correct because it synchronises instead of trusting
+  the static start times (Prop. 4.1).
+
+Timing and data are computed in two phases:
+
+1. **Timing phase** — per frame, job starts/ends are resolved in a
+   topological pass over the combined DAG (precedence edges + per-processor
+   chains + invocation floors).  The combined relation is acyclic because a
+   feasible static schedule orders both edge kinds by start time.
+2. **Data phase** — the kernels of all *true* jobs run in ``(start, frame,
+   <J index)`` order against fresh channel states.  Jobs sharing a channel
+   can never overlap (they are precedence-ordered and the policy enforces
+   it), so atomic-at-start execution reproduces the real interleaving; the
+   resulting channel write sequences are the Prop. 2.1 observable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import RuntimeModelError
+from ..core.channels import ChannelState, ExternalOutputState
+from ..core.invocations import Stimulus
+from ..core.network import Network
+from ..core.process import JobContext
+from ..core.timebase import Time, TimeLike, as_positive_time, as_time
+from ..core.trace import JobEnd, JobStart, Trace
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.jobs import Job
+from ..scheduling.schedule import StaticSchedule
+from .overheads import OverheadModel
+from .static_order import ArrivalBinding, FramePlan
+
+ExecutionTimeSpec = Union[
+    None,
+    Mapping[str, TimeLike],
+    Callable[[Job, int], TimeLike],
+]
+
+
+def wcet_execution(job: Job, frame: int) -> Time:
+    """The default execution-time model: every job takes exactly its WCET."""
+    return job.wcet
+
+
+def jittered_execution(
+    seed: int, low_fraction: float = 0.5
+) -> Callable[[Job, int], Time]:
+    """Deterministic pseudo-random execution times in ``[low*C, C]``.
+
+    The sample depends only on ``(seed, process, k, frame)``, so repeated
+    runs with the same seed are identical — which the determinism tests rely
+    on when comparing *different schedules* under the *same* jitter.
+    """
+    if not 0 < low_fraction <= 1:
+        raise ValueError("low_fraction must be in (0, 1]")
+
+    def sample(job: Job, frame: int) -> Time:
+        rng = random.Random(f"{seed}/{job.process}/{job.k}/{frame}")
+        frac = low_fraction + (1 - low_fraction) * rng.random()
+        # keep it rational with millisecond-ish resolution
+        scaled = int(frac * 10_000)
+        return job.wcet * scaled / 10_000
+
+    return sample
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Timing record of one job instance (one job in one frame)."""
+
+    process: str
+    frame: int
+    k_frame: int        # invocation count within the frame (graph job's k)
+    global_k: int       # invocation count over the whole run
+    processor: int
+    release: Time       # real release: invocation time (arrival for sporadic)
+    start: Time
+    end: Time
+    deadline: Time      # real absolute deadline: release + dp
+    is_false: bool
+    is_server: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.process}[{self.global_k}]"
+
+    @property
+    def missed(self) -> bool:
+        """Deadline miss — false jobs never miss (they do not execute)."""
+        return not self.is_false and self.end > self.deadline
+
+    @property
+    def response_time(self) -> Time:
+        return self.end - self.release
+
+
+@dataclass
+class RuntimeResult:
+    """Everything observable from one simulated run."""
+
+    network_name: str
+    frames: int
+    hyperperiod: Time
+    processors: int
+    records: List[JobRecord]
+    channel_logs: Dict[str, List[Any]]
+    external_outputs: Dict[str, List[Tuple[int, Any]]]
+    trace: Trace
+    overhead_intervals: List[Tuple[int, Time, Time]] = field(default_factory=list)
+
+    def observable(self) -> Dict[str, Any]:
+        """Canonical determinism observable (same shape as zero-delay runs)."""
+        return {
+            "channels": {k: list(v) for k, v in sorted(self.channel_logs.items())},
+            "outputs": {k: list(v) for k, v in sorted(self.external_outputs.items())},
+        }
+
+    def misses(self) -> List[JobRecord]:
+        return [r for r in self.records if r.missed]
+
+    def executed(self) -> List[JobRecord]:
+        return [r for r in self.records if not r.is_false]
+
+    def false_jobs(self) -> List[JobRecord]:
+        return [r for r in self.records if r.is_false]
+
+    def makespan(self) -> Time:
+        return max((r.end for r in self.records), default=Time(0))
+
+    def max_response_time(self, process: Optional[str] = None) -> Time:
+        candidates = [
+            r.response_time
+            for r in self.executed()
+            if process is None or r.process == process
+        ]
+        return max(candidates, default=Time(0))
+
+
+class MultiprocessorExecutor:
+    """Simulates the static-order policy for a network + static schedule."""
+
+    def __init__(
+        self,
+        network: Network,
+        schedule: StaticSchedule,
+        overheads: Optional[OverheadModel] = None,
+    ) -> None:
+        network.validate_taskgraph_subclass()
+        if schedule.graph.hyperperiod is None:
+            raise RuntimeModelError("schedule's task graph has no hyperperiod")
+        self.network = network
+        self.schedule = schedule
+        self.plan = FramePlan.from_schedule(schedule)
+        self.overheads = overheads or OverheadModel.none()
+        self.graph: TaskGraph = schedule.graph
+        self.hyperperiod: Time = schedule.graph.hyperperiod
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_frames: int,
+        stimulus: Optional[Stimulus] = None,
+        execution_time: ExecutionTimeSpec = None,
+    ) -> RuntimeResult:
+        """Simulate ``n_frames`` frames of the static-order policy."""
+        if n_frames < 1:
+            raise RuntimeModelError("n_frames must be >= 1")
+        stimulus = stimulus or Stimulus()
+        stimulus.validate(self.network)
+        exec_of = self._resolve_execution_time(execution_time)
+        binding = ArrivalBinding(self.network, self.hyperperiod, n_frames, stimulus)
+        per_frame_counts = self.plan.per_process_count()
+
+        records: List[JobRecord] = []
+        instance_order: List[Tuple[Time, int, int]] = []  # (start, frame, job idx)
+        # per-processor completion time of the previous round (chain state)
+        chain_end: List[Time] = [Time(0)] * self.plan.processors
+        # per (frame, job index) end times for precedence sync
+        ends: Dict[Tuple[int, int], Time] = {}
+        record_at: Dict[Tuple[int, int], JobRecord] = {}
+        overhead_intervals: List[Tuple[int, Time, Time]] = []
+
+        topo = self._frame_topological_order()
+
+        for frame in range(n_frames):
+            base = self.hyperperiod * frame
+            ov = self.overheads.frame_arrival(frame)
+            if ov > 0:
+                overhead_intervals.append((frame, base, base + ov))
+            floor = base + ov
+            for job_idx in topo:
+                job = self.graph.jobs[job_idx]
+                proc = self.plan.processor_of(job_idx)
+                visible, release, deadline, is_false, global_k = self._invocation(
+                    job, frame, base, floor, binding, per_frame_counts
+                )
+                start = max(visible, chain_end[proc])
+                for p in self.graph.predecessors(job_idx):
+                    start = max(start, ends[(frame, p)])
+                duration = Time(0)
+                if not is_false:
+                    duration = exec_of(job, frame) + self.overheads.per_job
+                end = start + duration
+                chain_end[proc] = end
+                ends[(frame, job_idx)] = end
+                rec = JobRecord(
+                    process=job.process,
+                    frame=frame,
+                    k_frame=job.k,
+                    global_k=global_k,
+                    processor=proc,
+                    release=release,
+                    start=start,
+                    end=end,
+                    deadline=deadline,
+                    is_false=is_false,
+                    is_server=job.is_server,
+                )
+                records.append(rec)
+                record_at[(frame, job_idx)] = rec
+                if not is_false:
+                    instance_order.append((start, frame, job_idx))
+
+        channel_logs, external_outputs, trace = self._data_phase(
+            sorted(instance_order), record_at, stimulus
+        )
+        return RuntimeResult(
+            network_name=self.network.name,
+            frames=n_frames,
+            hyperperiod=self.hyperperiod,
+            processors=self.plan.processors,
+            records=records,
+            channel_logs=channel_logs,
+            external_outputs=external_outputs,
+            trace=trace,
+            overhead_intervals=overhead_intervals,
+        )
+
+    # ------------------------------------------------------------------
+    def _frame_topological_order(self) -> List[int]:
+        """Job indices ordered by (static start, index).
+
+        For a feasible schedule this order is topological for the union of
+        precedence edges and per-processor chains, so a single pass resolves
+        all timing dependencies within a frame.
+        """
+        return sorted(
+            range(len(self.graph)),
+            key=lambda i: (self.schedule.start(i), i),
+        )
+
+    def _invocation(
+        self,
+        job: Job,
+        frame: int,
+        base: Time,
+        floor: Time,
+        binding: ArrivalBinding,
+        per_frame_counts: Mapping[str, int],
+    ) -> Tuple[Time, Time, Time, bool, int]:
+        """Resolve a job instance's invocation.
+
+        Returns ``(visible, release, deadline, is_false, global_k)`` where
+        *visible* is when Synchronize-Invocation completes, *release* the
+        real invocation time used for response-time accounting and
+        *deadline* the real absolute deadline ``release + dp``.
+        """
+        process = self.network.processes[job.process]
+        if job.is_server:
+            bound = binding.lookup(
+                job.process, frame, job.subset_index, job.slot
+            )
+            if bound is None:
+                nominal = base + job.arrival
+                return (max(nominal, floor), nominal, nominal + process.deadline,
+                        True, frame * per_frame_counts[job.process] + job.k)
+            visible = max(bound.time, floor, base)
+            return (visible, bound.time, bound.time + process.deadline,
+                    False, bound.global_k)
+        nominal = base + job.arrival
+        return (
+            max(nominal, floor),
+            nominal,
+            nominal + process.deadline,
+            False,
+            frame * per_frame_counts[job.process] + job.k,
+        )
+
+    def _resolve_execution_time(
+        self, spec: ExecutionTimeSpec
+    ) -> Callable[[Job, int], Time]:
+        if spec is None:
+            return wcet_execution
+        if callable(spec):
+            def from_callable(job: Job, frame: int) -> Time:
+                return as_time(spec(job, frame))
+            return from_callable
+        table = {
+            name: as_positive_time(value, f"execution time of {name!r}")
+            for name, value in spec.items()
+        }
+        missing = sorted(
+            {j.process for j in self.graph.jobs} - set(table)
+        )
+        if missing:
+            raise RuntimeModelError(f"missing execution time for {missing!r}")
+
+        def from_table(job: Job, frame: int) -> Time:
+            return table[job.process]
+
+        return from_table
+
+    # ------------------------------------------------------------------
+    def _data_phase(
+        self,
+        order: List[Tuple[Time, int, int]],
+        record_at: Dict[Tuple[int, int], JobRecord],
+        stimulus: Stimulus,
+    ) -> Tuple[Dict[str, List[Any]], Dict[str, List[Tuple[int, Any]]], Trace]:
+        channel_states: Dict[str, ChannelState] = {
+            name: spec.new_state() for name, spec in self.network.channels.items()
+        }
+        variables: Dict[str, Dict[str, Any]] = {
+            name: proc.fresh_variables()
+            for name, proc in self.network.processes.items()
+        }
+        ext_out: Dict[str, ExternalOutputState] = {
+            name: ExternalOutputState(spec)
+            for name, spec in self.network.external_outputs.items()
+        }
+        trace = Trace()
+        for _start, frame, job_idx in order:
+            rec = record_at[(frame, job_idx)]
+            proc = self.network.processes[rec.process]
+            ctx = JobContext(
+                process=rec.process,
+                k=rec.global_k,
+                now=rec.release,
+                variables=variables[rec.process],
+                inputs={n: channel_states[n] for n in proc.inputs},
+                outputs={n: channel_states[n] for n in proc.outputs},
+                external_inputs={
+                    n: stimulus.samples_for(n) for n in proc.external_inputs
+                },
+                external_outputs={n: ext_out[n] for n in proc.external_outputs},
+                trace=trace,
+            )
+            trace.append(JobStart(rec.process, rec.global_k))
+            proc.behavior.run_job(ctx)
+            trace.append(JobEnd(rec.process, rec.global_k))
+        return (
+            {n: list(s.write_log) for n, s in channel_states.items()},
+            {n: s.as_sequence() for n, s in ext_out.items()},
+            trace,
+        )
+
+
+def run_static_order(
+    network: Network,
+    schedule: StaticSchedule,
+    n_frames: int,
+    stimulus: Optional[Stimulus] = None,
+    execution_time: ExecutionTimeSpec = None,
+    overheads: Optional[OverheadModel] = None,
+) -> RuntimeResult:
+    """One-call convenience wrapper around :class:`MultiprocessorExecutor`."""
+    executor = MultiprocessorExecutor(network, schedule, overheads)
+    return executor.run(n_frames, stimulus, execution_time)

@@ -1,0 +1,97 @@
+"""ASCII Gantt charts of schedules and runtime traces (Figs. 4 and 6).
+
+Two renderers:
+
+* :func:`schedule_gantt` — a static schedule's frame, one row per processor
+  (the Fig. 4 view);
+* :func:`runtime_gantt` — a simulated run's records, one row per processor
+  plus a ``runtime`` row showing frame-arrival overhead intervals (the
+  Fig. 6 view).
+
+The renderers are deliberately plain-text so benchmark output embeds them
+directly in reports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.timebase import Time, time_str
+from ..scheduling.schedule import StaticSchedule
+from .executor import RuntimeResult
+
+Bar = Tuple[Time, Time, str]  # (start, end, label)
+
+
+def _render_rows(
+    rows: Sequence[Tuple[str, Sequence[Bar]]],
+    t_end: Time,
+    width: int,
+) -> str:
+    """Shared fixed-width renderer: each row is scaled onto *width* columns."""
+    if t_end <= 0:
+        t_end = Time(1)
+    lines: List[str] = []
+    label_w = max((len(name) for name, _ in rows), default=4)
+    scale = Fraction(width, 1) / t_end
+
+    for name, bars in rows:
+        canvas = [" "] * width
+        for start, end, label in sorted(bars):
+            c0 = int(start * scale)
+            c1 = max(c0 + 1, int(end * scale))
+            c1 = min(c1, width)
+            for c in range(c0, c1):
+                canvas[c] = "="
+            text = label[: max(0, c1 - c0)]
+            for i, ch in enumerate(text):
+                if c0 + i < width:
+                    canvas[c0 + i] = ch
+        lines.append(f"{name.rjust(label_w)} |{''.join(canvas)}|")
+
+    axis = f"{' ' * label_w} 0{' ' * (width - len(time_str(t_end)) - 1)}{time_str(t_end)}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def schedule_gantt(schedule: StaticSchedule, width: int = 72) -> str:
+    """Render one frame of a static schedule (Fig. 4 style)."""
+    rows: List[Tuple[str, List[Bar]]] = []
+    for m in range(schedule.processors):
+        bars: List[Bar] = []
+        for i in schedule.processor_order(m):
+            job = schedule.graph.jobs[i]
+            bars.append((schedule.start(i), schedule.end(i), job.name))
+        rows.append((f"M{m + 1}", bars))
+    horizon = schedule.graph.hyperperiod or schedule.makespan()
+    return _render_rows(rows, max(horizon, schedule.makespan()), width)
+
+
+def runtime_gantt(
+    result: RuntimeResult,
+    frames: Optional[int] = None,
+    width: int = 96,
+) -> str:
+    """Render a simulated run (Fig. 6 style), including the runtime row."""
+    limit = result.hyperperiod * (frames if frames is not None else result.frames)
+    rows: List[Tuple[str, List[Bar]]] = []
+    for m in range(result.processors):
+        bars = [
+            (r.start, r.end, r.name)
+            for r in result.records
+            if r.processor == m and not r.is_false and r.start < limit
+        ]
+        rows.append((f"M{m + 1}", bars))
+    runtime_bars: List[Bar] = [
+        (start, end, "rt")
+        for _frame, start, end in result.overhead_intervals
+        if start < limit
+    ]
+    if runtime_bars:
+        rows.append(("runtime", runtime_bars))
+    t_end = max(
+        [limit]
+        + [r.end for r in result.records if not r.is_false and r.start < limit]
+    )
+    return _render_rows(rows, t_end, width)

@@ -1,0 +1,212 @@
+"""The online static-order policy: frame plan and sporadic-arrival binding.
+
+Section IV: the online policy repeats the static schedule's frame with
+period ``H``.  Jobs are bound to processors by the static mapping ``μi``;
+on each processor, *only the order* of the static start times ``si`` is kept
+(start times themselves are not robust against WCET estimation error).  Each
+round on a processor:
+
+1. **Synchronize Invocation** — wait for the invocation corresponding to the
+   current job; for a sporadic (server) job the invocation may come at
+   ``Ai``, earlier, or never — in which case the job is marked **false** at
+   time ``Ai``;
+2. **Synchronize Precedence** — wait for all task-graph predecessors mapped
+   to other processors;
+3. **Execute** — unless marked false.
+
+This module computes the *frame plan* (per-processor static orders plus
+per-job metadata the executor needs) and implements the binding of real
+sporadic arrivals to server-job slots, including the boundary rule: a real
+job arriving exactly at a window boundary ``b`` belongs to the window ending
+at ``b`` iff ``p -> u(p)`` (window ``(a, b]``), else to the next window
+(window ``[a, b)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import RuntimeModelError
+from ..core.invocations import Stimulus
+from ..core.network import Network
+from ..core.timebase import Time, TimeLike, as_positive_time
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.servers import ServerSpec, transform
+from ..scheduling.schedule import StaticSchedule
+
+
+@dataclass(frozen=True)
+class BoundArrival:
+    """One real sporadic arrival bound to a server-job slot.
+
+    ``global_k`` is the arrival's 1-based index over the whole run — the
+    invocation count the zero-delay semantics would use, so runtime and
+    reference executions agree on sample indices.
+    """
+
+    process: str
+    time: Time
+    global_k: int
+    frame: int
+    subset: int
+    slot: int
+
+
+class ArrivalBinding:
+    """Maps every real sporadic arrival to ``(frame, subset, slot)``.
+
+    The binding is a pure function of the arrival trace and the server
+    specs — independent of scheduling — which is what makes the policy
+    deterministic (Prop. 4.1).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        hyperperiod: Time,
+        n_frames: int,
+        stimulus: Stimulus,
+    ) -> None:
+        if n_frames < 1:
+            raise RuntimeModelError("need at least one frame")
+        pn = transform(network)
+        self.hyperperiod = hyperperiod
+        self.n_frames = n_frames
+        self._slots: Dict[Tuple[str, int, int, int], BoundArrival] = {}
+        self._dropped: List[BoundArrival] = []
+        for name, spec in pn.servers.items():
+            arrivals = stimulus.arrivals_for(name)
+            self._bind_process(name, spec, arrivals)
+
+    # ------------------------------------------------------------------
+    def _bind_process(
+        self, name: str, spec: ServerSpec, arrivals: Sequence[Time]
+    ) -> None:
+        horizon = self.hyperperiod * self.n_frames
+        per_window: Dict[Tuple[int, int], List[BoundArrival]] = {}
+        for global_k, t in enumerate(sorted(arrivals), start=1):
+            frame, subset = self._window_of(spec, t)
+            bound = BoundArrival(name, t, global_k, frame, subset, slot=0)
+            if frame >= self.n_frames or t >= horizon:
+                self._dropped.append(bound)
+                continue
+            per_window.setdefault((frame, subset), []).append(bound)
+        for (frame, subset), items in per_window.items():
+            if len(items) > spec.burst:
+                raise RuntimeModelError(
+                    f"{len(items)} arrivals of {name!r} bound to one server "
+                    f"window but burst size is {spec.burst} — the arrival "
+                    "trace violates the sporadic constraint"
+                )
+            for slot, bound in enumerate(sorted(items, key=lambda b: (b.time, b.global_k)), 1):
+                key = (name, frame, subset, slot)
+                self._slots[key] = BoundArrival(
+                    name, bound.time, bound.global_k, frame, subset, slot
+                )
+
+    def _window_of(self, spec: ServerSpec, t: Time) -> Tuple[int, int]:
+        """The (frame, subset) whose window contains arrival time *t*."""
+        T = spec.period
+        q = t / T
+        if spec.boundary_closed_right:
+            # window (b - T, b]: b is the smallest multiple of T with b >= t,
+            # except t == multiple keeps b = t.
+            b_index = q.numerator // q.denominator  # floor
+            if b_index * T < t:
+                b_index += 1
+        else:
+            # window [b - T, b): b is the smallest multiple strictly > t.
+            b_index = q.numerator // q.denominator + 1
+        b = b_index * T
+        frame_ratio = b / self.hyperperiod
+        frame = frame_ratio.numerator // frame_ratio.denominator
+        offset = b - frame * self.hyperperiod
+        subset_ratio = offset / T
+        subset = subset_ratio.numerator // subset_ratio.denominator + 1
+        return frame, subset
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, process: str, frame: int, subset: int, slot: int
+    ) -> Optional[BoundArrival]:
+        """The real arrival served by a server-job slot, or ``None`` (false job)."""
+        return self._slots.get((process, frame, subset, slot))
+
+    def dropped(self) -> List[BoundArrival]:
+        """Arrivals beyond the simulated horizon (not served by any frame)."""
+        return list(self._dropped)
+
+    def served(self) -> List[BoundArrival]:
+        """All bound arrivals, ordered by ``global_k`` per process."""
+        return sorted(self._slots.values(), key=lambda b: (b.process, b.global_k))
+
+
+def served_horizon(network: Network, hyperperiod: Time, n_frames: int) -> Time:
+    """Latest time up to which every sporadic arrival is served in-frame.
+
+    A finite simulation of ``n_frames`` frames serves, for each sporadic
+    process, only the server windows whose subset arrives within the
+    simulated frames; the last subset of the last frame arrives at
+    ``n_frames*H - T'`` and serves the window ending there.  Arrivals later
+    than that are deferred to unsimulated frames (the runtime would handle
+    them in frame ``n_frames``), so equivalence comparisons against the
+    zero-delay semantics must truncate stimuli at this horizon.
+
+    Returns ``n_frames * H`` when the network has no sporadic processes.
+    """
+    if n_frames < 1:
+        raise RuntimeModelError("need at least one frame")
+    pn = transform(network)
+    horizon = hyperperiod * n_frames
+    if not pn.servers:
+        return horizon
+    margin = max(spec.period for spec in pn.servers.values())
+    return horizon - margin
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """Executor-facing record of one static-schedule entry."""
+
+    job_index: int          # index into the task graph's job list
+    processor: int
+    static_start: Time      # si — used for ordering only, never for timing
+
+
+@dataclass
+class FramePlan:
+    """Per-processor static orders plus job metadata for the executor."""
+
+    graph: TaskGraph
+    schedule: StaticSchedule
+    orders: List[List[PlannedJob]] = field(default_factory=list)
+
+    @classmethod
+    def from_schedule(cls, schedule: StaticSchedule) -> "FramePlan":
+        graph = schedule.graph
+        orders: List[List[PlannedJob]] = []
+        for m in range(schedule.processors):
+            row = [
+                PlannedJob(i, m, schedule.start(i))
+                for i in schedule.processor_order(m)
+            ]
+            orders.append(row)
+        return cls(graph, schedule, orders)
+
+    @property
+    def processors(self) -> int:
+        return self.schedule.processors
+
+    def processor_of(self, job_index: int) -> int:
+        return self.schedule.mapping(job_index)
+
+    def jobs_per_frame(self) -> int:
+        return len(self.graph)
+
+    def per_process_count(self) -> Dict[str, int]:
+        """Jobs per process per frame (to compute global invocation counts)."""
+        counts: Dict[str, int] = {}
+        for job in self.graph.jobs:
+            counts[job.process] = counts.get(job.process, 0) + 1
+        return counts

@@ -1,0 +1,145 @@
+"""Compile-time list scheduling (Section III-B).
+
+Non-preemptive scheduling of a task graph on ``M`` identical processors.
+Given a schedule priority ``SP``, list scheduling *"consists of a simple
+simulation of the fixed-priority policy using the updated definition of
+ready jobs"*: a job is ready at time ``t`` iff
+
+* it has arrived (``Ai <= t``),
+* it has not completed, and
+* all its predecessors have completed (``∀j ∈ Pred(i): ej <= t``).
+
+At every decision instant the scheduler dispatches the highest-SP ready job
+onto a free processor; when nothing can be dispatched, time advances to the
+next arrival or completion.  The construction never inserts idle time except
+when forced — the classic work-conserving list schedule.
+
+The produced :class:`~repro.scheduling.schedule.StaticSchedule` may violate
+deadlines; callers check :meth:`is_feasible` (a miss means the SP heuristic
+was suboptimal — try another one via the portfolio optimizer).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence
+
+from ..errors import SchedulingError
+from ..core.timebase import Time
+from ..taskgraph.graph import TaskGraph
+from .priorities import get_heuristic
+from .schedule import ScheduledJob, StaticSchedule
+
+
+def list_schedule(
+    graph: TaskGraph,
+    processors: int,
+    priority: "str | Sequence[int]" = "alap",
+) -> StaticSchedule:
+    """Construct a static schedule by priority-driven list scheduling.
+
+    Parameters
+    ----------
+    graph:
+        The task graph (jobs in ``<J`` topological order).
+    processors:
+        Number ``M`` of identical processors.
+    priority:
+        Either the name of a registered SP heuristic or an explicit rank
+        list (``rank[i]`` = position of job *i*, 0 = highest priority).
+
+    Returns
+    -------
+    StaticSchedule
+        A complete schedule respecting arrivals, precedences and mutual
+        exclusion by construction.  Deadlines are *not* enforced during
+        construction (check feasibility afterwards).
+    """
+    if processors < 1:
+        raise SchedulingError("list_schedule needs at least one processor")
+    n = len(graph)
+    ranks = _resolve_priority(graph, priority)
+
+    remaining_preds = [len(graph.predecessors(i)) for i in range(n)]
+    completed = [False] * n
+    end_time: List[Optional[Time]] = [None] * n
+    entries: List[ScheduledJob] = []
+
+    # Jobs not yet arrived, as a heap keyed by arrival.
+    arrivals = [(graph.jobs[i].arrival, ranks[i], i) for i in range(n)]
+    heapq.heapify(arrivals)
+    # Ready set: arrived and precedence-free, keyed by SP rank.
+    ready: List = []
+    # Running jobs: (end, processor, job)
+    running: List = []
+    # Free processors (min-heap of ids for deterministic assignment).
+    free = list(range(processors))
+    heapq.heapify(free)
+    # Arrived but blocked on predecessors.
+    blocked: List[int] = []
+
+    now = Time(0)
+    scheduled = 0
+    while scheduled < n:
+        # Admit arrivals at 'now'.
+        while arrivals and arrivals[0][0] <= now:
+            _, rank, i = heapq.heappop(arrivals)
+            if remaining_preds[i] == 0:
+                heapq.heappush(ready, (rank, i))
+            else:
+                blocked.append(i)
+        # Dispatch while possible.
+        while ready and free:
+            rank, i = heapq.heappop(ready)
+            proc = heapq.heappop(free)
+            entries.append(ScheduledJob(i, proc, now))
+            finish = now + graph.jobs[i].wcet
+            heapq.heappush(running, (finish, proc, i))
+            scheduled += 1
+        if scheduled >= n:
+            break
+        # Advance time to the next event: completion or arrival.
+        candidates: List[Time] = []
+        if running:
+            candidates.append(running[0][0])
+        if arrivals:
+            candidates.append(arrivals[0][0])
+        if not candidates:
+            stuck = [graph.jobs[i].name for i in blocked][:5]
+            raise SchedulingError(
+                f"list scheduler deadlocked with blocked jobs {stuck!r} "
+                "(task graph has an unsatisfiable precedence structure)"
+            )
+        now = max(now, min(candidates))
+        # Retire completions at 'now' and unblock successors.
+        while running and running[0][0] <= now:
+            finish, proc, i = heapq.heappop(running)
+            completed[i] = True
+            end_time[i] = finish
+            heapq.heappush(free, proc)
+            for s in graph.successors(i):
+                remaining_preds[s] -= 1
+                if remaining_preds[s] == 0 and s in blocked:
+                    blocked.remove(s)
+                    if graph.jobs[s].arrival <= now:
+                        heapq.heappush(ready, (ranks[s], s))
+                    else:
+                        heapq.heappush(arrivals, (graph.jobs[s].arrival, ranks[s], s))
+
+    return StaticSchedule(graph, processors, entries)
+
+
+def _resolve_priority(
+    graph: TaskGraph, priority: "str | Sequence[int]"
+) -> List[int]:
+    if isinstance(priority, str):
+        return get_heuristic(priority)(graph)
+    ranks = list(priority)
+    if len(ranks) != len(graph):
+        raise SchedulingError(
+            f"priority rank list has {len(ranks)} entries for "
+            f"{len(graph)} jobs"
+        )
+    if sorted(ranks) != list(range(len(graph))):
+        raise SchedulingError("priority ranks must be a permutation of 0..n-1")
+    return ranks

@@ -1,0 +1,147 @@
+"""Heuristic portfolio and processor-count search.
+
+The paper notes that when a list schedule misses deadlines *"the selected
+schedule priority may be sub-optimal — different heuristics exist for
+optimizing [the] priority order SP"*.  This module operationalises that:
+
+* :func:`find_feasible_schedule` — run a portfolio of SP heuristics and
+  return the first feasible schedule (or raise with diagnostics from the
+  best attempt);
+* :func:`minimum_processors` — smallest ``M`` on which some portfolio
+  heuristic is feasible, starting the search at the Proposition 3.1 lower
+  bound ``ceil(Load(TG))``;
+* :func:`schedule_quality` — summary metrics used by the heuristic ablation
+  benchmark (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InfeasibleError
+from ..core.timebase import Time
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.load import task_graph_load
+from .list_scheduler import list_schedule
+from .priorities import available_heuristics
+from .schedule import StaticSchedule
+
+DEFAULT_PORTFOLIO: Tuple[str, ...] = ("alap", "blevel", "deadline", "arrival")
+
+
+@dataclass
+class Attempt:
+    """Outcome of one heuristic attempt (for diagnostics and ablations)."""
+
+    heuristic: str
+    schedule: StaticSchedule
+    violations: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.violations == 0
+
+
+def try_portfolio(
+    graph: TaskGraph,
+    processors: int,
+    heuristics: Sequence[str] = DEFAULT_PORTFOLIO,
+) -> List[Attempt]:
+    """Run every heuristic and report all attempts (no early exit)."""
+    attempts = []
+    for name in heuristics:
+        schedule = list_schedule(graph, processors, name)
+        attempts.append(Attempt(name, schedule, len(schedule.violations())))
+    return attempts
+
+
+def find_feasible_schedule(
+    graph: TaskGraph,
+    processors: int,
+    heuristics: Sequence[str] = DEFAULT_PORTFOLIO,
+) -> StaticSchedule:
+    """First feasible schedule over the heuristic portfolio.
+
+    Raises
+    ------
+    InfeasibleError
+        When no portfolio heuristic produces a feasible schedule; the error
+        carries the lowest-violation attempt's diagnostics.
+    """
+    best: Optional[Attempt] = None
+    for name in heuristics:
+        schedule = list_schedule(graph, processors, name)
+        violations = schedule.violations()
+        if not violations:
+            return schedule
+        attempt = Attempt(name, schedule, len(violations))
+        if best is None or attempt.violations < best.violations:
+            best = attempt
+    assert best is not None
+    sample = "; ".join(str(v) for v in best.schedule.violations()[:3])
+    raise InfeasibleError(
+        f"no feasible schedule on {processors} processors "
+        f"(best: {best.heuristic!r} with {best.violations} violations)",
+        diagnostics=sample,
+    )
+
+
+def minimum_processors(
+    graph: TaskGraph,
+    heuristics: Sequence[str] = DEFAULT_PORTFOLIO,
+    max_processors: int = 64,
+) -> Tuple[int, StaticSchedule]:
+    """Smallest ``M`` with a feasible portfolio schedule.
+
+    The search starts at the Proposition 3.1 bound ``ceil(Load(TG))`` —
+    values below it cannot be feasible, so they are never tried.
+    """
+    lower = task_graph_load(graph).min_processors
+    for m in range(lower, max_processors + 1):
+        try:
+            return m, find_feasible_schedule(graph, m, heuristics)
+        except InfeasibleError:
+            continue
+    raise InfeasibleError(
+        f"no feasible schedule found up to {max_processors} processors "
+        f"(load lower bound was {lower})"
+    )
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Ablation metrics of one heuristic on one graph/platform."""
+
+    heuristic: str
+    feasible: bool
+    makespan: Time
+    deadline_violations: int
+    total_lateness: Time
+
+
+def schedule_quality(
+    graph: TaskGraph, processors: int, heuristic: str
+) -> QualityReport:
+    """Evaluate one heuristic: feasibility, makespan, lateness (bench E8)."""
+    schedule = list_schedule(graph, processors, heuristic)
+    lateness = Time(0)
+    misses = 0
+    for entry in schedule.entries:
+        job = graph.jobs[entry.job_index]
+        end = entry.start + job.wcet
+        if end > job.deadline:
+            misses += 1
+            lateness += end - job.deadline
+    return QualityReport(
+        heuristic=heuristic,
+        feasible=schedule.is_feasible(),
+        makespan=schedule.makespan(),
+        deadline_violations=misses,
+        total_lateness=lateness,
+    )
+
+
+def all_heuristic_names() -> List[str]:
+    """Every registered heuristic (re-exported for benchmark sweeps)."""
+    return available_heuristics()

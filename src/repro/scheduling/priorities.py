@@ -1,0 +1,117 @@
+"""Schedule-priority (SP) heuristics for list scheduling.
+
+Section III-B: list scheduling assumes a heuristically computed *schedule
+priority* ``SP`` — a total order on jobs where earlier jobs have higher
+priority.  ``SP`` must not be confused with the functional priority ``FP``;
+FP determines the precedence edges, SP only drives the list scheduler's
+tie-breaking.
+
+Implemented heuristics (the families the paper cites):
+
+* ``alap`` — EDF adjusted for task graphs by using ALAP completion times
+  ``D'_i`` instead of nominal deadlines (the paper's recommended variant).
+* ``deadline`` — EDF on the nominal deadlines ``Di`` (the "modified
+  deadline monotonic" flavour of [Forget et al.]).
+* ``blevel`` — longest WCET-weighted path to any sink, descending
+  (the classic b-level heuristic of [Kwok & Ahmad]).
+* ``arrival`` — FIFO by arrival time (baseline; what a naive implementation
+  would do).
+
+Every heuristic returns a *rank list*: ``rank[i]`` is the position of job
+``i`` in the SP total order (0 = highest priority).  All orders are made
+total deterministically by final tie-breaks on the ``<J`` index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import SchedulingError
+from ..core.timebase import Time
+from ..taskgraph.asap_alap import TimingBounds, compute_bounds
+from ..taskgraph.graph import TaskGraph
+
+Heuristic = Callable[[TaskGraph], List[int]]
+
+_REGISTRY: Dict[str, Heuristic] = {}
+
+
+def register_heuristic(name: str) -> Callable[[Heuristic], Heuristic]:
+    """Decorator registering a named SP heuristic."""
+
+    def deco(fn: Heuristic) -> Heuristic:
+        if name in _REGISTRY:
+            raise SchedulingError(f"heuristic {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def available_heuristics() -> List[str]:
+    """Names of all registered heuristics."""
+    return sorted(_REGISTRY)
+
+
+def get_heuristic(name: str) -> Heuristic:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown heuristic {name!r}; available: {available_heuristics()}"
+        ) from None
+
+
+def _ranks_from_keys(keys: Sequence) -> List[int]:
+    """Convert per-job sort keys into rank positions (0 = highest)."""
+    order = sorted(range(len(keys)), key=lambda i: keys[i])
+    ranks = [0] * len(keys)
+    for pos, i in enumerate(order):
+        ranks[i] = pos
+    return ranks
+
+
+@register_heuristic("alap")
+def alap_priority(graph: TaskGraph) -> List[int]:
+    """EDF on ALAP completion times (ties: ASAP, then ``<J`` index)."""
+    bounds = compute_bounds(graph)
+    keys = [
+        (bounds.alap[i], bounds.asap[i], i) for i in range(len(graph))
+    ]
+    return _ranks_from_keys(keys)
+
+
+@register_heuristic("deadline")
+def deadline_priority(graph: TaskGraph) -> List[int]:
+    """EDF on the nominal job deadlines ``Di`` (ties: arrival, index)."""
+    keys = [
+        (graph.jobs[i].deadline, graph.jobs[i].arrival, i)
+        for i in range(len(graph))
+    ]
+    return _ranks_from_keys(keys)
+
+
+@register_heuristic("blevel")
+def blevel_priority(graph: TaskGraph) -> List[int]:
+    """Descending b-level: longest WCET path from the job to any sink.
+
+    Jobs on long critical paths are urgent even when their deadline is far;
+    this is the classical list-scheduling heuristic for makespan.
+    """
+    n = len(graph)
+    blevel: List[Time] = [Time(0)] * n
+    for i in range(n - 1, -1, -1):
+        tail = Time(0)
+        for s in graph.successors(i):
+            if blevel[s] > tail:
+                tail = blevel[s]
+        blevel[i] = graph.jobs[i].wcet + tail
+    keys = [(-blevel[i], graph.jobs[i].deadline, i) for i in range(n)]
+    return _ranks_from_keys(keys)
+
+
+@register_heuristic("arrival")
+def arrival_priority(graph: TaskGraph) -> List[int]:
+    """FIFO by arrival time (baseline heuristic)."""
+    keys = [(graph.jobs[i].arrival, graph.jobs[i].deadline, i) for i in range(len(graph))]
+    return _ranks_from_keys(keys)

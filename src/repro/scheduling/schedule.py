@@ -1,0 +1,181 @@
+"""Static schedules (Definition 3.2) and feasibility checking.
+
+A static schedule assigns every job ``Ji`` a processor ``μi`` and a start
+time ``si``; it is **feasible** iff it satisfies:
+
+* arrival:          ``si >= Ai``
+* deadline:         ``ei = si + Ci <= Di``
+* precedence:       ``(Ji, Jj) ∈ E  =>  ei <= sj``
+* mutual exclusion: ``μi = μj  =>  ei <= sj  ∨  ej <= si``
+
+The schedule repeats with the frame period ``H`` (Section IV); the online
+static-order policy consumes only its per-processor *job order*, never its
+absolute start times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..core.timebase import Time, time_str
+from ..taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """One schedule entry: job index, processor, start time."""
+
+    job_index: int
+    processor: int
+    start: Time
+
+    def __post_init__(self) -> None:
+        if self.processor < 0:
+            raise SchedulingError("processor ids are non-negative")
+        if self.start < 0:
+            raise SchedulingError("start times are non-negative")
+
+
+@dataclass
+class Violation:
+    """A diagnosed feasibility violation (for reports and error messages)."""
+
+    kind: str  # 'arrival' | 'deadline' | 'precedence' | 'mutex' | 'missing'
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.kind}: {self.detail}"
+
+
+class StaticSchedule:
+    """A complete static schedule for a task graph on ``M`` processors."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        processors: int,
+        entries: Sequence[ScheduledJob],
+    ) -> None:
+        if processors < 1:
+            raise SchedulingError("schedule needs at least one processor")
+        self.graph = graph
+        self.processors = processors
+        self.entries: List[ScheduledJob] = sorted(
+            entries, key=lambda e: (e.start, e.processor, e.job_index)
+        )
+        self._by_job: Dict[int, ScheduledJob] = {}
+        for e in self.entries:
+            if e.processor >= processors:
+                raise SchedulingError(
+                    f"entry for job {graph.jobs[e.job_index].name} uses "
+                    f"processor {e.processor} >= M={processors}"
+                )
+            if e.job_index in self._by_job:
+                raise SchedulingError(
+                    f"job {graph.jobs[e.job_index].name} scheduled twice"
+                )
+            self._by_job[e.job_index] = e
+
+    # ------------------------------------------------------------------
+    def entry(self, job_index: int) -> ScheduledJob:
+        try:
+            return self._by_job[job_index]
+        except KeyError:
+            name = self.graph.jobs[job_index].name
+            raise SchedulingError(f"job {name} is not scheduled") from None
+
+    def start(self, job_index: int) -> Time:
+        return self.entry(job_index).start
+
+    def end(self, job_index: int) -> Time:
+        return self.entry(job_index).start + self.graph.jobs[job_index].wcet
+
+    def mapping(self, job_index: int) -> int:
+        return self.entry(job_index).processor
+
+    def makespan(self) -> Time:
+        """Completion time of the last job in the frame."""
+        return max((self.end(e.job_index) for e in self.entries), default=Time(0))
+
+    def processor_order(self, processor: int) -> List[int]:
+        """Job indices mapped to *processor*, in start-time order.
+
+        This is exactly the per-processor static order consumed by the
+        online policy (Section IV).
+        """
+        return [e.job_index for e in self.entries if e.processor == processor]
+
+    def orders(self) -> List[List[int]]:
+        """Per-processor static orders for all processors."""
+        return [self.processor_order(m) for m in range(self.processors)]
+
+    # ------------------------------------------------------------------
+    def violations(self) -> List[Violation]:
+        """All feasibility violations of Definition 3.2 (empty == feasible)."""
+        out: List[Violation] = []
+        jobs = self.graph.jobs
+        for i in range(len(jobs)):
+            if i not in self._by_job:
+                out.append(Violation("missing", f"job {jobs[i].name} unscheduled"))
+        for i, e in self._by_job.items():
+            job = jobs[i]
+            if e.start < job.arrival:
+                out.append(
+                    Violation(
+                        "arrival",
+                        f"{job.name} starts at {time_str(e.start)} before "
+                        f"arrival {time_str(job.arrival)}",
+                    )
+                )
+            if e.start + job.wcet > job.deadline:
+                out.append(
+                    Violation(
+                        "deadline",
+                        f"{job.name} ends at {time_str(e.start + job.wcet)} "
+                        f"after deadline {time_str(job.deadline)}",
+                    )
+                )
+        for i, j in self.graph.edges():
+            if i in self._by_job and j in self._by_job:
+                if self.end(i) > self.start(j):
+                    out.append(
+                        Violation(
+                            "precedence",
+                            f"{jobs[i].name} -> {jobs[j].name}: predecessor ends "
+                            f"{time_str(self.end(i))} after successor start "
+                            f"{time_str(self.start(j))}",
+                        )
+                    )
+        for m in range(self.processors):
+            order = self.processor_order(m)
+            for a, b in zip(order, order[1:]):
+                if self.end(a) > self.start(b):
+                    out.append(
+                        Violation(
+                            "mutex",
+                            f"jobs {jobs[a].name} and {jobs[b].name} overlap "
+                            f"on processor {m}",
+                        )
+                    )
+        return out
+
+    def is_feasible(self) -> bool:
+        return not self.violations()
+
+    def require_feasible(self) -> "StaticSchedule":
+        """Return self, raising with diagnostics when infeasible."""
+        problems = self.violations()
+        if problems:
+            detail = "; ".join(str(v) for v in problems[:5])
+            raise SchedulingError(
+                f"schedule is infeasible ({len(problems)} violations): {detail}"
+            )
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"StaticSchedule(M={self.processors}, jobs={len(self.entries)}, "
+            f"makespan={time_str(self.makespan())})"
+        )

@@ -1,0 +1,154 @@
+"""Stochastic local search over schedule-priority orders.
+
+Section III-B: "If the obtained static schedule satisfies the job deadlines
+then it is feasible, otherwise the selected schedule priority may be
+sub-optimal.  Different heuristics exist for optimizing priority order SP."
+
+The portfolio in :mod:`repro.scheduling.optimizer` tries fixed heuristics;
+this module goes one step further with a randomized hill climber over SP
+permutations — the classic fallback when constructive heuristics fail on a
+tight instance:
+
+* the search state is a rank permutation (seeded from a heuristic);
+* the neighbourhood is pairwise swaps, biased toward jobs involved in
+  deadline violations;
+* the objective is lexicographic ``(#violations, total lateness, makespan)``
+  so the search makes progress even while infeasible;
+* restarts re-seed from other heuristics and random shuffles.
+
+Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.timebase import Time
+from ..errors import InfeasibleError
+from ..taskgraph.graph import TaskGraph
+from .list_scheduler import list_schedule
+from .priorities import available_heuristics, get_heuristic
+from .schedule import StaticSchedule
+
+Objective = Tuple[int, Time, Time]
+
+
+def _evaluate(graph: TaskGraph, processors: int, ranks: Sequence[int]):
+    schedule = list_schedule(graph, processors, list(ranks))
+    violations = 0
+    lateness = Time(0)
+    late_jobs: List[int] = []
+    for entry in schedule.entries:
+        job = graph.jobs[entry.job_index]
+        end = entry.start + job.wcet
+        if end > job.deadline:
+            violations += 1
+            lateness += end - job.deadline
+            late_jobs.append(entry.job_index)
+    return schedule, (violations, lateness, schedule.makespan()), late_jobs
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the priority search."""
+
+    schedule: StaticSchedule
+    ranks: List[int]
+    objective: Objective
+    iterations: int
+    restarts: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.objective[0] == 0
+
+
+def search_priorities(
+    graph: TaskGraph,
+    processors: int,
+    seed: int = 0,
+    max_iterations: int = 2000,
+    restarts: int = 4,
+    seeds_from: Optional[Sequence[str]] = None,
+) -> SearchResult:
+    """Hill-climb SP permutations; returns the best schedule found.
+
+    Stops early as soon as a feasible schedule appears.  The result is the
+    lexicographically best ``(violations, lateness, makespan)`` across all
+    restarts.
+    """
+    n = len(graph)
+    rng = random.Random(seed)
+    heuristic_names = list(seeds_from or available_heuristics())
+
+    best: Optional[SearchResult] = None
+    total_iters = 0
+
+    for restart in range(max(1, restarts)):
+        if restart < len(heuristic_names):
+            ranks = list(get_heuristic(heuristic_names[restart])(graph))
+        else:
+            ranks = list(range(n))
+            rng.shuffle(ranks)
+        schedule, objective, late = _evaluate(graph, processors, ranks)
+        budget = max_iterations // max(1, restarts)
+
+        for _ in range(budget):
+            total_iters += 1
+            if objective[0] == 0:
+                break
+            # Bias one endpoint of the swap toward a violating job.
+            if late and rng.random() < 0.8:
+                i = rng.choice(late)
+            else:
+                i = rng.randrange(n)
+            j = rng.randrange(n)
+            if i == j:
+                continue
+            ranks[i], ranks[j] = ranks[j], ranks[i]
+            cand_schedule, cand_objective, cand_late = _evaluate(
+                graph, processors, ranks
+            )
+            if cand_objective <= objective:
+                schedule, objective, late = cand_schedule, cand_objective, cand_late
+            else:
+                ranks[i], ranks[j] = ranks[j], ranks[i]  # revert
+
+        candidate = SearchResult(
+            schedule=schedule,
+            ranks=list(ranks),
+            objective=objective,
+            iterations=total_iters,
+            restarts=restart + 1,
+        )
+        if best is None or candidate.objective < best.objective:
+            best = candidate
+        if best.feasible:
+            break
+
+    assert best is not None
+    return best
+
+
+def find_feasible_schedule_with_search(
+    graph: TaskGraph,
+    processors: int,
+    seed: int = 0,
+    max_iterations: int = 2000,
+) -> StaticSchedule:
+    """Portfolio heuristics first, local search as the fallback.
+
+    Raises :class:`InfeasibleError` when even the search fails.
+    """
+    result = search_priorities(
+        graph, processors, seed=seed, max_iterations=max_iterations
+    )
+    if not result.feasible:
+        raise InfeasibleError(
+            f"priority search exhausted ({result.iterations} iterations, "
+            f"{result.restarts} restarts) with {result.objective[0]} "
+            "remaining deadline violations"
+        )
+    return result.schedule

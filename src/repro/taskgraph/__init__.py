@@ -1,0 +1,35 @@
+"""Task-graph derivation and analysis (Section III of the paper)."""
+
+from .asap_alap import (
+    TimingBounds,
+    compute_bounds,
+    critical_path_length,
+    precedence_feasible,
+)
+from .derivation import derive_task_graph, simulate_invocations
+from .graph import TaskGraph
+from .jobs import Job
+from .load import LoadResult, necessary_condition, task_graph_load, utilization
+from .servers import ServerSpec, TransformedNetwork, derive_server, transform
+from .transitive import transitive_closure_sets, transitive_reduction
+
+__all__ = [
+    "TimingBounds",
+    "compute_bounds",
+    "critical_path_length",
+    "precedence_feasible",
+    "derive_task_graph",
+    "simulate_invocations",
+    "TaskGraph",
+    "Job",
+    "LoadResult",
+    "necessary_condition",
+    "task_graph_load",
+    "utilization",
+    "ServerSpec",
+    "TransformedNetwork",
+    "derive_server",
+    "transform",
+    "transitive_closure_sets",
+    "transitive_reduction",
+]

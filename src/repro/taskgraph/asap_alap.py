@@ -1,0 +1,95 @@
+"""ASAP start times and ALAP completion times (Section III-B).
+
+For a task graph they are the recursive fixpoints::
+
+    A'_i = max(A_i, max_{j in Pred(i)} A'_j + C_j)
+    D'_i = min(D_i, min_{j in Succ(i)} D'_j - C_j)
+
+``A'_i`` lower-bounds any feasible start ``s_i`` and ``D'_i`` upper-bounds
+any feasible completion ``e_i``.  Because the job list is stored in
+topological order, one forward and one backward pass suffice.
+
+These times feed (a) the necessary schedulability condition of
+Proposition 3.1, (b) the precedence-aware load metric
+(:mod:`repro.taskgraph.load`), and (c) the ALAP/EDF schedule-priority
+heuristic (:mod:`repro.scheduling.priorities`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.timebase import Time
+from .graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class TimingBounds:
+    """ASAP starts and ALAP completions, indexed like ``graph.jobs``."""
+
+    asap: List[Time]
+    alap: List[Time]
+
+    def window(self, i: int) -> Time:
+        """Length of job *i*'s feasible execution window ``D'_i - A'_i``."""
+        return self.alap[i] - self.asap[i]
+
+
+def compute_bounds(graph: TaskGraph) -> TimingBounds:
+    """Compute ASAP/ALAP for every job of *graph*."""
+    n = len(graph)
+    asap: List[Time] = [Time(0)] * n
+    for i in range(n):
+        job = graph.jobs[i]
+        best = job.arrival
+        for p in graph.predecessors(i):
+            cand = asap[p] + graph.jobs[p].wcet
+            if cand > best:
+                best = cand
+        asap[i] = best
+
+    alap: List[Time] = [Time(0)] * n
+    for i in range(n - 1, -1, -1):
+        job = graph.jobs[i]
+        best = job.deadline
+        for s in graph.successors(i):
+            cand = alap[s] - graph.jobs[s].wcet
+            if cand < best:
+                best = cand
+        alap[i] = best
+
+    return TimingBounds(asap, alap)
+
+
+def precedence_feasible(graph: TaskGraph, bounds: TimingBounds = None) -> bool:
+    """First half of Proposition 3.1: ``A'_i + C_i <= D'_i`` for every job.
+
+    A violated bound means some job cannot fit its window even on infinitely
+    many processors — the graph is infeasible regardless of platform.
+    """
+    if bounds is None:
+        bounds = compute_bounds(graph)
+    return all(
+        bounds.asap[i] + graph.jobs[i].wcet <= bounds.alap[i]
+        for i in range(len(graph))
+    )
+
+
+def critical_path_length(graph: TaskGraph) -> Time:
+    """Length of the longest WCET-weighted path (ignoring arrivals/deadlines).
+
+    Useful as a makespan lower bound and in reports.
+    """
+    n = len(graph)
+    finish: List[Time] = [Time(0)] * n
+    best = Time(0)
+    for i in range(n):
+        start = Time(0)
+        for p in graph.predecessors(i):
+            if finish[p] > start:
+                start = finish[p]
+        finish[i] = start + graph.jobs[i].wcet
+        if finish[i] > best:
+            best = finish[i]
+    return best

@@ -1,0 +1,162 @@
+"""The task graph ``TG(J, E)``: a DAG of jobs with precedence edges.
+
+Jobs are stored in the total order ``<J`` produced by the derivation's
+hyperperiod simulation, so the node list itself is a topological order —
+every edge ``(i, j)`` satisfies ``i < j``.  The class enforces this, which
+makes downstream algorithms (ASAP/ALAP, list scheduling, transitive
+reduction) single forward/backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ModelError
+from ..core.timebase import Time
+from .jobs import Job
+
+Edge = Tuple[int, int]
+
+
+class TaskGraph:
+    """A directed acyclic graph of jobs with index-based edges.
+
+    Parameters
+    ----------
+    jobs:
+        Jobs in ``<J`` order (arrival-time–major total order from the
+        derivation).
+    edges:
+        Iterable of ``(i, j)`` index pairs, each with ``i < j``.
+    hyperperiod:
+        The frame length ``H`` the graph was derived for (kept for the
+        online policy and feasibility checks); optional for hand-built
+        graphs in tests.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        edges: Iterable[Edge] = (),
+        hyperperiod: Optional[Time] = None,
+    ) -> None:
+        self.jobs: List[Job] = list(jobs)
+        self.hyperperiod = hyperperiod
+        names = [j.name for j in self.jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ModelError(f"duplicate job names in task graph: {dupes!r}")
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self._succs: List[Set[int]] = [set() for _ in self.jobs]
+        self._preds: List[Set[int]] = [set() for _ in self.jobs]
+        for i, j in edges:
+            self.add_edge(i, j)
+
+    # ------------------------------------------------------------------
+    def add_edge(self, i: int, j: int) -> None:
+        """Add precedence edge ``jobs[i] -> jobs[j]`` (requires ``i < j``)."""
+        n = len(self.jobs)
+        if not (0 <= i < n and 0 <= j < n):
+            raise ModelError(f"edge ({i}, {j}) out of range for {n} jobs")
+        if i == j:
+            raise ModelError(f"self-loop on job {self.jobs[i].name}")
+        if i > j:
+            raise ModelError(
+                f"edge ({i}, {j}) violates the <J total order "
+                f"({self.jobs[i].name} comes after {self.jobs[j].name})"
+            )
+        self._succs[i].add(j)
+        self._preds[j].add(i)
+
+    def remove_edge(self, i: int, j: int) -> None:
+        self._succs[i].discard(j)
+        self._preds[j].discard(i)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def index_of(self, name: str) -> int:
+        """Index of the job named ``p[k]``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ModelError(f"no job named {name!r} in task graph") from None
+
+    def job(self, name: str) -> Job:
+        return self.jobs[self.index_of(name)]
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return j in self._succs[i]
+
+    def has_edge_named(self, a: str, b: str) -> bool:
+        return self.has_edge(self.index_of(a), self.index_of(b))
+
+    def successors(self, i: int) -> List[int]:
+        return sorted(self._succs[i])
+
+    def predecessors(self, i: int) -> List[int]:
+        return sorted(self._preds[i])
+
+    def edges(self) -> List[Edge]:
+        """All edges as sorted ``(i, j)`` pairs."""
+        return sorted((i, j) for i, succs in enumerate(self._succs) for j in succs)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succs)
+
+    def sources(self) -> List[int]:
+        """Jobs with no predecessors."""
+        return [i for i in range(len(self.jobs)) if not self._preds[i]]
+
+    def sinks(self) -> List[int]:
+        """Jobs with no successors."""
+        return [i for i in range(len(self.jobs)) if not self._succs[i]]
+
+    # ------------------------------------------------------------------
+    def jobs_of(self, process: str) -> List[int]:
+        """Indices of all jobs of *process*, in k order."""
+        out = [i for i, j in enumerate(self.jobs) if j.process == process]
+        out.sort(key=lambda i: self.jobs[i].k)
+        return out
+
+    def total_wcet(self) -> Time:
+        """Sum of all job WCETs (the numerator of utilization over a frame)."""
+        total = Time(0)
+        for j in self.jobs:
+            total += j.wcet
+        return total
+
+    def reachable_from(self, i: int) -> Set[int]:
+        """All jobs reachable from *i* by a non-empty path."""
+        seen: Set[int] = set()
+        stack = list(self._succs[i])
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(self._succs[v] - seen)
+        return seen
+
+    def is_transitively_reduced(self) -> bool:
+        """True when no edge is implied by a longer path."""
+        for i in range(len(self.jobs)):
+            for mid in self._succs[i]:
+                implied = self.reachable_from(mid)
+                if implied & self._succs[i]:
+                    return False
+        return True
+
+    def copy(self) -> "TaskGraph":
+        return TaskGraph(self.jobs, self.edges(), self.hyperperiod)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"TaskGraph(jobs={len(self.jobs)}, edges={self.edge_count}, "
+            f"H={self.hyperperiod})"
+        )

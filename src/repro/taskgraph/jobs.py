@@ -1,0 +1,96 @@
+"""Jobs: the nodes of a task graph (Definition 3.1).
+
+A job is the 5-tuple ``Ji = (pi, ki, Ai, Di, Ci)``:
+
+* ``pi`` — owning process,
+* ``ki`` — invocation count (1-based),
+* ``Ai ∈ Q≥0`` — arrival time,
+* ``Di ∈ Q+`` — required (absolute deadline) time,
+* ``Ci ∈ Q+`` — worst-case execution time.
+
+Jobs derived from sporadic processes are *server jobs* (Section III-A /
+Fig. 2); they carry their subset bookkeeping (which user period they serve
+and their position ``t`` within the subset) so the online policy can map
+run-time sporadic arrivals onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.timebase import Time, time_str
+
+
+@dataclass(frozen=True)
+class Job:
+    """One node of a task graph.
+
+    Attributes
+    ----------
+    process:
+        Name of the owning process ``pi`` (for server jobs: the *sporadic*
+        process's name — the server process ``p'`` is imaginary and exists
+        only to define arrivals).
+    k:
+        Invocation count ``ki`` (1-based, counted per process over the frame).
+    arrival:
+        ``Ai`` — arrival relative to the frame start.
+    deadline:
+        ``Di`` — absolute required time relative to the frame start
+        (already truncated to the hyperperiod by the derivation).
+    wcet:
+        ``Ci``.
+    is_server:
+        True when the job is a periodic-server stand-in for a sporadic job.
+    subset_index:
+        For server jobs: 1-based index ``n`` of the server subset (the user
+        period this subset serves); ``None`` for ordinary jobs.
+    slot:
+        For server jobs: 1-based position ``t`` within the subset — the job
+        represents the ``t``-th real sporadic invocation of its window.
+    """
+
+    process: str
+    k: int
+    arrival: Time
+    deadline: Time
+    wcet: Time
+    is_server: bool = False
+    subset_index: Optional[int] = None
+    slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("job invocation count k is 1-based")
+        if self.arrival < 0:
+            raise ValueError(f"job {self.name}: arrival must be non-negative")
+        if self.wcet <= 0:
+            raise ValueError(f"job {self.name}: WCET must be positive")
+        if self.deadline <= self.arrival:
+            raise ValueError(
+                f"job {self.name}: deadline {self.deadline} must exceed "
+                f"arrival {self.arrival}"
+            )
+        if self.is_server and (self.subset_index is None or self.slot is None):
+            raise ValueError(f"server job {self.name} needs subset_index and slot")
+
+    @property
+    def name(self) -> str:
+        """Paper notation ``p[k]``."""
+        return f"{self.process}[{self.k}]"
+
+    @property
+    def laxity(self) -> Time:
+        """Slack ``Di - Ai - Ci`` of the job in isolation."""
+        return self.deadline - self.arrival - self.wcet
+
+    def describe(self) -> str:
+        """Fig. 3 node label: ``p[k] (Ai, Di, Ci)``."""
+        return (
+            f"{self.name} ({time_str(self.arrival)},"
+            f"{time_str(self.deadline)},{time_str(self.wcet)})"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.describe()

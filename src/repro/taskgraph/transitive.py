@@ -1,0 +1,81 @@
+"""Transitive reduction of task graphs (derivation step 5).
+
+The transitive reduction of a DAG is the unique minimal edge set with the
+same reachability relation; the derivation uses it to drop redundant
+precedence edges (e.g. the ``InputA[1] -> NormA[1]`` edge of Fig. 3, implied
+by the path through ``FilterA[1]``).
+
+The implementation processes nodes in reverse topological order and keeps a
+reachability bitset per node (Python big-ints as bitsets), giving
+``O(V * E / wordsize)`` time — comfortably fast for the paper's graphs
+(812 jobs / ~2k edges for the FMS case) and for the 40 s hyperperiod
+scalability benchmark (~3.2k jobs).
+
+``networkx.transitive_reduction`` is deliberately **not** used here; it
+serves as an independent oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .graph import TaskGraph
+
+
+def transitive_reduction(graph: TaskGraph) -> TaskGraph:
+    """Return a new :class:`TaskGraph` with redundant edges removed.
+
+    An edge ``(u, v)`` is redundant iff some other direct successor ``w`` of
+    ``u`` reaches ``v``; because node order is topological, each node's
+    reachability set is the union of its successors' sets, computed in one
+    reverse sweep.
+    """
+    n = len(graph)
+    succ_sets: List[Set[int]] = [set(graph.successors(i)) for i in range(n)]
+    # reach[v] = bitset of nodes reachable from v by a path of length >= 1
+    reach: List[int] = [0] * n
+    for v in range(n - 1, -1, -1):
+        acc = 0
+        for w in succ_sets[v]:
+            acc |= (1 << w) | reach[w]
+        reach[v] = acc
+
+    kept: List[Tuple[int, int]] = []
+    for u in range(n):
+        succs = succ_sets[u]
+        # Union of what is reachable *through* each direct successor.
+        indirect = 0
+        for w in succs:
+            indirect |= reach[w]
+        for v in succs:
+            if not (indirect >> v) & 1:
+                kept.append((u, v))
+    return TaskGraph(graph.jobs, kept, graph.hyperperiod)
+
+
+def transitive_closure_sets(graph: TaskGraph) -> List[Set[int]]:
+    """Reachability sets (path length >= 1) for every node.
+
+    Exposed for tests and for schedule-feasibility checking: two schedules
+    are order-equivalent iff they agree on the closure, not on the raw edge
+    set.
+    """
+    n = len(graph)
+    reach_bits: List[int] = [0] * n
+    for v in range(n - 1, -1, -1):
+        acc = 0
+        for w in graph.successors(v):
+            acc |= (1 << w) | reach_bits[w]
+        reach_bits[v] = acc
+    out: List[Set[int]] = []
+    for v in range(n):
+        bits = reach_bits[v]
+        members: Set[int] = set()
+        idx = 0
+        while bits:
+            if bits & 1:
+                members.add(idx)
+            bits >>= 1
+            idx += 1
+        out.append(members)
+    return out

@@ -1,0 +1,120 @@
+"""Tests for the FFT streaming application (Section V-A, Fig. 5)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import (
+    build_fft_network,
+    fft_stimulus,
+    fft_wcets,
+    reference_fft,
+)
+from repro.core import run_zero_delay
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_fft_network()
+
+
+class TestStructure:
+    def test_fourteen_processes(self, net):
+        """generator + 3x4 grid + consumer = 14 (the paper's 14 jobs/frame)."""
+        assert len(net.processes) == 14
+
+    def test_uniform_period_and_deadline(self, net):
+        for p in net.processes.values():
+            assert p.period == 200 and p.deadline == 200
+
+    def test_channel_count_matches_process_network(self, net):
+        # 4 (gen->stage0) + 8 + 8 (butterfly fan) + 4 (stage2->consumer)
+        assert len(net.channels) == 24
+
+    def test_priorities_follow_dataflow(self, net):
+        for c in net.channels.values():
+            assert net.higher_priority(c.writer, c.reader)
+
+    def test_task_graph_maps_one_to_one(self, net):
+        """'the task graph maps one-to-one to the process-network graph'."""
+        g = derive_task_graph(net, fft_wcets())
+        assert len(g) == len(net.processes)
+        graph_edges = {
+            (g.jobs[i].process, g.jobs[j].process) for i, j in g.edges()
+        }
+        channel_edges = {c.endpoints for c in net.channels.values()}
+        assert graph_edges == channel_edges
+
+
+class TestNumerics:
+    def test_known_vector(self, net):
+        vec = [1 + 0j, 2 + 0j, 3 + 0j, 4 + 0j]
+        result = run_zero_delay(net, 200, fft_stimulus([vec]))
+        out = np.array(result.output_values("fft_out")[0])
+        assert np.allclose(out, np.fft.fft(np.array(vec)))
+
+    def test_impulse(self, net):
+        result = run_zero_delay(net, 200, fft_stimulus([[1, 0, 0, 0]]))
+        out = np.array(result.output_values("fft_out")[0])
+        assert np.allclose(out, np.ones(4))
+
+    def test_dc(self, net):
+        result = run_zero_delay(net, 200, fft_stimulus([[1, 1, 1, 1]]))
+        out = np.array(result.output_values("fft_out")[0])
+        assert np.allclose(out, [4, 0, 0, 0])
+
+    def test_stream_of_vectors(self, net):
+        rng = np.random.RandomState(7)
+        vecs = [list(rng.randn(4) + 1j * rng.randn(4)) for _ in range(6)]
+        result = run_zero_delay(net, 1200, fft_stimulus(vecs))
+        outs = result.output_values("fft_out")
+        assert len(outs) == 6
+        for out, vec in zip(outs, vecs):
+            assert np.allclose(np.array(out), np.fft.fft(np.array(vec)))
+
+    def test_reference_dft_agrees_with_numpy(self):
+        vec = [1 + 2j, -1j, 0.5, 3]
+        assert np.allclose(np.array(reference_fft(vec)), np.fft.fft(np.array(vec)))
+
+    @given(st.lists(
+        st.complex_numbers(max_magnitude=1e3, allow_nan=False, allow_infinity=False),
+        min_size=4, max_size=4,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_network_equals_direct_dft(self, vec):
+        network = build_fft_network()
+        result = run_zero_delay(network, 200, fft_stimulus([vec]))
+        out = np.array(result.output_values("fft_out")[0])
+        assert np.allclose(out, np.array(reference_fft(vec)), atol=1e-6)
+
+    def test_wrong_vector_size_rejected(self):
+        with pytest.raises(ValueError):
+            fft_stimulus([[1, 2, 3]])
+
+
+class TestTiming:
+    def test_paper_load(self, net):
+        g = derive_task_graph(net, fft_wcets())
+        assert task_graph_load(g).load == Fraction(93, 100)
+
+    def test_wcet_scale(self):
+        w1 = fft_wcets(1)
+        w4 = fft_wcets(4)
+        assert w4["generator"] == 4 * w1["generator"]
+        assert w4["FFT2_1_2"] == 4 * w1["FFT2_1_2"]
+
+    def test_scaled_network_load_drops_with_overhead(self):
+        """E7 shape: coarser granularity shrinks relative overhead."""
+        from repro.runtime import OverheadModel
+
+        loads = []
+        for scale in (1, 2, 4):
+            network = build_fft_network(period=200 * scale)
+            g = derive_task_graph(network, fft_wcets(scale))
+            g_ov = OverheadModel.mppa_like().as_overhead_job(g, overhead=41)
+            loads.append(task_graph_load(g_ov).load)
+        assert loads[0] > loads[1] > loads[2]
+        assert loads[0] > 1 > loads[2]

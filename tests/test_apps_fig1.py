@@ -1,0 +1,98 @@
+"""Tests for the Fig. 1 running-example application."""
+
+import pytest
+
+from repro.apps import build_fig1_network, fig1_stimulus, fig1_wcets
+from repro.core import ChannelKind, run_zero_delay
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_fig1_network()
+
+
+class TestStructure:
+    def test_seven_processes(self, net):
+        assert len(net.processes) == 7
+
+    def test_periods_match_figure(self, net):
+        periods = {name: int(p.period) for name, p in net.processes.items()}
+        assert periods == {
+            "InputA": 200, "FilterA": 100, "NormA": 200, "OutputA": 200,
+            "FilterB": 200, "OutputB": 100, "CoefB": 700,
+        }
+
+    def test_coefb_is_sporadic_2_per_700(self, net):
+        coef = net.processes["CoefB"]
+        assert coef.is_sporadic and coef.burst == 2 and coef.period == 700
+
+    def test_channel_kinds(self, net):
+        assert net.channels["a_norm"].kind is ChannelKind.BLACKBOARD
+        assert net.channels["b_coef"].kind is ChannelKind.BLACKBOARD
+        assert net.channels["a_raw"].kind is ChannelKind.FIFO
+
+    def test_process_graph_is_cyclic_fp_is_not(self, net):
+        # feedback NormA -> FilterA exists while FP stays a DAG
+        assert net.channels["a_norm"].endpoints == ("NormA", "FilterA")
+        net.priority_order()  # raises if cyclic
+
+    def test_coefb_user_is_filterb(self, net):
+        assert net.user_of("CoefB").name == "FilterB"
+
+    def test_external_channels(self, net):
+        assert set(net.external_inputs) == {"InputChannel", "CoefCommands"}
+        assert set(net.external_outputs) == {"OutputChannel1", "OutputChannel2"}
+
+
+class TestBehaviour:
+    def test_b_path_uses_default_coefficient(self, net):
+        stim = fig1_stimulus(2, coef_arrivals=[])
+        result = run_zero_delay(net, 400, stim)
+        # default coefficient 1.0: b_out sees the raw samples
+        assert result.channel_logs["b_out"] == [1.0, 2.0]
+
+    def test_coefb_reconfigures_filter(self, net):
+        # command value 0.5 arrives at t=350: frames at 0 and 200 use the
+        # default coefficient, the frame at 400 (sample 3.0) is scaled.
+        stim = fig1_stimulus(3, coef_arrivals=[350])
+        result = run_zero_delay(net, 600, stim)
+        assert result.channel_logs["b_out"] == [1.0, 2.0, 1.5]
+
+    def test_outputb_holds_last_value(self, net):
+        stim = fig1_stimulus(1, coef_arrivals=[])
+        result = run_zero_delay(net, 200, stim)
+        values = result.output_values("OutputChannel2")
+        # OutputB runs twice per frame; second job holds the first's value.
+        assert values == [1.0, 1.0]
+
+    def test_feedback_gain_applied_on_next_frame(self, net):
+        stim = fig1_stimulus(3, coef_arrivals=[])
+        result = run_zero_delay(net, 600, stim)
+        gains = result.channel_logs["a_norm"]
+        assert len(gains) == 3
+        assert all(0 < g <= 1 for g in gains)
+
+    def test_output_a_present_each_frame(self, net):
+        stim = fig1_stimulus(4, coef_arrivals=[])
+        result = run_zero_delay(net, 800, stim)
+        assert len(result.output_values("OutputChannel1")) == 4
+
+
+class TestDerived:
+    def test_wcets_cover_all_processes(self, net):
+        assert set(fig1_wcets()) == set(net.processes)
+
+    def test_load_and_min_processors(self, net):
+        g = derive_task_graph(net, fig1_wcets())
+        assert float(task_graph_load(g).load) == 1.5
+        assert task_graph_load(g).min_processors == 2
+
+    def test_stimulus_defaults_fit_horizon(self, net):
+        stim = fig1_stimulus(2)
+        stim.validate(net)
+        assert stim.arrivals_for("CoefB") == [350]
+
+    def test_stimulus_requires_frames(self):
+        with pytest.raises(ValueError):
+            fig1_stimulus(0)

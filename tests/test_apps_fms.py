@@ -1,0 +1,157 @@
+"""Tests for the FMS avionics case study (Section V-B, Fig. 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import (
+    build_fms_network,
+    fms_scheduling_priorities,
+    fms_stimulus,
+    fms_wcets,
+)
+from repro.core import run_zero_delay
+from repro.runtime import miss_summary, run_static_order, served_horizon
+from repro.scheduling import UniprocessorFixedPriority, find_feasible_schedule
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_fms_network()
+
+
+@pytest.fixture(scope="module")
+def graph(net):
+    return derive_task_graph(net, fms_wcets())
+
+
+class TestStructure:
+    def test_twelve_processes(self, net):
+        assert len(net.processes) == 12
+
+    def test_periods_match_fig7(self, net):
+        assert net.processes["SensorInput"].period == 200
+        assert net.processes["LowFreqBCP"].period == 5000
+        assert net.processes["Performance"].period == 1000
+        assert net.processes["MagnDeclin"].period == 400  # reduced variant
+
+    def test_full_variant_magndeclin(self):
+        full = build_fms_network(reduced_hyperperiod=False)
+        assert full.processes["MagnDeclin"].period == 1600
+
+    def test_sporadic_bursts(self, net):
+        assert net.processes["AnemoConfig"].burst == 2
+        assert net.processes["MagnDeclinConfig"].burst == 5
+        assert net.processes["PerformanceConfig"].burst == 5
+
+    def test_sporadics_below_users(self, net):
+        """'The sporadic processes had less functional priority than their
+        periodic users.'"""
+        for sporadic in net.sporadic_processes():
+            user = net.user_of(sporadic.name)
+            assert net.higher_priority(user.name, sporadic.name)
+
+    def test_periodic_priority_is_rate_monotonic(self, net):
+        rank = net.priority_rank()
+        periodic = sorted(net.periodic_processes(), key=lambda p: rank[p.name])
+        periods = [p.period for p in periodic]
+        assert periods == sorted(periods)
+
+
+class TestTaskGraph:
+    def test_812_jobs(self, graph):
+        """The paper's headline number for the reduced hyperperiod."""
+        assert len(graph) == 812
+
+    def test_hyperperiod_10s(self, graph):
+        assert graph.hyperperiod == 10000
+
+    def test_full_variant_40s(self):
+        g = derive_task_graph(
+            build_fms_network(reduced_hyperperiod=False), fms_wcets()
+        )
+        assert g.hyperperiod == 40000
+        assert len(g) > 2500  # ~4x the reduced graph
+
+    def test_jobs_per_process(self, graph):
+        counts = {}
+        for j in graph.jobs:
+            counts[j.process] = counts.get(j.process, 0) + 1
+        assert counts == {
+            "SensorInput": 50, "HighFreqBCP": 50, "LowFreqBCP": 2,
+            "MagnDeclin": 25, "Performance": 10,
+            "AnemoConfig": 100, "GPSConfig": 100, "IRSConfig": 100,
+            "DopplerConfig": 100, "BCPConfig": 100,
+            "MagnDeclinConfig": 125, "PerformanceConfig": 50,
+        }
+
+    def test_edge_count_order_of_magnitude(self, graph):
+        """Paper: 1977 edges.  Our fully-reduced graph has ~1.1k (the
+        generating set before reduction has ~2.2k); same order, see
+        EXPERIMENTS.md for the discussion."""
+        assert 800 <= graph.edge_count <= 2500
+
+    def test_load_023(self, graph):
+        """Paper: 'The load of this task graph was low, ~0.23'."""
+        assert task_graph_load(graph).load == Fraction(23, 100)
+
+    def test_single_processor_feasible(self, graph):
+        s = find_feasible_schedule(graph, 1)
+        assert s.is_feasible()
+
+
+class TestRuntime:
+    def test_no_misses_on_single_processor(self, net, graph):
+        """'a single-processor mapping encountered no deadline misses'."""
+        s = find_feasible_schedule(graph, 1)
+        stim = fms_stimulus(net, 20000).truncated(
+            served_horizon(net, graph.hyperperiod, 2)
+        )
+        result = run_static_order(net, s, 2, stim)
+        assert miss_summary(result).missed_jobs == 0
+
+    def test_multiprocessor_outputs_identical(self, net, graph):
+        stim = fms_stimulus(net, 20000).truncated(
+            served_horizon(net, graph.hyperperiod, 2)
+        )
+        obs = []
+        for m in (1, 2):
+            s = find_feasible_schedule(graph, m)
+            obs.append(run_static_order(net, s, 2, stim).observable())
+        assert obs[0] == obs[1]
+
+    def test_functionally_equivalent_to_uniprocessor_prototype(self, net, graph):
+        """The paper's V-B claim, 'which we verified by testing': the FPPN
+        implementation and the original RM uniprocessor prototype produce
+        identical outputs."""
+        stim = fms_stimulus(net, 20000).truncated(
+            served_horizon(net, graph.hyperperiod, 2)
+        )
+        ref = run_zero_delay(net, 20000, stim)
+        proto = UniprocessorFixedPriority(net, fms_scheduling_priorities(net))
+        assert proto.functional_run(20000, stim).observable() == ref.observable()
+        s = find_feasible_schedule(graph, 2)
+        result = run_static_order(net, s, 2, stim)
+        assert result.observable() == ref.observable()
+
+    def test_magndeclin_body_every_four(self, net):
+        """The period-reduction trick: 25 invocations per frame but only
+        ~6 main-body executions (once per four invocations)."""
+        stim = fms_stimulus(net, 10000)
+        result = run_zero_delay(net, 10000, stim)
+        writes = result.channel_logs["magn_decl"]
+        assert len(writes) == 6  # invocations 4, 8, ..., 24
+
+    def test_stimulus_reproducible(self, net):
+        a = fms_stimulus(net, 10000, seed=9)
+        b = fms_stimulus(net, 10000, seed=9)
+        assert a.sporadic_arrivals == b.sporadic_arrivals
+
+    def test_outputs_produced(self, net):
+        stim = fms_stimulus(net, 10000)
+        result = run_zero_delay(net, 10000, stim)
+        assert len(result.output_values("BCPOut")) == 50
+        assert len(result.output_values("PerformanceData")) == 10
+        fuel = result.output_values("PerformanceData")
+        assert all(b > a for a, b in zip(fuel[1:], fuel))  # fuel decreases

@@ -1,0 +1,168 @@
+"""Tests for ASAP/ALAP bounds, the load metric and Proposition 3.1."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import build_fig1_network, build_fft_network, fft_wcets, random_network, random_wcets
+from repro.taskgraph import (
+    TaskGraph,
+    compute_bounds,
+    critical_path_length,
+    derive_task_graph,
+    necessary_condition,
+    precedence_feasible,
+    task_graph_load,
+    utilization,
+)
+from repro.taskgraph.jobs import Job
+
+
+def J(name, k=1, a=0, d=100, c=10):
+    return Job(name, k, Fraction(a), Fraction(d), Fraction(c))
+
+
+class TestAsapAlap:
+    def test_chain(self):
+        g = TaskGraph([J("a"), J("b"), J("c")], [(0, 1), (1, 2)], Fraction(100))
+        b = compute_bounds(g)
+        assert b.asap == [0, 10, 20]
+        assert b.alap == [80, 90, 100]
+
+    def test_arrival_dominates(self):
+        g = TaskGraph([J("a"), J("b", a=50)], [(0, 1)], Fraction(100))
+        b = compute_bounds(g)
+        assert b.asap[1] == 50  # arrival later than pred finish
+
+    def test_diamond_max_path(self):
+        g = TaskGraph(
+            [J("a"), J("b", c=30), J("c", c=5), J("d")],
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+            Fraction(100),
+        )
+        b = compute_bounds(g)
+        assert b.asap[3] == 40  # through the 30-cost branch
+        assert b.alap[0] == min(100 - 10 - 30, 100 - 10 - 5) - 0  # 60
+
+    def test_window(self):
+        g = TaskGraph([J("a")], [], Fraction(100))
+        b = compute_bounds(g)
+        assert b.window(0) == 100
+
+    def test_precedence_feasible_true(self):
+        g = TaskGraph([J("a"), J("b")], [(0, 1)], Fraction(100))
+        assert precedence_feasible(g)
+
+    def test_precedence_feasible_false(self):
+        # chain of 3 x 40ms in a 100ms window cannot fit
+        g = TaskGraph(
+            [J("a", c=40), J("b", c=40), J("c", c=40)],
+            [(0, 1), (1, 2)],
+            Fraction(100),
+        )
+        assert not precedence_feasible(g)
+
+    def test_critical_path(self):
+        g = TaskGraph(
+            [J("a", c=10), J("b", c=30), J("c", c=5), J("d", c=10)],
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+            Fraction(100),
+        )
+        assert critical_path_length(g) == 50
+
+
+class TestLoad:
+    def test_single_job(self):
+        g = TaskGraph([J("a", d=40, c=10)], [], Fraction(40))
+        lr = task_graph_load(g)
+        assert lr.load == Fraction(1, 4)
+        assert lr.min_processors == 1
+
+    def test_classical_no_precedence_case(self):
+        # Two jobs, same window [0, 10), each C=6: load 1.2 -> 2 processors.
+        g = TaskGraph([J("a", d=10, c=6), J("b", d=10, c=6)], [], Fraction(10))
+        lr = task_graph_load(g)
+        assert lr.load == Fraction(12, 10)
+        assert lr.min_processors == 2
+
+    def test_precedence_tightens_window(self):
+        # b must follow a; both in [0,20). Without precedence the densest
+        # window is [0,20) at load 1.0; ASAP/ALAP shrink windows so the
+        # metric sees the serialization.
+        g = TaskGraph([J("a", d=20, c=10), J("b", d=20, c=10)], [(0, 1)], Fraction(20))
+        lr = task_graph_load(g)
+        assert lr.load == 1
+
+    def test_witness_window(self):
+        g = TaskGraph([J("a", d=10, c=6), J("b", d=10, c=6)], [], Fraction(10))
+        assert task_graph_load(g).window == (0, 10)
+
+    def test_empty_graph(self):
+        lr = task_graph_load(TaskGraph([], [], Fraction(10)))
+        assert lr.load == 0 and lr.min_processors == 1
+
+    def test_fig1_load_needs_two_processors(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        lr = task_graph_load(g)
+        assert lr.load == Fraction(3, 2)
+        assert lr.min_processors == 2
+
+    def test_fft_load_093(self):
+        """Section V-A: 'resulted in a load 0.93'."""
+        g = derive_task_graph(build_fft_network(), fft_wcets())
+        assert task_graph_load(g).load == Fraction(93, 100)
+
+    def test_load_at_least_utilization(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        assert task_graph_load(g).load >= utilization(g)
+
+    def test_utilization_requires_hyperperiod(self):
+        g = TaskGraph([J("a")], [])
+        with pytest.raises(ValueError):
+            utilization(g)
+
+
+class TestNecessaryCondition:
+    def test_accepts_feasible(self):
+        g = TaskGraph([J("a", d=20, c=10)], [], Fraction(20))
+        assert necessary_condition(g, 1)
+
+    def test_rejects_overload(self):
+        g = TaskGraph([J("a", d=10, c=6), J("b", d=10, c=6)], [], Fraction(10))
+        assert not necessary_condition(g, 1)
+        assert necessary_condition(g, 2)
+
+    def test_rejects_precedence_infeasible_on_any_m(self):
+        g = TaskGraph(
+            [J("a", c=40), J("b", c=40), J("c", c=40)],
+            [(0, 1), (1, 2)],
+            Fraction(100),
+        )
+        assert not necessary_condition(g, 100)
+
+    def test_processor_count_validated(self):
+        g = TaskGraph([J("a")], [], Fraction(100))
+        with pytest.raises(ValueError):
+            necessary_condition(g, 0)
+
+
+class TestLoadProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_load_bounds_on_random_networks(self, seed):
+        net = random_network(seed=seed, n_periodic=4, n_sporadic=1)
+        wcets = random_wcets(net, seed=seed, utilization_target=0.4)
+        g = derive_task_graph(net, wcets)
+        lr = task_graph_load(g)
+        # load >= frame utilization, and both positive
+        assert lr.load >= utilization(g) > 0
+        # witness window actually attains the load
+        t1, t2 = lr.window
+        b = compute_bounds(g)
+        total = sum(
+            (g.jobs[i].wcet for i in range(len(g))
+             if b.asap[i] >= t1 and b.alap[i] <= t2),
+            Fraction(0),
+        )
+        assert total / (t2 - t1) == lr.load

@@ -1,0 +1,210 @@
+"""Unit tests for the formal process automaton (Definition 2.2)."""
+
+import pytest
+
+from repro.core import ChannelKind, Network, run_zero_delay
+from repro.core.automaton import (
+    AssignOp,
+    Automaton,
+    NopOp,
+    ReadExternalOp,
+    ReadOp,
+    WriteExternalOp,
+    WriteOp,
+    true_guard,
+)
+from repro.core.channels import is_no_data
+from repro.errors import SemanticsError
+
+
+def ctx_for(automaton, k=1):
+    """Drive an automaton directly through a JobContext on scratch channels."""
+    from fractions import Fraction
+
+    from repro.core.channels import ChannelSpec, ExternalOutputSpec, ExternalOutputState
+    from repro.core.process import JobContext
+
+    fin = ChannelSpec("cin", ChannelKind.FIFO, "x", "p").new_state()
+    fout = ChannelSpec("cout", ChannelKind.FIFO, "p", "y").new_state()
+    ext = ExternalOutputState(ExternalOutputSpec("o", "p"))
+    ctx = JobContext(
+        process="p",
+        k=k,
+        now=Fraction(0),
+        variables=automaton.initial_variables(),
+        inputs={"cin": fin},
+        outputs={"cout": fout},
+        external_inputs={"i": {1: 11, 2: 22}},
+        external_outputs={"o": ext},
+    )
+    return ctx, fin, fout, ext
+
+
+class TestStructure:
+    def test_locations_collected(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l1")
+        a.add_transition("l1", "l0")
+        assert a.locations == {"l0", "l1"}
+
+    def test_initial_location(self):
+        assert Automaton(0).initial_location == 0
+
+    def test_transitions_exposed(self):
+        a = Automaton("l0")
+        t = a.add_transition("l0", "l0", ops=[NopOp()])
+        assert a.transitions == (t,)
+
+    def test_initial_variables_copied(self):
+        a = Automaton("l0", {"x": 1})
+        v = a.initial_variables()
+        v["x"] = 5
+        assert a.initial_variables()["x"] == 1
+
+    def test_declared_reads_writes(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l0", ops=[ReadOp("v", "cin"), WriteOp("v", "cout")])
+        assert a.declared_reads() == ["cin"]
+        assert a.declared_writes() == ["cout"]
+
+
+class TestJobRun:
+    def test_simple_self_loop(self):
+        a = Automaton("l0", {"n": 0})
+        a.add_transition("l0", "l0", ops=[AssignOp("n", lambda v: v["n"] + 1)])
+        ctx, *_ = ctx_for(a)
+        a.run_job(ctx)
+        assert ctx.vars["n"] == 1  # exactly one step back to l0
+
+    def test_multi_step_run(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l1", ops=[AssignOp("x", lambda v: 1)])
+        a.add_transition("l1", "l2", ops=[AssignOp("x", lambda v: v["x"] + 1)])
+        a.add_transition("l2", "l0", ops=[AssignOp("x", lambda v: v["x"] * 10)])
+        ctx, *_ = ctx_for(a)
+        a.run_job(ctx)
+        assert ctx.vars["x"] == 20
+
+    def test_guard_selects_branch(self):
+        a = Automaton("l0", {"mode": "big"})
+        a.add_transition("l0", "l0", guard=lambda v: v["mode"] == "big",
+                         ops=[AssignOp("out", lambda v: 100)])
+        a.add_transition("l0", "l0", guard=lambda v: v["mode"] == "small",
+                         ops=[AssignOp("out", lambda v: 1)])
+        ctx, *_ = ctx_for(a)
+        a.run_job(ctx)
+        assert ctx.vars["out"] == 100
+
+    def test_nondeterminism_detected(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l0")
+        a.add_transition("l0", "l0", ops=[NopOp()])
+        ctx, *_ = ctx_for(a)
+        with pytest.raises(SemanticsError, match="non-deterministic"):
+            a.run_job(ctx)
+
+    def test_deadlock_detected(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l1")
+        ctx, *_ = ctx_for(a)
+        with pytest.raises(SemanticsError, match="no enabled transition"):
+            a.run_job(ctx)
+
+    def test_runaway_detected(self):
+        a = Automaton("l0", max_steps=10)
+        a.add_transition("l0", "l1")
+        a.add_transition("l1", "l2")
+        a.add_transition("l2", "l1")  # loop that never returns to l0
+        ctx, *_ = ctx_for(a)
+        with pytest.raises(SemanticsError, match="exceeded"):
+            a.run_job(ctx)
+
+    def test_guarded_loop_terminates(self):
+        a = Automaton("l0", {"i": 0})
+        a.add_transition("l0", "loop")
+        a.add_transition("loop", "loop", guard=lambda v: v["i"] < 3,
+                         ops=[AssignOp("i", lambda v: v["i"] + 1)])
+        a.add_transition("loop", "l0", guard=lambda v: v["i"] >= 3)
+        ctx, *_ = ctx_for(a)
+        a.run_job(ctx)
+        assert ctx.vars["i"] == 3
+
+
+class TestOps:
+    def test_read_write_ops(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l0", ops=[ReadOp("v", "cin"), WriteOp("v", "cout")])
+        ctx, fin, fout, _ = ctx_for(a)
+        fin.write(5)
+        a.run_job(ctx)
+        assert fout.read() == 5
+
+    def test_read_empty_yields_no_data_value(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l0", ops=[ReadOp("v", "cin")])
+        ctx, *_ = ctx_for(a)
+        a.run_job(ctx)
+        assert is_no_data(ctx.vars["v"])
+
+    def test_write_undefined_variable(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l0", ops=[WriteOp("ghost", "cout")])
+        ctx, *_ = ctx_for(a)
+        with pytest.raises(SemanticsError, match="undefined variable"):
+            a.run_job(ctx)
+
+    def test_external_ops_use_sample_k(self):
+        a = Automaton("l0")
+        a.add_transition(
+            "l0", "l0", ops=[ReadExternalOp("v", "i"), WriteExternalOp("v", "o")]
+        )
+        ctx, _, _, ext = ctx_for(a, k=2)
+        a.run_job(ctx)
+        assert ext.as_sequence() == [(2, 22)]
+
+    def test_external_write_undefined(self):
+        a = Automaton("l0")
+        a.add_transition("l0", "l0", ops=[WriteExternalOp("ghost", "o")])
+        ctx, *_ = ctx_for(a)
+        with pytest.raises(SemanticsError):
+            a.run_job(ctx)
+
+    def test_true_guard(self):
+        assert true_guard({})
+
+
+class TestAutomatonInNetwork:
+    def test_automaton_process_runs_under_zero_delay(self):
+        """A Def-2.2 automaton plugs into a network like any kernel."""
+        producer = Automaton("l0", {"x": 0})
+        producer.add_transition(
+            "l0", "l0",
+            ops=[AssignOp("x", lambda v: v["x"] + 1), WriteOp("x", "c")],
+        )
+        consumer = Automaton("l0", {"acc": 0})
+        consumer.add_transition("l0", "got", ops=[ReadOp("v", "c")])
+        consumer.add_transition(
+            "got", "l0",
+            ops=[AssignOp("acc", lambda v: v["acc"] + (
+                0 if is_no_data(v["v"]) else v["v"]))],
+        )
+
+        net = Network("auto")
+        net.add_periodic("prod", period=10, behavior=producer)
+        net.add_periodic("cons", period=10, behavior=consumer)
+        net.connect("prod", "cons", "c", kind=ChannelKind.FIFO)
+        net.add_priority("prod", "cons")
+        net.validate()
+
+        result = run_zero_delay(net, 50)
+        assert result.channel_logs["c"] == [1, 2, 3, 4, 5]
+        assert result.final_variables["cons"]["acc"] == 15
+
+    def test_variables_persist_across_jobs(self):
+        a = Automaton("l0", {"count": 0})
+        a.add_transition("l0", "l0", ops=[AssignOp("count", lambda v: v["count"] + 1)])
+        net = Network("auto2")
+        net.add_periodic("p", period=10, behavior=a)
+        net.validate()
+        result = run_zero_delay(net, 40)
+        assert result.final_variables["p"]["count"] == 4

@@ -1,0 +1,175 @@
+"""Unit tests for the FIFO / blackboard channel substrate (Section II-A)."""
+
+import pickle
+
+import pytest
+
+from repro.core.channels import (
+    BlackboardState,
+    ChannelKind,
+    ChannelSpec,
+    ExternalOutputSpec,
+    ExternalOutputState,
+    FifoState,
+    NO_DATA,
+    is_no_data,
+)
+from repro.errors import ChannelError
+
+
+def fifo_spec(**kw):
+    defaults = dict(name="c", kind=ChannelKind.FIFO, writer="w", reader="r")
+    defaults.update(kw)
+    return ChannelSpec(**defaults)
+
+
+def bb_spec(**kw):
+    defaults = dict(name="b", kind=ChannelKind.BLACKBOARD, writer="w", reader="r")
+    defaults.update(kw)
+    return ChannelSpec(**defaults)
+
+
+class TestNoData:
+    def test_singleton(self):
+        from repro.core.channels import _NoData
+
+        assert _NoData() is NO_DATA
+
+    def test_falsy(self):
+        assert not NO_DATA
+
+    def test_is_no_data(self):
+        assert is_no_data(NO_DATA)
+        assert not is_no_data(None)
+        assert not is_no_data(0)
+
+    def test_repr(self):
+        assert repr(NO_DATA) == "NO_DATA"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NO_DATA)) is NO_DATA
+
+
+class TestChannelSpec:
+    def test_endpoints(self):
+        assert fifo_spec().endpoints == ("w", "r")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ChannelError):
+            fifo_spec(name="")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ChannelError, match="distinct"):
+            fifo_spec(reader="w")
+
+    def test_alphabet_enforced(self):
+        spec = fifo_spec(alphabet=lambda v: isinstance(v, int))
+        state = spec.new_state()
+        state.write(3)
+        with pytest.raises(ChannelError, match="rejected by alphabet"):
+            state.write("nope")
+
+    def test_new_state_dispatch(self):
+        assert isinstance(fifo_spec().new_state(), FifoState)
+        assert isinstance(bb_spec().new_state(), BlackboardState)
+
+
+class TestFifo:
+    def test_empty_read_returns_no_data(self):
+        assert is_no_data(fifo_spec().new_state().read())
+
+    def test_queue_order(self):
+        s = fifo_spec().new_state()
+        s.write(1)
+        s.write(2)
+        assert s.read() == 1
+        assert s.read() == 2
+        assert is_no_data(s.read())
+
+    def test_peek_does_not_consume(self):
+        s = fifo_spec().new_state()
+        s.write(9)
+        assert s.peek() == 9
+        assert s.read() == 9
+
+    def test_peek_empty(self):
+        assert is_no_data(fifo_spec().new_state().peek())
+
+    def test_len(self):
+        s = fifo_spec().new_state()
+        assert len(s) == 0
+        s.write(1)
+        s.write(1)
+        assert len(s) == 2
+
+    def test_initial_token(self):
+        s = fifo_spec(initial=42).new_state()
+        assert len(s) == 1
+        assert s.read() == 42
+
+    def test_write_log_records_everything(self):
+        s = fifo_spec().new_state()
+        s.write("a")
+        s.write("b")
+        s.read()
+        assert s.write_log == ["a", "b"]
+
+    def test_none_is_a_legal_payload(self):
+        s = fifo_spec().new_state()
+        s.write(None)
+        assert s.read() is None
+
+
+class TestBlackboard:
+    def test_unwritten_read_is_no_data(self):
+        assert is_no_data(bb_spec().new_state().read())
+
+    def test_remembers_last_value(self):
+        s = bb_spec().new_state()
+        s.write(1)
+        s.write(2)
+        assert s.read() == 2
+
+    def test_read_is_idempotent(self):
+        s = bb_spec().new_state()
+        s.write(5)
+        assert s.read() == 5
+        assert s.read() == 5
+
+    def test_initial_value(self):
+        s = bb_spec(initial=0.5).new_state()
+        assert s.read() == 0.5
+        assert len(s) == 1
+
+    def test_len_zero_when_unset(self):
+        assert len(bb_spec().new_state()) == 0
+
+    def test_write_log(self):
+        s = bb_spec().new_state()
+        s.write(1)
+        s.write(1)
+        assert s.write_log == [1, 1]
+
+
+class TestExternalOutput:
+    def test_write_and_sequence(self):
+        s = ExternalOutputState(ExternalOutputSpec("o", "p"))
+        s.write(2, "b")
+        s.write(1, "a")
+        assert s.as_sequence() == [(1, "a"), (2, "b")]
+
+    def test_double_write_rejected(self):
+        s = ExternalOutputState(ExternalOutputSpec("o", "p"))
+        s.write(1, "a")
+        with pytest.raises(ChannelError, match="written twice"):
+            s.write(1, "b")
+
+    def test_holes_are_preserved(self):
+        s = ExternalOutputState(ExternalOutputSpec("o", "p"))
+        s.write(1, "a")
+        s.write(3, "c")
+        assert s.as_sequence() == [(1, "a"), (3, "c")]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ChannelError):
+            ExternalOutputSpec("", "p")

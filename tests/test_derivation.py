@@ -1,0 +1,194 @@
+"""Tests for task-graph derivation (Section III-A steps 1-5).
+
+The centrepiece is the exact reproduction of Fig. 3 from the Fig. 1 network;
+the generating-vs-dense edge construction equivalence is checked on the
+paper networks and on random workloads.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import build_fig1_network, fig1_wcets, random_network, random_wcets
+from repro.core import Network
+from repro.errors import ModelError
+from repro.taskgraph import (
+    derive_task_graph,
+    transitive_closure_sets,
+)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return derive_task_graph(build_fig1_network(), fig1_wcets())
+
+
+class TestFig3Exact:
+    """The derived task graph must be exactly Fig. 3 of the paper."""
+
+    def test_hyperperiod(self, fig3):
+        assert fig3.hyperperiod == 200
+
+    def test_ten_jobs(self, fig3):
+        assert len(fig3) == 10
+
+    def test_job_parameters_match_figure(self, fig3):
+        expected = {
+            "InputA[1]": (0, 200, 25),
+            "FilterA[1]": (0, 100, 25),
+            "FilterA[2]": (100, 200, 25),
+            "FilterB[1]": (0, 200, 25),
+            "NormA[1]": (0, 200, 25),
+            "OutputA[1]": (0, 200, 25),
+            "OutputB[1]": (0, 100, 25),
+            "OutputB[2]": (100, 200, 25),
+            "CoefB[1]": (0, 200, 25),
+            "CoefB[2]": (0, 200, 25),
+        }
+        actual = {
+            j.name: (int(j.arrival), int(j.deadline), int(j.wcet)) for j in fig3.jobs
+        }
+        assert actual == expected
+
+    def test_coefb_jobs_are_servers(self, fig3):
+        j1, j2 = fig3.job("CoefB[1]"), fig3.job("CoefB[2]")
+        assert j1.is_server and j2.is_server
+        assert (j1.subset_index, j1.slot) == (1, 1)
+        assert (j2.subset_index, j2.slot) == (1, 2)
+
+    def test_coefb_deadline_truncated(self, fig3):
+        # d' = 700 - 200 = 500, truncated to H = 200.
+        assert fig3.job("CoefB[1]").deadline == 200
+
+    def test_redundant_inputa_norma_edge_removed(self, fig3):
+        """The paper: 'the edge is redundant due to a path from InputA to
+        NormA' — transitive reduction must have removed it."""
+        assert not fig3.has_edge_named("InputA[1]", "NormA[1]")
+        # but the path exists
+        i = fig3.index_of("InputA[1]")
+        assert fig3.index_of("NormA[1]") in fig3.reachable_from(i)
+
+    def test_expected_edges(self, fig3):
+        expected = {
+            ("CoefB[1]", "CoefB[2]"),
+            ("CoefB[2]", "FilterB[1]"),
+            ("InputA[1]", "FilterA[1]"),
+            ("InputA[1]", "FilterB[1]"),
+            ("FilterA[1]", "NormA[1]"),
+            ("FilterB[1]", "OutputB[1]"),
+            ("NormA[1]", "OutputA[1]"),
+            ("NormA[1]", "FilterA[2]"),
+            ("OutputB[1]", "OutputB[2]"),
+        }
+        actual = {
+            (fig3.jobs[i].name, fig3.jobs[j].name) for i, j in fig3.edges()
+        }
+        assert actual == expected
+
+    def test_graph_is_reduced(self, fig3):
+        assert fig3.is_transitively_reduced()
+
+    def test_jobs_per_process_is_mp_times_h_over_tp(self, fig3):
+        """'Every process is represented by mp * H/Tp vertices.'"""
+        counts = {}
+        for j in fig3.jobs:
+            counts[j.process] = counts.get(j.process, 0) + 1
+        assert counts == {
+            "InputA": 1, "FilterA": 2, "NormA": 1, "OutputA": 1,
+            "FilterB": 1, "OutputB": 2, "CoefB": 2,
+        }
+
+
+class TestEdgeRuleEquivalence:
+    """The compact generating construction must yield the same reduced graph
+    as the literal quadratic rule of step 3."""
+
+    @pytest.mark.parametrize("builder", [build_fig1_network])
+    def test_paper_network(self, builder):
+        net = builder()
+        sparse = derive_task_graph(net, 25, dense=False)
+        dense = derive_task_graph(net, 25, dense=True)
+        assert sparse.edges() == dense.edges()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks(self, seed):
+        net = random_network(seed=seed, n_periodic=4, n_sporadic=2)
+        wcets = random_wcets(net, seed=seed)
+        sparse = derive_task_graph(net, wcets, dense=False)
+        dense = derive_task_graph(net, wcets, dense=True)
+        assert sparse.edges() == dense.edges()
+
+    def test_unreduced_closures_match(self):
+        net = build_fig1_network()
+        sparse = derive_task_graph(net, 25, dense=False, reduce_edges=False)
+        dense = derive_task_graph(net, 25, dense=True, reduce_edges=False)
+        assert transitive_closure_sets(sparse) == transitive_closure_sets(dense)
+
+
+class TestWcetHandling:
+    def test_uniform_wcet(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        assert all(j.wcet == 25 for j in g.jobs)
+
+    def test_per_process_map(self):
+        wcets = fig1_wcets()
+        wcets["InputA"] = 7
+        g = derive_task_graph(build_fig1_network(), wcets)
+        assert g.job("InputA[1]").wcet == 7
+        assert g.job("FilterA[1]").wcet == 25
+
+    def test_per_job_callable(self):
+        wcets = fig1_wcets()
+        wcets["FilterA"] = lambda p, k: 10 * k
+        g = derive_task_graph(build_fig1_network(), wcets)
+        assert g.job("FilterA[1]").wcet == 10
+        assert g.job("FilterA[2]").wcet == 20
+
+    def test_missing_process_rejected(self):
+        with pytest.raises(ModelError, match="missing WCET"):
+            derive_task_graph(build_fig1_network(), {"InputA": 25})
+
+    def test_nonpositive_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            derive_task_graph(build_fig1_network(), 0)
+
+
+class TestHorizon:
+    def test_default_is_hyperperiod(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        assert g.hyperperiod == 200
+
+    def test_multiple_hyperperiods(self):
+        g1 = derive_task_graph(build_fig1_network(), 25)
+        g2 = derive_task_graph(build_fig1_network(), 25, horizon=400)
+        assert len(g2) == 2 * len(g1)
+        assert g2.hyperperiod == 400
+
+    def test_non_multiple_horizon_rejected(self):
+        with pytest.raises(ModelError, match="not a multiple"):
+            derive_task_graph(build_fig1_network(), 25, horizon=300)
+
+    def test_deadlines_truncated_to_horizon(self):
+        g = derive_task_graph(build_fig1_network(), 25, horizon=400)
+        # CoefB[3] arrives at 200 with d'=500 -> 700, truncated to 400.
+        assert g.job("CoefB[3]").deadline == 400
+
+
+class TestOrdering:
+    def test_jobs_sorted_by_arrival(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        arrivals = [j.arrival for j in g.jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_same_time_order_respects_fp_rank(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        order = [j.name for j in g.jobs]
+        # CoefB (server, above FilterB in FP') precedes FilterB; InputA
+        # precedes FilterA.
+        assert order.index("CoefB[2]") < order.index("FilterB[1]")
+        assert order.index("InputA[1]") < order.index("FilterA[1]")
+
+    def test_edges_follow_total_order(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        for i, j in g.edges():
+            assert i < j

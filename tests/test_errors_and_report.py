@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy and the experiment report renderer."""
+
+import pytest
+
+from repro.analysis import ExperimentReport, Row, approx
+from repro.errors import (
+    ChannelError,
+    EventError,
+    FPPNError,
+    InfeasibleError,
+    ModelError,
+    RuntimeModelError,
+    SchedulingError,
+    SemanticsError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            ChannelError, EventError, InfeasibleError, ModelError,
+            RuntimeModelError, SchedulingError, SemanticsError,
+        ],
+    )
+    def test_all_derive_from_fppn_error(self, cls):
+        assert issubclass(cls, FPPNError)
+
+    def test_infeasible_is_scheduling_error(self):
+        assert issubclass(InfeasibleError, SchedulingError)
+
+    def test_infeasible_carries_diagnostics(self):
+        err = InfeasibleError("no schedule", diagnostics="job x late by 5")
+        assert err.diagnostics == "job x late by 5"
+
+    def test_infeasible_diagnostics_default_empty(self):
+        assert InfeasibleError("nope").diagnostics == ""
+
+    def test_catch_all(self):
+        with pytest.raises(FPPNError):
+            raise ChannelError("boom")
+
+
+class TestReport:
+    def test_render_contains_rows(self):
+        rep = ExperimentReport("E0 demo", "Fig. 0")
+        rep.add("jobs", 10, 10)
+        rep.add("load", "~1.2", "1.19", "close")
+        text = rep.render()
+        assert "== E0 demo (Fig. 0) ==" in text
+        assert "quantity" in text and "paper" in text and "measured" in text
+        assert "~1.2" in text and "1.19" in text and "close" in text
+
+    def test_columns_aligned(self):
+        rep = ExperimentReport("E", "a")
+        rep.add("x", 1, 2)
+        rep.add("longer-name", 100000, 2)
+        lines = rep.render().splitlines()
+        rows = [l for l in lines if l and not l.startswith("==")]
+        # header/separator/rows share the position of the second column
+        header = rows[0]
+        data = rows[-1]
+        assert header.index("paper") <= len(data)
+
+    def test_preamble_text(self):
+        rep = ExperimentReport("E", "a")
+        rep.add_text("| gantt |")
+        rep.add("x", 1, 1)
+        assert "| gantt |" in rep.render()
+
+    def test_show_prints(self, capsys):
+        rep = ExperimentReport("E", "a")
+        rep.add("x", 1, 1)
+        rep.show()
+        assert "== E (a) ==" in capsys.readouterr().out
+
+    def test_row_render(self):
+        row = Row("q", "p", "m", "n")
+        assert row.render([3, 3, 3, 3]) == "q    p    m    n"
+
+    def test_approx_formatting(self):
+        assert approx(0.931234) == "0.931"
+        assert approx(1.19149, 3) == "1.19"

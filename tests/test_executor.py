@@ -1,0 +1,249 @@
+"""Tests for the multiprocessor static-order executor (Section IV).
+
+The two propositions under test:
+
+* **Prop. 4.1** — with a feasible static schedule and actual execution times
+  bounded by the WCETs, the policy meets all deadlines and implements the
+  real-time semantics (outputs == zero-delay reference);
+* robustness — determinism holds under execution-time jitter and across
+  different processor counts / heuristics.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import build_fig1_network, fig1_stimulus, fig1_wcets, random_network, random_wcets
+from repro.core import Stimulus, run_zero_delay
+from repro.errors import RuntimeModelError
+from repro.runtime import (
+    MultiprocessorExecutor,
+    OverheadModel,
+    jittered_execution,
+    miss_summary,
+    run_static_order,
+    served_horizon,
+)
+from repro.scheduling import find_feasible_schedule, list_schedule
+from repro.taskgraph import derive_task_graph
+
+WCETS = {"sensor": 10, "sink": 10, "config": 10}
+
+
+@pytest.fixture(scope="module")
+def fig1_setup():
+    net = build_fig1_network()
+    graph = derive_task_graph(net, fig1_wcets())
+    schedule = find_feasible_schedule(graph, 2)
+    return net, graph, schedule
+
+
+class TestProposition41:
+    def test_no_misses_with_wcet_execution(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(net, schedule, 5, fig1_stimulus(5))
+        assert miss_summary(result).missed_jobs == 0
+
+    def test_no_misses_with_jitter_below_wcet(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        for seed in (0, 1, 2):
+            result = run_static_order(
+                net, schedule, 5, fig1_stimulus(5),
+                execution_time=jittered_execution(seed),
+            )
+            assert miss_summary(result).missed_jobs == 0, seed
+
+    def test_outputs_match_zero_delay(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        frames = 5
+        stim = fig1_stimulus(frames).truncated(
+            served_horizon(net, graph.hyperperiod, frames)
+        )
+        ref = run_zero_delay(net, graph.hyperperiod * frames, stim)
+        result = run_static_order(net, schedule, frames, stim)
+        assert result.observable() == ref.observable()
+
+    def test_jitter_does_not_change_outputs(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        stim = fig1_stimulus(5).truncated(
+            served_horizon(net, graph.hyperperiod, 5)
+        )
+        base = run_static_order(net, schedule, 5, stim)
+        for seed in range(4):
+            jittered = run_static_order(
+                net, schedule, 5, stim, execution_time=jittered_execution(seed)
+            )
+            assert jittered.observable() == base.observable()
+
+    def test_processor_count_does_not_change_outputs(self, fig1_setup):
+        net, graph, _ = fig1_setup
+        stim = fig1_stimulus(4).truncated(
+            served_horizon(net, graph.hyperperiod, 4)
+        )
+        observables = []
+        for m in (2, 3, 4):
+            schedule = find_feasible_schedule(graph, m)
+            observables.append(
+                run_static_order(net, schedule, 4, stim).observable()
+            )
+        assert observables[0] == observables[1] == observables[2]
+
+
+class TestRecords:
+    def test_per_processor_mutual_exclusion(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(net, schedule, 3, fig1_stimulus(3))
+        for m in range(result.processors):
+            rows = sorted(
+                (r for r in result.records if r.processor == m and not r.is_false),
+                key=lambda r: r.start,
+            )
+            for a, b in zip(rows, rows[1:]):
+                assert a.end <= b.start
+
+    def test_precedence_respected_at_runtime(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(net, schedule, 2, fig1_stimulus(2))
+        by = {(r.frame, r.process, r.k_frame): r for r in result.records}
+        for frame in range(2):
+            for i, j in graph.edges():
+                ji, jj = graph.jobs[i], graph.jobs[j]
+                ri = by[(frame, ji.process, ji.k)]
+                rj = by[(frame, jj.process, jj.k)]
+                assert ri.end <= rj.start
+
+    def test_start_not_before_invocation(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(net, schedule, 3, fig1_stimulus(3))
+        for r in result.records:
+            if not r.is_false and not r.is_server:
+                assert r.start >= r.release
+
+    def test_record_counts(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(net, schedule, 3, fig1_stimulus(3))
+        assert len(result.records) == 3 * len(graph)
+
+    def test_false_jobs_for_absent_arrivals(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        stim = Stimulus(input_samples={"InputChannel": [1.0] * 3})  # no CoefB
+        result = run_static_order(net, schedule, 3, stim)
+        false = result.false_jobs()
+        assert all(r.process == "CoefB" for r in false)
+        assert len(false) == 6  # 2 server slots x 3 frames
+        assert all(r.end == r.start for r in false)
+
+    def test_global_k_for_periodic(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(net, schedule, 2, fig1_stimulus(2))
+        ks = [
+            r.global_k for r in result.records
+            if r.process == "FilterA"
+        ]
+        assert sorted(ks) == [1, 2, 3, 4]
+
+    def test_deadline_of_sporadic_uses_arrival(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        stim = fig1_stimulus(5, coef_arrivals=[350])
+        result = run_static_order(net, schedule, 5, stim)
+        true_servers = [
+            r for r in result.records if r.process == "CoefB" and not r.is_false
+        ]
+        assert len(true_servers) == 1
+        rec = true_servers[0]
+        assert rec.release == 350
+        assert rec.deadline == 350 + 700
+
+
+class TestExecutionTimeSpecs:
+    def test_per_process_table(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        table = {name: 5 for name in fig1_wcets()}
+        result = run_static_order(net, schedule, 1, fig1_stimulus(1),
+                                  execution_time=table)
+        for r in result.executed():
+            assert r.end - r.start == 5
+
+    def test_missing_process_in_table(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        with pytest.raises(RuntimeModelError, match="missing execution time"):
+            run_static_order(net, schedule, 1, execution_time={"InputA": 5})
+
+    def test_callable_spec(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        result = run_static_order(
+            net, schedule, 1, fig1_stimulus(1),
+            execution_time=lambda job, frame: job.wcet / 2,
+        )
+        for r in result.executed():
+            assert r.end - r.start == Fraction(25, 2)
+
+    def test_jitter_reproducible(self):
+        from repro.taskgraph.jobs import Job
+
+        j = Job("p", 1, Fraction(0), Fraction(10), Fraction(8))
+        f = jittered_execution(3)
+        assert f(j, 0) == f(j, 0)
+        assert 0 < f(j, 0) <= 8
+
+    def test_jitter_low_fraction_validated(self):
+        with pytest.raises(ValueError):
+            jittered_execution(0, low_fraction=0)
+
+
+class TestOverrunBehaviour:
+    def test_overrun_misses_deadlines_but_not_determinism(self, fig1_setup):
+        """Execution times above WCET break timeliness, never outputs."""
+        net, graph, schedule = fig1_setup
+        stim = fig1_stimulus(3).truncated(
+            served_horizon(net, graph.hyperperiod, 3)
+        )
+        nominal = run_static_order(net, schedule, 3, stim)
+        overrun = run_static_order(
+            net, schedule, 3, stim,
+            execution_time=lambda job, frame: job.wcet * 2,
+        )
+        assert miss_summary(overrun).missed_jobs > 0
+        assert overrun.observable() == nominal.observable()
+
+
+class TestValidation:
+    def test_frames_positive(self, fig1_setup):
+        net, graph, schedule = fig1_setup
+        with pytest.raises(RuntimeModelError):
+            run_static_order(net, schedule, 0)
+
+    def test_graph_needs_hyperperiod(self, fig1_setup):
+        from repro.taskgraph.graph import TaskGraph
+        from repro.scheduling.schedule import StaticSchedule
+
+        net, graph, schedule = fig1_setup
+        bare = TaskGraph(graph.jobs, graph.edges(), hyperperiod=None)
+        s = StaticSchedule(bare, schedule.processors, schedule.entries)
+        with pytest.raises(RuntimeModelError, match="hyperperiod"):
+            MultiprocessorExecutor(net, s)
+
+
+class TestPropertyRandomNetworks:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_prop41_on_random_networks(self, seed):
+        from repro.core.invocations import random_stimulus
+
+        net = random_network(seed=seed, n_periodic=4, n_sporadic=2)
+        wcets = random_wcets(net, seed=seed, utilization_target=0.4)
+        graph = derive_task_graph(net, wcets)
+        try:
+            schedule = find_feasible_schedule(graph, 2)
+        except Exception:
+            return  # some random graphs are not 2-processor feasible; fine
+        frames = 2
+        horizon = graph.hyperperiod * frames
+        stim = random_stimulus(net, horizon, seed=seed).truncated(
+            served_horizon(net, graph.hyperperiod, frames)
+        )
+        ref = run_zero_delay(net, horizon, stim)
+        result = run_static_order(net, schedule, frames, stim)
+        assert miss_summary(result).missed_jobs == 0
+        assert result.observable() == ref.observable()

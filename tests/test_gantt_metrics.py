@@ -1,0 +1,138 @@
+"""Tests for Gantt rendering and runtime metrics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import build_fig1_network, fig1_stimulus, fig1_wcets
+from repro.runtime import (
+    OverheadModel,
+    frame_makespans,
+    jobs_of_process,
+    miss_summary,
+    processor_utilization,
+    response_times,
+    run_static_order,
+    runtime_gantt,
+    schedule_gantt,
+)
+from repro.scheduling import find_feasible_schedule, list_schedule
+from repro.taskgraph import derive_task_graph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Overhead-free run: Fig. 1's OutputB chain has zero slack, so any
+    frame-arrival overhead would (correctly) cause deadline misses."""
+    net = build_fig1_network()
+    g = derive_task_graph(net, fig1_wcets())
+    s = find_feasible_schedule(g, 2)
+    result = run_static_order(net, s, 3, fig1_stimulus(3))
+    return net, g, s, result
+
+
+@pytest.fixture(scope="module")
+def overhead_setup():
+    net = build_fig1_network()
+    g = derive_task_graph(net, fig1_wcets())
+    s = find_feasible_schedule(g, 2)
+    result = run_static_order(net, s, 3, fig1_stimulus(3),
+                              overheads=OverheadModel.mppa_like())
+    return result
+
+
+class TestScheduleGantt:
+    def test_has_row_per_processor(self, setup):
+        _, _, s, _ = setup
+        text = schedule_gantt(s)
+        assert "M1 |" in text and "M2 |" in text
+
+    def test_contains_job_labels(self, setup):
+        _, _, s, _ = setup
+        text = schedule_gantt(s, width=120)
+        assert "InputA[1]" in text
+
+    def test_axis_shows_horizon(self, setup):
+        _, _, s, _ = setup
+        assert "200" in schedule_gantt(s)
+
+
+class TestRuntimeGantt:
+    def test_has_runtime_row_with_overhead(self, overhead_setup):
+        text = runtime_gantt(overhead_setup)
+        assert "runtime |" in text
+
+    def test_frame_limit(self, overhead_setup):
+        one = runtime_gantt(overhead_setup, frames=1)
+        assert "600" not in one.splitlines()[-1]
+
+    def test_no_runtime_row_without_overhead(self):
+        net = build_fig1_network()
+        g = derive_task_graph(net, fig1_wcets())
+        s = find_feasible_schedule(g, 2)
+        result = run_static_order(net, s, 1, fig1_stimulus(1))
+        assert "runtime" not in runtime_gantt(result)
+
+
+class TestMetrics:
+    def test_miss_summary_counts(self, setup):
+        _, g, _, result = setup
+        ms = miss_summary(result)
+        assert ms.total_jobs == 3 * len(g)
+        assert ms.executed_jobs + ms.false_jobs == ms.total_jobs
+        assert ms.missed_jobs == 0
+        assert ms.miss_ratio == 0.0
+        assert not ms.any_missed
+
+    def test_miss_summary_with_misses(self):
+        net = build_fig1_network()
+        g = derive_task_graph(net, fig1_wcets())
+        s = list_schedule(g, 1, "alap")  # infeasible: load 1.5
+        # Without sporadic arrivals the server jobs are false and the 8
+        # remaining 25 ms jobs exactly fill the 200 ms frame — so feed a
+        # CoefB command (served in frame 1) to overload the processor.
+        result = run_static_order(net, s, 2, fig1_stimulus(2, coef_arrivals=[150]))
+        ms = miss_summary(result)
+        assert ms.any_missed
+        assert ms.worst_lateness > 0
+        assert 0 < ms.miss_ratio <= 1
+
+    def test_response_times_keys(self, setup):
+        _, _, _, result = setup
+        rt = response_times(result)
+        assert set(rt) >= {"InputA", "FilterA", "OutputB"}
+        assert all(v > 0 for v in rt.values())
+
+    def test_processor_utilization(self, setup):
+        _, _, _, result = setup
+        util = processor_utilization(result)
+        assert len(util) == 2
+        assert all(0 < u < 1 for u in util)
+
+    def test_overhead_run_misses_zero_slack_chain(self, overhead_setup):
+        """Fig. 1's OutputB[1] chain exactly fills its 100 ms window, so the
+        frame-arrival overhead makes it (and only it) late."""
+        ms = miss_summary(overhead_setup)
+        assert ms.any_missed
+        assert all(r.process == "OutputB" for r in overhead_setup.misses())
+
+    def test_frame_makespans(self, setup):
+        _, _, _, result = setup
+        spans = frame_makespans(result)
+        assert len(spans) == 3
+        assert all(0 < s <= 200 for s in spans)
+
+    def test_jobs_of_process_ordering(self, setup):
+        _, _, _, result = setup
+        rows = jobs_of_process(result, "FilterA")
+        assert [(r.frame, r.k_frame) for r in rows] == [
+            (0, 1), (0, 2), (1, 1), (1, 2), (2, 1), (2, 2)
+        ]
+
+    def test_max_response_time(self, setup):
+        _, _, _, result = setup
+        assert result.max_response_time() >= result.max_response_time("InputA") > 0
+
+    def test_makespan(self, setup):
+        _, _, _, result = setup
+        assert result.makespan() <= 3 * 200

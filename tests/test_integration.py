@@ -1,0 +1,151 @@
+"""End-to-end integration tests: full pipelines over all library layers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ChannelKind,
+    Network,
+    OverheadModel,
+    Stimulus,
+    check_determinism,
+    derive_task_graph,
+    find_feasible_schedule,
+    is_no_data,
+    minimum_processors,
+    miss_summary,
+    run_static_order,
+    run_zero_delay,
+    task_graph_load,
+)
+from repro.runtime import served_horizon
+
+
+class TestQuickstartPipeline:
+    """The README quickstart must work exactly as documented."""
+
+    def test_quickstart(self):
+        net = Network("demo")
+        net.add_periodic(
+            "producer", period=100, kernel=lambda ctx: ctx.write("c", ctx.k)
+        )
+        net.add_periodic(
+            "consumer", period=100, kernel=lambda ctx: ctx.read("c")
+        )
+        net.connect("producer", "consumer", "c", kind=ChannelKind.FIFO)
+        net.add_priority("producer", "consumer")
+        net.validate()
+
+        graph = derive_task_graph(net, wcet={"producer": 10, "consumer": 10})
+        schedule = find_feasible_schedule(graph, processors=1)
+        result = run_static_order(net, schedule, n_frames=5)
+        assert not result.misses()
+        assert result.channel_logs["c"] == [1, 2, 3, 4, 5]
+
+
+class TestMultirateEndToEnd:
+    def build(self):
+        net = Network("multirate")
+
+        def source(ctx):
+            ctx.write("s2f", ctx.k * 10)
+
+        def worker(ctx):
+            v = ctx.read("s2f")
+            acc = ctx.get("acc", 0)
+            if not is_no_data(v):
+                acc += v
+            ctx.assign("acc", acc)
+            ctx.write("f2s", acc)
+
+        def sink(ctx):
+            ctx.write_output(ctx.read("f2s"), "out")
+
+        net.add_periodic("source", period=200, kernel=source)
+        net.add_periodic("worker", period=100, kernel=worker)
+        net.add_periodic("sink", period=400, kernel=sink)
+        net.connect("source", "worker", "s2f")
+        net.connect("worker", "sink", "f2s", kind=ChannelKind.BLACKBOARD)
+        net.add_priority_chain("source", "worker", "sink")
+        net.add_external_output("sink", "out")
+        net.validate()
+        return net
+
+    def test_full_pipeline(self):
+        net = self.build()
+        graph = derive_task_graph(net, {"source": 20, "worker": 30, "sink": 10})
+        assert graph.hyperperiod == 400
+        assert len(graph) == 2 + 4 + 1
+
+        m, schedule = minimum_processors(graph)
+        assert m == 1
+
+        result = run_static_order(net, schedule, 3)
+        assert miss_summary(result).missed_jobs == 0
+        ref = run_zero_delay(net, 1200)
+        assert result.observable() == ref.observable()
+
+    def test_with_overheads_and_jitter(self):
+        from repro import jittered_execution
+
+        net = self.build()
+        graph = derive_task_graph(net, {"source": 20, "worker": 30, "sink": 10})
+        schedule = find_feasible_schedule(graph, 2)
+        ov = OverheadModel.create(first_frame_arrival=5, steady_frame_arrival=2)
+        a = run_static_order(net, schedule, 3, overheads=ov)
+        b = run_static_order(
+            net, schedule, 3, overheads=ov, execution_time=jittered_execution(1)
+        )
+        assert a.observable() == b.observable()
+
+
+class TestSporadicEndToEnd:
+    def test_sporadic_roundtrip(self, sporadic_network):
+        wcets = {"sensor": 10, "sink": 10, "config": 5}
+        graph = derive_task_graph(sporadic_network, wcets)
+        schedule = find_feasible_schedule(graph, 1)
+        frames = 4
+        stim = Stimulus(
+            input_samples={"cmd": [3, 7]},
+            sporadic_arrivals={"config": [30, 420]},
+        ).truncated(served_horizon(sporadic_network, graph.hyperperiod, frames))
+        ref = run_zero_delay(sporadic_network, graph.hyperperiod * frames, stim)
+        result = run_static_order(sporadic_network, schedule, frames, stim)
+        assert result.observable() == ref.observable()
+        assert miss_summary(result).missed_jobs == 0
+        # the two arrivals produce exactly two true server jobs
+        true_servers = [
+            r for r in result.records if r.process == "config" and not r.is_false
+        ]
+        assert [r.release for r in true_servers] == [30, 420]
+
+    def test_determinism_checker_full_stack(self, sporadic_network):
+        report = check_determinism(
+            sporadic_network,
+            {"sensor": 10, "sink": 10, "config": 5},
+            n_frames=3,
+            stimulus=Stimulus(
+                input_samples={"cmd": [1, 2, 3]},
+                sporadic_arrivals={"config": [30, 340, 430]},
+            ),
+            processor_counts=(1, 2),
+            heuristics=("alap", "blevel"),
+            jitter_seeds=(1, 2),
+        )
+        assert report.deterministic, report.summary()
+
+
+class TestLoadBoundIntegration:
+    def test_load_lower_bound_is_respected_by_optimizer(self):
+        # Build a network whose load forces >= 3 processors.
+        net = Network("wide")
+        for i in range(6):
+            net.add_periodic(f"p{i}", period=100, kernel=lambda ctx: None)
+        net.validate()
+        graph = derive_task_graph(net, 45)  # 6 x 45 = 270 per 100 -> load 2.7
+        lr = task_graph_load(graph)
+        assert lr.min_processors == 3
+        m, schedule = minimum_processors(graph)
+        assert m == 3
+        assert schedule.is_feasible()

@@ -1,0 +1,100 @@
+"""Tests for DOT export of networks and task graphs."""
+
+import pytest
+
+from repro.apps import build_fig1_network, build_fms_network, fig1_wcets
+from repro.io import network_to_dot, task_graph_to_dot, write_dot
+from repro.taskgraph import derive_task_graph
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return build_fig1_network()
+
+
+class TestNetworkDot:
+    def test_is_a_digraph(self, fig1):
+        text = network_to_dot(fig1)
+        assert text.startswith('digraph "fig1-example" {')
+        assert text.rstrip().endswith("}")
+
+    def test_every_process_declared(self, fig1):
+        text = network_to_dot(fig1)
+        for name in fig1.processes:
+            assert f'"{name}"' in text
+
+    def test_generator_labels(self, fig1):
+        text = network_to_dot(fig1)
+        assert "2 per 700ms" in text          # CoefB burst notation
+        assert "100ms (periodic)" in text      # FilterA
+
+    def test_sporadic_drawn_differently(self, fig1):
+        line = next(
+            l for l in network_to_dot(fig1).splitlines() if l.strip().startswith('"CoefB" [')
+        )
+        assert "ellipse" in line and "dashed" in line
+
+    def test_channel_styles(self, fig1):
+        text = network_to_dot(fig1)
+        fifo_line = next(l for l in text.splitlines() if '"a_raw"' in l)
+        bb_line = next(l for l in text.splitlines() if '"b_coef"' in l)
+        assert "style=solid" in fifo_line
+        assert "style=dashed" in bb_line
+
+    def test_pure_priority_edges_dotted(self, fig1):
+        # InputA -> NormA is a priority without a channel
+        text = network_to_dot(fig1)
+        dotted = [l for l in text.splitlines() if "style=dotted" in l]
+        assert any('"InputA" -> "NormA"' in l for l in dotted)
+
+    def test_external_channels_shown(self, fig1):
+        text = network_to_dot(fig1)
+        assert "InputChannel" in text
+        assert "OutputChannel2" in text
+
+    def test_external_channels_optional(self, fig1):
+        text = network_to_dot(fig1, include_external=False)
+        assert "InputChannel" not in text
+
+    def test_fms_renders(self):
+        text = network_to_dot(build_fms_network())
+        assert '"SensorInput"' in text and '"MagnDeclinConfig"' in text
+
+    def test_quoting(self, fig1):
+        # names with quotes must be escaped, not break the file
+        from repro.io.dot import _quote
+
+        assert _quote('a"b') == '"a\\"b"'
+
+
+class TestTaskGraphDot:
+    def test_fig3_rendering(self):
+        g = derive_task_graph(build_fig1_network(), fig1_wcets())
+        text = task_graph_to_dot(g, "fig3")
+        assert text.startswith('digraph "fig3" {')
+        assert '"CoefB[1]"' in text
+        assert "(0,200,25)" in text
+        assert '"CoefB[2]" -> "FilterB[1]";' in text
+
+    def test_server_jobs_are_boxes(self):
+        g = derive_task_graph(build_fig1_network(), fig1_wcets())
+        line = next(
+            l for l in task_graph_to_dot(g).splitlines()
+            if l.strip().startswith('"CoefB[1]" [')
+        )
+        assert "shape=box" in line
+
+    def test_edge_count_matches(self):
+        g = derive_task_graph(build_fig1_network(), fig1_wcets())
+        text = task_graph_to_dot(g)
+        arrow_lines = [l for l in text.splitlines() if "->" in l]
+        assert len(arrow_lines) == g.edge_count
+
+
+class TestWriteDot:
+    def test_writes_file(self, tmp_path, fig1):
+        path = tmp_path / "net.dot"
+        write_dot(network_to_dot(fig1), str(path))
+        content = path.read_text()
+        assert content.startswith("digraph")
+        assert content.endswith("\n")

@@ -1,0 +1,161 @@
+"""Tests for JSON interchange: task graphs, schedules, networks."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import build_fig1_network, build_fms_network, fig1_wcets, fms_wcets
+from repro.core import ChannelKind
+from repro.io import (
+    FormatError,
+    load_json,
+    network_from_dict,
+    network_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    task_graph_from_dict,
+    task_graph_to_dict,
+)
+from repro.scheduling import find_feasible_schedule
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+
+@pytest.fixture(scope="module")
+def fig1_graph():
+    return derive_task_graph(build_fig1_network(), fig1_wcets())
+
+
+class TestTaskGraphRoundTrip:
+    def test_lossless(self, fig1_graph):
+        data = task_graph_to_dict(fig1_graph)
+        back = task_graph_from_dict(data)
+        assert [j.name for j in back.jobs] == [j.name for j in fig1_graph.jobs]
+        assert back.edges() == fig1_graph.edges()
+        assert back.hyperperiod == fig1_graph.hyperperiod
+
+    def test_rational_times_preserved(self):
+        from repro.taskgraph.graph import TaskGraph
+        from repro.taskgraph.jobs import Job
+
+        g = TaskGraph(
+            [Job("p", 1, Fraction(1, 3), Fraction(2, 3), Fraction(1, 7))],
+            [],
+            Fraction(2, 3),
+        )
+        back = task_graph_from_dict(task_graph_to_dict(g))
+        assert back.jobs[0].arrival == Fraction(1, 3)
+        assert back.jobs[0].wcet == Fraction(1, 7)
+
+    def test_server_metadata_preserved(self, fig1_graph):
+        back = task_graph_from_dict(task_graph_to_dict(fig1_graph))
+        j = back.job("CoefB[2]")
+        assert j.is_server and j.subset_index == 1 and j.slot == 2
+
+    def test_is_json_serializable(self, fig1_graph):
+        json.dumps(task_graph_to_dict(fig1_graph))
+
+    def test_analysis_identical_after_roundtrip(self, fig1_graph):
+        back = task_graph_from_dict(task_graph_to_dict(fig1_graph))
+        assert task_graph_load(back).load == task_graph_load(fig1_graph).load
+
+    def test_format_checked(self):
+        with pytest.raises(FormatError, match="expected format"):
+            task_graph_from_dict({"format": "other", "version": 1})
+
+    def test_version_checked(self, fig1_graph):
+        data = task_graph_to_dict(fig1_graph)
+        data["version"] = 99
+        with pytest.raises(FormatError, match="version"):
+            task_graph_from_dict(data)
+
+    def test_missing_field_reported(self):
+        with pytest.raises(FormatError, match="missing field"):
+            task_graph_from_dict(
+                {"format": "fppn-taskgraph", "version": 1,
+                 "jobs": [{"process": "p"}], "edges": []}
+            )
+
+    def test_bad_time_reported(self):
+        with pytest.raises(FormatError, match="bad time"):
+            task_graph_from_dict(
+                {"format": "fppn-taskgraph", "version": 1, "hyperperiod": "x!",
+                 "jobs": [], "edges": []}
+            )
+
+
+class TestScheduleRoundTrip:
+    def test_lossless(self, fig1_graph):
+        schedule = find_feasible_schedule(fig1_graph, 2)
+        back = schedule_from_dict(schedule_to_dict(schedule))
+        assert back.processors == 2
+        for i in range(len(fig1_graph)):
+            assert back.start(i) == schedule.start(i)
+            assert back.mapping(i) == schedule.mapping(i)
+        assert back.is_feasible()
+
+    def test_json_serializable(self, fig1_graph):
+        schedule = find_feasible_schedule(fig1_graph, 2)
+        json.dumps(schedule_to_dict(schedule))
+
+    def test_executable_after_roundtrip(self, fig1_graph):
+        """A deserialized schedule drives the runtime like the original."""
+        from repro.apps import fig1_stimulus
+        from repro.runtime import run_static_order
+
+        net = build_fig1_network()
+        schedule = find_feasible_schedule(fig1_graph, 2)
+        back = schedule_from_dict(schedule_to_dict(schedule))
+        a = run_static_order(net, schedule, 2, fig1_stimulus(2))
+        b = run_static_order(net, back, 2, fig1_stimulus(2))
+        assert a.observable() == b.observable()
+
+
+class TestNetworkRoundTrip:
+    def test_structure_preserved(self):
+        net = build_fig1_network()
+        back = network_from_dict(network_to_dict(net))
+        assert set(back.processes) == set(net.processes)
+        assert set(back.channels) == set(net.channels)
+        assert back.priorities == net.priorities
+        assert set(back.external_inputs) == set(net.external_inputs)
+        assert back.channels["b_coef"].kind is ChannelKind.BLACKBOARD
+
+    def test_generators_preserved(self):
+        back = network_from_dict(network_to_dict(build_fig1_network()))
+        coef = back.processes["CoefB"]
+        assert coef.is_sporadic and coef.burst == 2 and coef.period == 700
+
+    def test_derivation_identical(self):
+        net = build_fms_network()
+        back = network_from_dict(network_to_dict(net))
+        g1 = derive_task_graph(net, fms_wcets())
+        g2 = derive_task_graph(back, fms_wcets())
+        assert [j.name for j in g1.jobs] == [j.name for j in g2.jobs]
+        assert g1.edges() == g2.edges()
+
+    def test_kernels_reattached(self):
+        from repro.core import run_zero_delay
+
+        net = build_fig1_network()
+        kernels = {
+            name: (lambda ctx: None) for name in net.processes
+        }
+        seen = []
+        kernels["InputA"] = lambda ctx: seen.append(ctx.k)
+        back = network_from_dict(network_to_dict(net), kernels)
+        run_zero_delay(back, 400)
+        assert seen == [1, 2]
+
+    def test_validates_after_roundtrip(self):
+        back = network_from_dict(network_to_dict(build_fms_network()))
+        back.validate_taskgraph_subclass()
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path, fig1_graph):
+        path = tmp_path / "graph.json"
+        save_json(task_graph_to_dict(fig1_graph), str(path))
+        back = task_graph_from_dict(load_json(str(path)))
+        assert len(back) == len(fig1_graph)

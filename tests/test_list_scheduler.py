@@ -1,0 +1,141 @@
+"""Tests for the compile-time list scheduler (Section III-B)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import build_fig1_network, random_network, random_wcets
+from repro.errors import SchedulingError
+from repro.scheduling import list_schedule
+from repro.taskgraph import derive_task_graph
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.jobs import Job
+
+
+def J(name, k=1, a=0, d=1000, c=10):
+    return Job(name, k, Fraction(a), Fraction(d), Fraction(c))
+
+
+class TestBasics:
+    def test_single_job(self):
+        g = TaskGraph([J("a")], [], Fraction(1000))
+        s = list_schedule(g, 1)
+        assert s.start(0) == 0
+        assert s.is_feasible()
+
+    def test_chain_serialized(self):
+        g = TaskGraph([J("a"), J("b")], [(0, 1)], Fraction(1000))
+        s = list_schedule(g, 2)
+        assert s.start(1) >= s.end(0)
+
+    def test_parallel_jobs_spread_over_processors(self):
+        g = TaskGraph([J("a"), J("b")], [], Fraction(1000))
+        s = list_schedule(g, 2)
+        assert {s.mapping(0), s.mapping(1)} == {0, 1}
+        assert s.makespan() == 10
+
+    def test_single_processor_serializes(self):
+        g = TaskGraph([J("a"), J("b")], [], Fraction(1000))
+        s = list_schedule(g, 1)
+        assert s.makespan() == 20
+
+    def test_arrival_respected(self):
+        g = TaskGraph([J("a", a=50)], [], Fraction(1000))
+        s = list_schedule(g, 1)
+        assert s.start(0) == 50
+
+    def test_work_conserving(self):
+        # Two independent jobs, one arrives later: processor not left idle.
+        g = TaskGraph([J("a", c=30), J("b", a=5, c=10)], [], Fraction(1000))
+        s = list_schedule(g, 1)
+        assert s.start(0) == 0
+        assert s.start(1) == 30  # starts at first completion, no extra idle
+
+    def test_invalid_processor_count(self):
+        g = TaskGraph([J("a")], [], Fraction(1000))
+        with pytest.raises(SchedulingError):
+            list_schedule(g, 0)
+
+
+class TestPriorityHandling:
+    def test_explicit_rank_list(self):
+        g = TaskGraph([J("a"), J("b")], [], Fraction(1000))
+        s = list_schedule(g, 1, priority=[1, 0])  # b first
+        assert s.start(1) == 0 and s.start(0) == 10
+
+    def test_rank_list_length_checked(self):
+        g = TaskGraph([J("a")], [], Fraction(1000))
+        with pytest.raises(SchedulingError, match="entries"):
+            list_schedule(g, 1, priority=[0, 1])
+
+    def test_rank_list_must_be_permutation(self):
+        g = TaskGraph([J("a"), J("b")], [], Fraction(1000))
+        with pytest.raises(SchedulingError, match="permutation"):
+            list_schedule(g, 1, priority=[0, 0])
+
+    def test_unknown_heuristic(self):
+        g = TaskGraph([J("a")], [], Fraction(1000))
+        with pytest.raises(SchedulingError, match="unknown heuristic"):
+            list_schedule(g, 1, priority="nope")
+
+    def test_alap_prefers_urgent_job(self):
+        # b has the tighter deadline; ALAP ranks it first.
+        g = TaskGraph([J("a", d=1000), J("b", d=20)], [], Fraction(1000))
+        s = list_schedule(g, 1, "alap")
+        assert s.start(1) == 0
+        assert s.is_feasible()
+
+    def test_alap_succeeds_where_nominal_deadline_fails(self):
+        """The paper's point: EDF for task graphs must use ALAP completion
+        times, not nominal deadlines.  Job b nominally has a lax deadline
+        (1000) but heads the chain to the urgent job c, so its ALAP is 85;
+        the nominal-deadline heuristic runs a first and c misses."""
+        g = TaskGraph(
+            [J("a", d=120, c=80), J("b", d=1000, c=10), J("c", d=95, c=10)],
+            [(1, 2)],
+            Fraction(1000),
+        )
+        s_deadline = list_schedule(g, 1, "deadline")
+        s_alap = list_schedule(g, 1, "alap")
+        assert not s_deadline.is_feasible()
+        assert s_alap.is_feasible()
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_fig1_schedules_respect_structure(self, m):
+        g = derive_task_graph(build_fig1_network(), 25)
+        s = list_schedule(g, m)
+        # By construction: arrivals, precedence, mutual exclusion hold.
+        kinds = {v.kind for v in s.violations()}
+        assert kinds <= {"deadline"}
+
+    def test_fig1_feasible_on_two_processors(self):
+        """Fig. 4: the frame fits on two processors within 200 ms."""
+        g = derive_task_graph(build_fig1_network(), 25)
+        s = list_schedule(g, 2, "alap")
+        assert s.is_feasible()
+        assert s.makespan() <= 200
+
+    def test_fig1_infeasible_on_one_processor(self):
+        # load = 1.5 > 1: no single-processor schedule can exist.
+        g = derive_task_graph(build_fig1_network(), 25)
+        s = list_schedule(g, 1, "alap")
+        assert not s.is_feasible()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs_structurally_valid(self, seed):
+        net = random_network(seed=seed, n_periodic=4, n_sporadic=1)
+        wcets = random_wcets(net, seed=seed, utilization_target=0.5)
+        g = derive_task_graph(net, wcets)
+        for m in (1, 2):
+            s = list_schedule(g, m, "alap")
+            kinds = {v.kind for v in s.violations()}
+            assert kinds <= {"deadline"}, kinds
+
+    def test_all_jobs_scheduled(self):
+        g = derive_task_graph(build_fig1_network(), 25)
+        s = list_schedule(g, 2)
+        assert len(s.entries) == len(g)

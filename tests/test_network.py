@@ -1,0 +1,216 @@
+"""Unit tests for FPPN network definition and validation (Definition 2.1)."""
+
+import pytest
+
+from repro.core import ChannelKind, Network, PeriodicGenerator, Process, KernelBehavior
+from repro.errors import ChannelError, ModelError
+
+
+def nop(ctx):
+    return None
+
+
+def make_pair() -> Network:
+    net = Network("t")
+    net.add_periodic("a", period=100, kernel=nop)
+    net.add_periodic("b", period=100, kernel=nop)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_process_rejected(self):
+        net = make_pair()
+        with pytest.raises(ModelError, match="duplicate process"):
+            net.add_periodic("a", period=50, kernel=nop)
+
+    def test_connect_unknown_process(self):
+        net = make_pair()
+        with pytest.raises(ModelError, match="unknown process"):
+            net.connect("a", "zzz")
+
+    def test_default_channel_name(self):
+        net = make_pair()
+        spec = net.connect("a", "b")
+        assert spec.name == "a->b"
+
+    def test_duplicate_channel_name_rejected(self):
+        net = make_pair()
+        net.connect("a", "b", "c1")
+        with pytest.raises(ChannelError, match="duplicate channel"):
+            net.connect("a", "b", "c1")
+
+    def test_two_channels_between_same_pair(self):
+        net = make_pair()
+        net.connect("a", "b", "c1")
+        net.connect("a", "b", "c2", kind=ChannelKind.BLACKBOARD)
+        assert len(net.channels_between("a", "b")) == 2
+
+    def test_endpoints_recorded_on_processes(self):
+        net = make_pair()
+        net.connect("a", "b", "c")
+        assert net.processes["a"].outputs == ["c"]
+        assert net.processes["b"].inputs == ["c"]
+
+    def test_self_priority_rejected(self):
+        net = make_pair()
+        with pytest.raises(ModelError):
+            net.add_priority("a", "a")
+
+    def test_priority_chain(self):
+        net = make_pair()
+        net.add_periodic("c", period=100, kernel=nop)
+        net.add_priority_chain("a", "b", "c")
+        assert net.higher_priority("a", "b")
+        assert net.higher_priority("b", "c")
+        assert not net.higher_priority("a", "c")
+
+    def test_external_channel_name_collision(self):
+        net = make_pair()
+        net.add_external_input("a", "x")
+        with pytest.raises(ChannelError, match="duplicate external"):
+            net.add_external_output("b", "x")
+
+    def test_kernel_and_behavior_mutually_exclusive(self):
+        net = Network("t")
+        with pytest.raises(ModelError):
+            net.add_periodic("p", period=1, kernel=nop, behavior=KernelBehavior(nop))
+
+    def test_add_prebuilt_process(self):
+        net = Network("t")
+        p = Process("x", PeriodicGenerator(10), KernelBehavior(nop))
+        net.add_process(p)
+        assert net.processes["x"] is p
+
+
+class TestValidation:
+    def test_empty_network_invalid(self):
+        with pytest.raises(ModelError, match="no processes"):
+            Network("e").validate()
+
+    def test_channel_pair_requires_priority(self):
+        net = make_pair()
+        net.connect("a", "b")
+        with pytest.raises(ModelError, match="functional priority"):
+            net.validate()
+
+    def test_either_direction_satisfies_rule(self):
+        net = make_pair()
+        net.connect("a", "b")
+        net.add_priority("b", "a")  # reader above writer is fine
+        net.validate()
+
+    def test_priority_cycle_rejected(self):
+        net = make_pair()
+        net.add_priority("a", "b")
+        net.add_priority("b", "a")
+        with pytest.raises(ModelError, match="cycle"):
+            net.validate()
+
+    def test_cyclic_process_graph_with_acyclic_fp_ok(self):
+        net = make_pair()
+        net.connect("a", "b", "fwd")
+        net.connect("b", "a", "fb", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("a", "b")
+        net.validate()  # process graph cyclic, FP acyclic: legal
+
+    def test_longer_priority_cycle(self):
+        net = make_pair()
+        net.add_periodic("c", period=100, kernel=nop)
+        net.add_priority_chain("a", "b", "c")
+        net.add_priority("c", "a")
+        with pytest.raises(ModelError, match="cycle"):
+            net.validate()
+
+
+class TestPriorityOrder:
+    def test_respects_edges(self):
+        net = make_pair()
+        net.add_periodic("c", period=100, kernel=nop)
+        net.add_priority("c", "a")
+        order = net.priority_order()
+        assert order.index("c") < order.index("a")
+
+    def test_deterministic_tiebreak_by_name(self):
+        net = Network("t")
+        for name in ("z", "m", "a"):
+            net.add_periodic(name, period=10, kernel=nop)
+        assert net.priority_order() == ["a", "m", "z"]
+
+    def test_rank_is_positional(self):
+        net = make_pair()
+        net.add_priority("b", "a")
+        rank = net.priority_rank()
+        assert rank["b"] < rank["a"]
+
+    def test_fp_related(self):
+        net = make_pair()
+        net.add_priority("a", "b")
+        assert net.fp_related("a", "b")
+        assert net.fp_related("b", "a")
+        net.add_periodic("c", period=100, kernel=nop)
+        assert not net.fp_related("a", "c")
+
+
+class TestSporadicSubclass:
+    def _base(self) -> Network:
+        net = Network("s")
+        net.add_periodic("user", period=100, kernel=nop)
+        net.add_sporadic("sp", min_period=200, deadline=300, kernel=nop)
+        return net
+
+    def test_user_of_ok(self):
+        net = self._base()
+        net.connect("sp", "user", "cfg", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("user", "sp")
+        assert net.user_of("sp").name == "user"
+
+    def test_user_of_requires_sporadic(self):
+        net = self._base()
+        with pytest.raises(ModelError, match="not sporadic"):
+            net.user_of("user")
+
+    def test_unconnected_sporadic_rejected(self):
+        net = self._base()
+        net.add_priority("user", "sp")
+        with pytest.raises(ModelError, match="exactly one user"):
+            net.user_of("sp")
+
+    def test_two_users_rejected(self):
+        net = self._base()
+        net.add_periodic("user2", period=100, kernel=nop)
+        net.connect("sp", "user", "c1", kind=ChannelKind.BLACKBOARD)
+        net.connect("sp", "user2", "c2", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("user", "sp")
+        net.add_priority("user2", "sp")
+        with pytest.raises(ModelError, match="exactly one user"):
+            net.user_of("sp")
+
+    def test_sporadic_user_must_be_periodic(self):
+        net = self._base()
+        net.add_sporadic("sp2", min_period=100, deadline=200, kernel=nop)
+        net.connect("sp", "sp2", "c", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("sp2", "sp")
+        with pytest.raises(ModelError, match="must be periodic"):
+            net.user_of("sp")
+
+    def test_user_period_bound(self):
+        net = Network("s")
+        net.add_periodic("user", period=500, kernel=nop)  # T_u > T_p
+        net.add_sporadic("sp", min_period=200, deadline=300, kernel=nop)
+        net.connect("sp", "user", "c", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("user", "sp")
+        with pytest.raises(ModelError, match="T_u <= T_p"):
+            net.user_of("sp")
+
+    def test_validate_taskgraph_subclass(self, sporadic_network):
+        sporadic_network.validate_taskgraph_subclass()
+
+    def test_channel_direction_irrelevant_for_user(self):
+        # The user relation is about *connection*, not direction: a sporadic
+        # reader still has its writer as user.
+        net = Network("s")
+        net.add_periodic("user", period=100, kernel=nop)
+        net.add_sporadic("sp", min_period=200, deadline=300, kernel=nop)
+        net.connect("user", "sp", "c", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("user", "sp")
+        assert net.user_of("sp").name == "user"

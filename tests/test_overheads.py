@@ -1,0 +1,126 @@
+"""Tests for the runtime-overhead model (Section V-A)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import build_fft_network, fft_wcets, build_fig1_network, fig1_stimulus, fig1_wcets
+from repro.runtime import OverheadModel, miss_summary, run_static_order
+from repro.scheduling import find_feasible_schedule, list_schedule
+from repro.taskgraph import derive_task_graph, task_graph_load
+
+
+class TestModel:
+    def test_defaults_zero(self):
+        assert OverheadModel.none().is_zero
+
+    def test_mppa_values(self):
+        ov = OverheadModel.mppa_like()
+        assert ov.first_frame_arrival == 41
+        assert ov.steady_frame_arrival == 20
+
+    def test_frame_arrival_schedule(self):
+        ov = OverheadModel.mppa_like()
+        assert ov.frame_arrival(0) == 41
+        assert ov.frame_arrival(1) == 20
+        assert ov.frame_arrival(7) == 20
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadModel.none().frame_arrival(-1)
+
+    def test_create_normalizes(self):
+        ov = OverheadModel.create(first_frame_arrival="1/2")
+        assert ov.first_frame_arrival == Fraction(1, 2)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadModel.create(per_job=-1)
+
+
+class TestOverheadJob:
+    def test_paper_fft_load_with_overhead(self):
+        """'This yielded a load of ~1.2, which explains the deadline misses
+        in single-processor mapping.'"""
+        g = derive_task_graph(build_fft_network(), fft_wcets())
+        g_ov = OverheadModel.mppa_like().as_overhead_job(g)
+        load = task_graph_load(g_ov).load
+        assert Fraction(110, 100) < load < Fraction(125, 100)
+        assert task_graph_load(g_ov).min_processors == 2
+
+    def test_overhead_job_precedes_all_sources(self):
+        g = derive_task_graph(build_fft_network(), fft_wcets())
+        g_ov = OverheadModel.mppa_like().as_overhead_job(g)
+        assert len(g_ov) == len(g) + 1
+        assert g_ov.jobs[0].process == "__overhead__"
+        # the old source (generator) now has the overhead job as predecessor
+        gen = g_ov.index_of("generator[1]")
+        assert 0 in g_ov.predecessors(gen)
+
+    def test_zero_overhead_is_copy(self):
+        g = derive_task_graph(build_fft_network(), fft_wcets())
+        g2 = OverheadModel.none().as_overhead_job(g)
+        assert len(g2) == len(g)
+
+    def test_explicit_value(self):
+        g = derive_task_graph(build_fft_network(), fft_wcets())
+        g_ov = OverheadModel.none().as_overhead_job(g, overhead=41)
+        assert g_ov.jobs[0].wcet == 41
+
+
+class TestRuntimeEffects:
+    def test_arrival_overhead_delays_first_jobs(self):
+        net = build_fig1_network()
+        g = derive_task_graph(net, fig1_wcets())
+        s = find_feasible_schedule(g, 2)
+        ov = OverheadModel.create(first_frame_arrival=41, steady_frame_arrival=20)
+        result = run_static_order(net, s, 2, fig1_stimulus(2), overheads=ov)
+        first_frame = [r for r in result.executed() if r.frame == 0]
+        assert min(r.start for r in first_frame) >= 41
+        second = [r for r in result.executed() if r.frame == 1]
+        assert min(r.start for r in second) >= 200 + 20
+
+    def test_overhead_intervals_recorded(self):
+        net = build_fig1_network()
+        g = derive_task_graph(net, fig1_wcets())
+        s = find_feasible_schedule(g, 2)
+        ov = OverheadModel.mppa_like()
+        result = run_static_order(net, s, 3, fig1_stimulus(3), overheads=ov)
+        assert result.overhead_intervals == [
+            (0, 0, 41), (1, 200, 220), (2, 400, 420)
+        ]
+
+    def test_per_job_overhead_inflates_execution(self):
+        net = build_fig1_network()
+        g = derive_task_graph(net, fig1_wcets())
+        s = find_feasible_schedule(g, 2)
+        ov = OverheadModel.create(per_job=3)
+        result = run_static_order(net, s, 1, fig1_stimulus(1), overheads=ov)
+        for r in result.executed():
+            assert r.end - r.start == 25 + 3
+
+    def test_overhead_can_cause_misses(self):
+        """FFT on one processor with the MPPA overhead misses deadlines;
+        without overhead it does not (load 0.93 < 1)."""
+        from repro.apps import fft_stimulus
+
+        net = build_fft_network()
+        g = derive_task_graph(net, fft_wcets())
+        s = list_schedule(g, 1, "alap")
+        stim = fft_stimulus([[1, 2, 3, 4]] * 4)
+        clean = run_static_order(net, s, 4, stim)
+        noisy = run_static_order(net, s, 4, stim,
+                                 overheads=OverheadModel.mppa_like())
+        assert miss_summary(clean).missed_jobs == 0
+        assert miss_summary(noisy).missed_jobs > 0
+
+    def test_two_processors_absorb_overhead(self):
+        from repro.apps import fft_stimulus
+
+        net = build_fft_network()
+        g = derive_task_graph(net, fft_wcets())
+        s = find_feasible_schedule(g, 2)
+        stim = fft_stimulus([[1, 2, 3, 4]] * 4)
+        result = run_static_order(net, s, 4, stim,
+                                  overheads=OverheadModel.mppa_like())
+        assert miss_summary(result).missed_jobs == 0

@@ -1,0 +1,151 @@
+"""Tests for uniprocessor response-time analysis, validated against the
+preemptive fixed-priority simulator."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    hyperbolic_bound,
+    response_time_analysis,
+    rta_schedulable,
+    total_utilization,
+    utilization_bound,
+)
+from repro.core import Network
+from repro.errors import SchedulingError
+from repro.scheduling import UniprocessorFixedPriority
+
+
+def nop(ctx):
+    return None
+
+
+def make_net(tasks):
+    """tasks: list of (name, period, deadline)."""
+    net = Network("rta")
+    for name, period, deadline in tasks:
+        net.add_periodic(name, period=period, deadline=deadline, kernel=nop)
+    return net
+
+
+class TestBounds:
+    def test_liu_layland_values(self):
+        assert utilization_bound(1) == 1.0
+        assert abs(utilization_bound(2) - 0.828) < 1e-3
+        assert abs(utilization_bound(3) - 0.7797) < 1e-3
+
+    def test_bound_decreases(self):
+        assert utilization_bound(2) > utilization_bound(5) > utilization_bound(50)
+
+    def test_bound_validates(self):
+        with pytest.raises(ValueError):
+            utilization_bound(0)
+
+    def test_total_utilization(self):
+        net = make_net([("a", 50, 50), ("b", 100, 100)])
+        u = total_utilization(net, {"a": 20, "b": 30})
+        assert u == Fraction(20, 50) + Fraction(30, 100)
+
+    def test_utilization_counts_bursts(self):
+        net = Network("b")
+        net.add_sporadic("s", min_period=100, deadline=100, burst=3, kernel=nop)
+        assert total_utilization(net, {"s": 10}) == Fraction(30, 100)
+
+    def test_hyperbolic_bound(self):
+        net = make_net([("a", 50, 50), ("b", 100, 100)])
+        # U = 0.4, 0.3 -> product (1.4)(1.3) = 1.82 <= 2 -> schedulable
+        assert abs(hyperbolic_bound(net, {"a": 20, "b": 30}) - 1.82) < 1e-9
+
+
+class TestRta:
+    def test_textbook_two_tasks(self):
+        net = make_net([("hi", 50, 50), ("lo", 100, 100)])
+        res = response_time_analysis(net, {"hi": 20, "lo": 40})
+        assert res["hi"].wcrt == 20
+        # lo: R = 40 + ceil(R/50)*20 -> R = 80
+        assert res["lo"].wcrt == 80
+        assert res["lo"].schedulable
+
+    def test_three_task_example(self):
+        # classic Audsley-style example
+        net = make_net([("t1", 100, 100), ("t2", 200, 200), ("t3", 300, 300)])
+        res = response_time_analysis(net, {"t1": 30, "t2": 60, "t3": 90})
+        assert res["t1"].wcrt == 30
+        assert res["t2"].wcrt == 90     # 60 + 30
+        assert res["t3"].wcrt == 300    # saturates exactly at the deadline
+        assert rta_schedulable(net, {"t1": 30, "t2": 60, "t3": 90})
+
+    def test_unschedulable_detected(self):
+        net = make_net([("hi", 50, 50), ("lo", 100, 100)])
+        res = response_time_analysis(net, {"hi": 30, "lo": 50})
+        assert not res["lo"].schedulable
+
+    def test_sporadic_burst_as_interference(self):
+        net = Network("sb")
+        net.add_periodic("lo", period=100, deadline=100, kernel=nop)
+        net.add_sporadic("hi", min_period=100, deadline=50, burst=2, kernel=nop)
+        prios = {"hi": 0, "lo": 1}
+        res = response_time_analysis(net, {"hi": 10, "lo": 30}, prios)
+        # lo suffers 2 x 10 of burst interference: R = 50
+        assert res["lo"].wcrt == 50
+        assert res["hi"].wcrt == 20  # the burst itself (m*C)
+
+    def test_constrained_deadline_required(self):
+        net = make_net([("a", 100, 150)])
+        with pytest.raises(SchedulingError, match="constrained"):
+            response_time_analysis(net, {"a": 10})
+
+    def test_missing_priority(self):
+        net = make_net([("a", 100, 100)])
+        with pytest.raises(SchedulingError, match="missing priority"):
+            response_time_analysis(net, {"a": 10}, priorities={})
+
+    def test_divergence_reported(self):
+        net = make_net([("hi", 10, 10), ("lo", 100, 100)])
+        res = response_time_analysis(net, {"hi": 10, "lo": 5})
+        # hi saturates the processor: lo's fixpoint diverges
+        assert not res["lo"].converged
+        assert res["lo"].wcrt is None
+        assert not res["lo"].schedulable
+
+
+class TestAgainstSimulation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([40, 50, 80, 100, 200]),  # periods
+                st.integers(min_value=1, max_value=15),    # wcets
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rta_matches_critical_instant_simulation(self, spec):
+        """For synchronous release (all tasks released at 0 — the critical
+        instant), the simulated first-job response time of the lowest-
+        priority task never exceeds the analytical WCRT."""
+        tasks = [(f"t{i}", p, p) for i, (p, _) in enumerate(spec)]
+        net = make_net(tasks)
+        execs = {f"t{i}": c for i, (_, c) in enumerate(spec)}
+        results = response_time_analysis(net, execs)
+        if not all(r.schedulable for r in results.values()):
+            return  # only compare in the schedulable regime
+        up = UniprocessorFixedPriority(net)
+        horizon = max(p for p, _ in spec) * 4
+        done = up.simulate_preemptive(horizon, execs)
+        for name, r in results.items():
+            first = [j for j in done if j.process == name and j.k == 1]
+            if first:
+                assert first[0].response_time <= r.wcrt
+
+    def test_exact_for_lowest_priority_first_job(self):
+        net = make_net([("hi", 50, 50), ("lo", 100, 100)])
+        execs = {"hi": 20, "lo": 40}
+        res = response_time_analysis(net, execs)
+        up = UniprocessorFixedPriority(net)
+        done = up.simulate_preemptive(200, execs)
+        lo1 = next(j for j in done if j.process == "lo" and j.k == 1)
+        assert lo1.response_time == res["lo"].wcrt

@@ -1,0 +1,107 @@
+"""Tests for static schedules and Definition 3.2 feasibility checking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import ScheduledJob, StaticSchedule
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.jobs import Job
+
+
+def J(name, k=1, a=0, d=100, c=10):
+    return Job(name, k, Fraction(a), Fraction(d), Fraction(c))
+
+
+def chain():
+    return TaskGraph([J("a"), J("b")], [(0, 1)], Fraction(100))
+
+
+def sched(graph, entries, m=2):
+    return StaticSchedule(graph, m, [ScheduledJob(i, p, Fraction(s)) for i, p, s in entries])
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = sched(chain(), [(0, 0, 0), (1, 0, 10)])
+        assert s.start(0) == 0 and s.end(0) == 10
+        assert s.mapping(1) == 0
+
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(SchedulingError, match="twice"):
+            sched(chain(), [(0, 0, 0), (0, 1, 0)])
+
+    def test_processor_out_of_range(self):
+        with pytest.raises(SchedulingError, match=">= M"):
+            sched(chain(), [(0, 5, 0)], m=2)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(SchedulingError):
+            StaticSchedule(chain(), 0, [])
+
+    def test_unscheduled_job_lookup(self):
+        s = sched(chain(), [(0, 0, 0)])
+        with pytest.raises(SchedulingError, match="not scheduled"):
+            s.start(1)
+
+    def test_makespan(self):
+        s = sched(chain(), [(0, 0, 0), (1, 1, 50)])
+        assert s.makespan() == 60
+
+    def test_processor_order(self):
+        g = TaskGraph([J("a"), J("b"), J("c")], [], Fraction(100))
+        s = sched(g, [(0, 0, 20), (1, 0, 0), (2, 1, 5)])
+        assert s.processor_order(0) == [1, 0]
+        assert s.orders() == [[1, 0], [2]]
+
+
+class TestFeasibility:
+    def test_feasible_schedule(self):
+        s = sched(chain(), [(0, 0, 0), (1, 0, 10)])
+        assert s.is_feasible()
+        assert s.violations() == []
+
+    def test_missing_job(self):
+        s = sched(chain(), [(0, 0, 0)])
+        kinds = [v.kind for v in s.violations()]
+        assert "missing" in kinds
+
+    def test_arrival_violation(self):
+        g = TaskGraph([J("a", a=50)], [], Fraction(100))
+        s = sched(g, [(0, 0, 0)])
+        assert [v.kind for v in s.violations()] == ["arrival"]
+
+    def test_deadline_violation(self):
+        g = TaskGraph([J("a", d=15)], [], Fraction(100))
+        s = sched(g, [(0, 0, 10)])
+        assert [v.kind for v in s.violations()] == ["deadline"]
+
+    def test_precedence_violation(self):
+        s = sched(chain(), [(0, 0, 0), (1, 1, 5)])  # b starts before a ends
+        assert [v.kind for v in s.violations()] == ["precedence"]
+
+    def test_mutex_violation(self):
+        g = TaskGraph([J("a"), J("b")], [], Fraction(100))
+        s = sched(g, [(0, 0, 0), (1, 0, 5)])  # overlap on processor 0
+        assert [v.kind for v in s.violations()] == ["mutex"]
+
+    def test_mutex_ok_on_distinct_processors(self):
+        g = TaskGraph([J("a"), J("b")], [], Fraction(100))
+        s = sched(g, [(0, 0, 0), (1, 1, 5)])
+        assert s.is_feasible()
+
+    def test_back_to_back_is_legal(self):
+        # e_i == s_j satisfies both precedence and mutual exclusion.
+        s = sched(chain(), [(0, 0, 0), (1, 0, 10)])
+        assert s.is_feasible()
+
+    def test_require_feasible_raises_with_diagnostics(self):
+        g = TaskGraph([J("a", d=15)], [], Fraction(100))
+        s = sched(g, [(0, 0, 10)])
+        with pytest.raises(SchedulingError, match="deadline"):
+            s.require_feasible()
+
+    def test_require_feasible_returns_self(self):
+        s = sched(chain(), [(0, 0, 0), (1, 0, 10)])
+        assert s.require_feasible() is s

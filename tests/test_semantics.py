@@ -1,0 +1,212 @@
+"""Unit tests for the zero-delay semantics (Section II-B)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ChannelKind,
+    Network,
+    Stimulus,
+    ZeroDelayExecutor,
+    is_no_data,
+    run_zero_delay,
+)
+from repro.core.trace import JobStart, Wait
+from repro.errors import SemanticsError
+
+
+def record_kernel(log, name):
+    def kernel(ctx):
+        log.append((name, ctx.k, ctx.now))
+
+    return kernel
+
+
+class TestInvocationSequence:
+    def test_periodic_grouping(self, pair_network):
+        ex = ZeroDelayExecutor(pair_network)
+        seq = ex.invocation_sequence(250)
+        assert [t for t, _ in seq] == [0, 100, 200]
+        assert all(len(group) == 2 for _, group in seq)
+
+    def test_sporadic_from_stimulus(self, sporadic_network):
+        ex = ZeroDelayExecutor(sporadic_network)
+        stim = Stimulus(sporadic_arrivals={"config": [50, 250]})
+        seq = ex.invocation_sequence(300, stim)
+        times = [t for t, _ in seq]
+        assert Fraction(50) in times and Fraction(250) in times
+
+    def test_sporadic_beyond_horizon_ignored(self, sporadic_network):
+        ex = ZeroDelayExecutor(sporadic_network)
+        stim = Stimulus(sporadic_arrivals={"config": [50, 999]})
+        seq = ex.invocation_sequence(300, stim)
+        all_invs = [i for _, group in seq for i in group]
+        assert sum(1 for i in all_invs if i.process == "config") == 1
+
+    def test_invalid_stimulus_rejected(self, pair_network):
+        from repro.errors import EventError
+
+        ex = ZeroDelayExecutor(pair_network)
+        with pytest.raises(EventError, match="not sporadic"):
+            ex.invocation_sequence(100, Stimulus(sporadic_arrivals={"producer": [0]}))
+
+
+class TestTraceShape:
+    def test_trace_is_waits_and_job_runs(self, pair_network):
+        result = run_zero_delay(pair_network, 200)
+        waits = result.trace.waits()
+        assert waits == [0, 100]
+
+    def test_job_order_respects_fp(self):
+        log = []
+        net = Network("fp")
+        net.add_periodic("low", period=10, kernel=record_kernel(log, "low"))
+        net.add_periodic("high", period=10, kernel=record_kernel(log, "high"))
+        net.connect("high", "low", "c")
+        net.add_priority("high", "low")
+        net.validate()
+        run_zero_delay(net, 30)
+        names = [n for n, _, _ in log]
+        assert names == ["high", "low"] * 3
+
+    def test_unrelated_ties_broken_by_name(self):
+        log = []
+        net = Network("tie")
+        net.add_periodic("zeta", period=10, kernel=record_kernel(log, "zeta"))
+        net.add_periodic("alpha", period=10, kernel=record_kernel(log, "alpha"))
+        net.validate()
+        run_zero_delay(net, 10)
+        assert [n for n, _, _ in log] == ["alpha", "zeta"]
+
+    def test_burst_jobs_in_index_order(self):
+        log = []
+        net = Network("burst")
+        net.add_periodic("b", period=10, burst=3, kernel=record_kernel(log, "b"))
+        net.validate()
+        run_zero_delay(net, 10)
+        assert [k for _, k, _ in log] == [1, 2, 3]
+
+    def test_job_start_end_markers(self, pair_network):
+        result = run_zero_delay(pair_network, 100)
+        starts = [a for a in result.trace if isinstance(a, JobStart)]
+        assert [(s.process, s.k) for s in starts] == [("producer", 1), ("consumer", 1)]
+
+
+class TestDataFlow:
+    def test_fifo_pipeline(self, pair_network):
+        result = run_zero_delay(pair_network, 300)
+        assert result.channel_logs["c"] == [1, 2, 3]
+        assert result.output_values("out") == [1, 3, 6]
+
+    def test_blackboard_last_value_wins(self):
+        net = Network("bb")
+        net.add_periodic("w", period=10, burst=2, kernel=lambda ctx: ctx.write("b", ctx.k))
+        net.add_periodic(
+            "r", period=10,
+            kernel=lambda ctx: ctx.write_output(ctx.read("b"), "o"),
+        )
+        net.connect("w", "r", "b", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("w", "r")
+        net.add_external_output("r", "o")
+        net.validate()
+        result = run_zero_delay(net, 20)
+        # reader sees the last value of each burst: 2 then 4
+        assert result.output_values("o") == [2, 4]
+
+    def test_multirate_reader_sees_no_data(self):
+        seen = []
+        net = Network("mr")
+        net.add_periodic("slow", period=200, kernel=lambda ctx: ctx.write("c", ctx.k))
+        net.add_periodic(
+            "fast", period=100,
+            kernel=lambda ctx: seen.append(is_no_data(ctx.read("c"))),
+        )
+        net.connect("slow", "fast", "c")
+        net.add_priority("slow", "fast")
+        net.validate()
+        run_zero_delay(net, 400)
+        # fast runs at 0,100,200,300; slow writes at 0,200
+        assert seen == [False, True, False, True]
+
+    def test_external_input_sample_indexing(self):
+        got = []
+        net = Network("ext")
+        net.add_periodic("p", period=10, kernel=lambda ctx: got.append(ctx.read_input("i")))
+        net.add_external_input("p", "i")
+        net.validate()
+        run_zero_delay(net, 30, Stimulus(input_samples={"i": ["a", "b"]}))
+        assert got[:2] == ["a", "b"]
+        assert is_no_data(got[2])  # job 3 has no sample
+
+    def test_missing_sample_is_no_data(self):
+        got = []
+        net = Network("ext2")
+        net.add_periodic("p", period=10, kernel=lambda ctx: got.append(ctx.read_input("i")))
+        net.add_external_input("p", "i")
+        net.validate()
+        run_zero_delay(net, 30, Stimulus(input_samples={"i": ["only-one"]}))
+        assert got[0] == "only-one"
+        assert is_no_data(got[1]) and is_no_data(got[2])
+
+    def test_feedback_loop_uses_previous_cycle_value(self):
+        net = Network("fb")
+
+        def fwd(ctx):
+            g = ctx.read("gain")
+            ctx.write("x", (1 if is_no_data(g) else g) * 10)
+
+        def bwd(ctx):
+            v = ctx.read("x")
+            if not is_no_data(v):
+                ctx.write("gain", v + 1)
+
+        net.add_periodic("f", period=10, kernel=fwd)
+        net.add_periodic("b", period=10, kernel=bwd)
+        net.connect("f", "b", "x")
+        net.connect("b", "f", "gain", kind=ChannelKind.BLACKBOARD)
+        net.add_priority("f", "b")
+        net.validate()
+        result = run_zero_delay(net, 30)
+        # cycle 1: gain absent -> x=10, gain:=11; cycle 2: x=110, gain:=111...
+        assert result.channel_logs["x"] == [10, 110, 1110]
+
+
+class TestResults:
+    def test_job_count(self, pair_network):
+        assert run_zero_delay(pair_network, 500).job_count == 10
+
+    def test_observable_structure(self, pair_network):
+        obs = run_zero_delay(pair_network, 100).observable()
+        assert set(obs) == {"channels", "outputs"}
+        assert obs["channels"]["c"] == [1]
+        assert obs["outputs"]["out"] == [(1, 1)]
+
+    def test_repeat_runs_identical(self, sporadic_network):
+        stim = Stimulus(
+            input_samples={"cmd": [2, 3]},
+            sporadic_arrivals={"config": [40, 350]},
+        )
+        a = run_zero_delay(sporadic_network, 600, stim)
+        b = run_zero_delay(sporadic_network, 600, stim)
+        assert a.observable() == b.observable()
+
+    def test_kernel_exception_wrapped_with_job_identity(self):
+        def boom(ctx):
+            raise ValueError("bug")
+
+        net = Network("boom")
+        net.add_periodic("p", period=10, kernel=boom)
+        net.validate()
+        with pytest.raises(SemanticsError, match=r"p\[1\] at t=0"):
+            run_zero_delay(net, 10)
+
+    def test_sporadic_same_time_as_user_ordered_by_fp(self, sporadic_network):
+        # config -> sensor: at equal times, config runs first.
+        stim = Stimulus(
+            input_samples={"cmd": [5]},
+            sporadic_arrivals={"config": [100]},
+        )
+        result = run_zero_delay(sporadic_network, 200, stim)
+        # sensor job at t=100 must already see gain 5 -> writes 5 * k(=2) = 10
+        assert result.channel_logs["data"] == [1, 10]

@@ -1,0 +1,140 @@
+"""Tests for the sporadic-to-server transformation (Section III-A, Fig. 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ChannelKind, Network
+from repro.errors import ModelError
+from repro.taskgraph.servers import ServerSpec, derive_server, transform
+
+
+def nop(ctx):
+    return None
+
+
+def make_net(sporadic_deadline=700, user_period=200, sporadic_period=700,
+             burst=2, sporadic_above_user=True):
+    net = Network("srv")
+    net.add_periodic("user", period=user_period, kernel=nop)
+    net.add_sporadic("sp", min_period=sporadic_period,
+                     deadline=sporadic_deadline, burst=burst, kernel=nop)
+    net.connect("sp", "user", "cfg", kind=ChannelKind.BLACKBOARD)
+    if sporadic_above_user:
+        net.add_priority("sp", "user")
+    else:
+        net.add_priority("user", "sp")
+    return net
+
+
+class TestDeriveServer:
+    def test_paper_coefb_parameters(self):
+        """CoefB: T=700, d=700, m=2, user FilterB at 200 -> server 2 per 200,
+        corrected deadline 500 (Fig. 3)."""
+        spec = derive_server(make_net(), "sp")
+        assert spec.period == 200
+        assert spec.burst == 2
+        assert spec.deadline == 500
+        assert spec.user == "user"
+
+    def test_boundary_direction_follows_fp(self):
+        assert derive_server(make_net(sporadic_above_user=True), "sp").boundary_closed_right
+        assert not derive_server(make_net(sporadic_above_user=False), "sp").boundary_closed_right
+
+    def test_fractional_period_footnote3(self):
+        """d_p <= T_u forces a fractional server period T_u/n with d' > 0."""
+        spec = derive_server(make_net(sporadic_deadline=150), "sp")
+        # T_u = 200, d_p = 150 -> n = 2, T' = 100, d' = 50
+        assert spec.period == 100
+        assert spec.deadline == 50
+
+    def test_fractional_period_exact_divisor(self):
+        # d_p == T_u: T_u/d_p = 1 -> n = 2
+        spec = derive_server(make_net(sporadic_deadline=200), "sp")
+        assert spec.period == 100
+        assert spec.deadline == 100
+
+    def test_very_tight_deadline(self):
+        spec = derive_server(make_net(sporadic_deadline=70), "sp")
+        # n = floor(200/70)+1 = 3 -> T' = 200/3, d' = 70 - 200/3 = 10/3
+        assert spec.period == Fraction(200, 3)
+        assert spec.deadline == Fraction(10, 3)
+        assert spec.deadline > 0
+
+    def test_nonpositive_corrected_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            ServerSpec("p", "u", Fraction(200), 1, Fraction(0), True)
+
+
+class TestWindows:
+    def test_subset_one_window_is_negative(self):
+        """The paper's example: subset at b=0 serves (-200, 0]."""
+        spec = derive_server(make_net(), "sp")
+        a, b, left, right = spec.window_for_subset(1)
+        assert (a, b) == (-200, 0)
+        assert right and not left
+
+    def test_right_closed_contains_boundary(self):
+        spec = derive_server(make_net(sporadic_above_user=True), "sp")
+        assert spec.contains(1, Fraction(0))        # t == b
+        assert not spec.contains(1, Fraction(-200))  # t == a excluded
+        assert spec.contains(1, Fraction(-100))
+
+    def test_left_closed_excludes_boundary(self):
+        spec = derive_server(make_net(sporadic_above_user=False), "sp")
+        assert not spec.contains(1, Fraction(0))     # t == b goes to next subset
+        assert spec.contains(2, Fraction(0))
+        assert spec.contains(1, Fraction(-200))      # t == a included
+
+    def test_windows_tile_the_line(self):
+        spec = derive_server(make_net(), "sp")
+        # every time in [0, 600) is contained in exactly one of subsets 1..4
+        for t10 in range(0, 6000, 37):
+            t = Fraction(t10, 10)
+            hits = [n for n in range(1, 5) if spec.contains(n, t)]
+            assert len(hits) == 1, (t, hits)
+
+    def test_subset_index_one_based(self):
+        spec = derive_server(make_net(), "sp")
+        with pytest.raises(ValueError):
+            spec.window_for_subset(0)
+
+
+class TestTransform:
+    def test_effective_parameters(self):
+        pn = transform(make_net())
+        assert pn.effective["user"] == (200, 1)
+        assert pn.effective["sp"] == (200, 2)
+
+    def test_server_priority_edge_replaces_original(self):
+        # user -> sp originally; PN' must have sp -> user (server above user).
+        pn = transform(make_net(sporadic_above_user=False))
+        assert ("sp", "user") in pn.priorities
+        assert ("user", "sp") not in pn.priorities
+
+    def test_priority_preserved_when_already_above(self):
+        pn = transform(make_net(sporadic_above_user=True))
+        assert ("sp", "user") in pn.priorities
+
+    def test_priority_order_is_topological(self):
+        pn = transform(make_net(sporadic_above_user=False))
+        order = pn.priority_order()
+        assert order.index("sp") < order.index("user")
+
+    def test_fp_related(self):
+        pn = transform(make_net())
+        assert pn.fp_related("sp", "user")
+        assert pn.fp_related("user", "sp")
+
+    def test_offset_rejected(self):
+        net = Network("off")
+        net.add_periodic("p", period=100, offset=10, kernel=nop)
+        with pytest.raises(ModelError, match="zero-offset"):
+            transform(net)
+
+    def test_other_fp_edges_untouched(self):
+        net = make_net()
+        net.add_periodic("other", period=100, kernel=nop)
+        net.add_priority("other", "user")
+        pn = transform(net)
+        assert ("other", "user") in pn.priorities

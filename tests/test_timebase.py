@@ -1,0 +1,144 @@
+"""Unit tests for the exact rational time base."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timebase import (
+    as_nonnegative_time,
+    as_positive_time,
+    as_time,
+    frange,
+    hyperperiod,
+    rational_lcm,
+    time_str,
+)
+
+
+class TestAsTime:
+    def test_int(self):
+        assert as_time(5) == Fraction(5)
+
+    def test_float_uses_decimal_repr(self):
+        assert as_time(0.1) == Fraction(1, 10)
+
+    def test_float_point_three(self):
+        assert as_time(0.3) == Fraction(3, 10)
+
+    def test_string_fraction(self):
+        assert as_time("2/3") == Fraction(2, 3)
+
+    def test_string_decimal(self):
+        assert as_time("1.5") == Fraction(3, 2)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(7, 3)
+        assert as_time(f) is f
+
+    def test_negative_allowed(self):
+        assert as_time(-3) == Fraction(-3)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_time(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_time(object())
+
+
+class TestPositivity:
+    def test_positive_ok(self):
+        assert as_positive_time("1/2") == Fraction(1, 2)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            as_positive_time(0, "period")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            as_positive_time(-1)
+
+    def test_nonnegative_allows_zero(self):
+        assert as_nonnegative_time(0) == 0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_nonnegative_time(-1, "offset")
+
+
+class TestRationalLcm:
+    def test_integers(self):
+        assert rational_lcm(Fraction(200), Fraction(700)) == Fraction(1400)
+
+    def test_fractions(self):
+        assert rational_lcm(Fraction(1, 2), Fraction(1, 3)) == Fraction(1)
+
+    def test_same(self):
+        assert rational_lcm(Fraction(5), Fraction(5)) == Fraction(5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            rational_lcm(Fraction(0), Fraction(1))
+
+    @given(
+        st.fractions(min_value="1/100", max_value=100),
+        st.fractions(min_value="1/100", max_value=100),
+    )
+    def test_lcm_is_common_multiple(self, a, b):
+        m = rational_lcm(a, b)
+        assert (m / a).denominator == 1
+        assert (m / b).denominator == 1
+
+    @given(
+        st.fractions(min_value="1/20", max_value=20),
+        st.fractions(min_value="1/20", max_value=20),
+    )
+    def test_lcm_is_least(self, a, b):
+        m = rational_lcm(a, b)
+        # Any smaller common multiple would divide m; check m/2 is not one.
+        half = m / 2
+        assert (half / a).denominator != 1 or (half / b).denominator != 1
+
+
+class TestHyperperiod:
+    def test_paper_fig1_periods(self):
+        # InputA..OutputB plus CoefB's server at 200 (Sec. III-A example).
+        assert hyperperiod([200, 100, 200, 200, 200, 100, 200]) == 200
+
+    def test_fms_reduced(self):
+        assert hyperperiod([200, 200, 5000, 400, 1000]) == 10000
+
+    def test_fms_full(self):
+        assert hyperperiod([200, 200, 5000, 1600, 1000]) == 40000
+
+    def test_rational_periods(self):
+        assert hyperperiod(["1/2", "1/3"]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+    def test_single(self):
+        assert hyperperiod([7]) == 7
+
+
+class TestFormatting:
+    def test_integer_rendering(self):
+        assert time_str(200) == "200"
+
+    def test_fraction_rendering(self):
+        assert time_str("1/3") == "1/3"
+
+    def test_frange_basic(self):
+        assert frange(0, 1, "1/4") == [
+            Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)
+        ]
+
+    def test_frange_empty(self):
+        assert frange(5, 5, 1) == []
+
+    def test_frange_requires_positive_step(self):
+        with pytest.raises(ValueError):
+            frange(0, 1, 0)

@@ -1,0 +1,86 @@
+"""Tests for trace data structures and projections."""
+
+from fractions import Fraction
+
+from repro.core.trace import (
+    Assign,
+    ChannelRead,
+    ChannelWrite,
+    ExternalRead,
+    ExternalWrite,
+    JobEnd,
+    JobStart,
+    Trace,
+    Wait,
+)
+
+
+def sample_trace() -> Trace:
+    t = Trace()
+    t.append(Wait(Fraction(0)))
+    t.append(JobStart("p", 1))
+    t.append(ExternalRead("p", "I1", 1, 42))
+    t.append(Assign("p", "x", 1764))
+    t.append(ChannelWrite("p", "c1", 1764))
+    t.append(JobEnd("p", 1))
+    t.append(Wait(Fraction(100)))
+    t.append(JobStart("q", 1))
+    t.append(ChannelRead("q", "c1", 1764))
+    t.append(ExternalWrite("q", "O1", 2, 1764))
+    t.append(JobEnd("q", 1))
+    return t
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        t = sample_trace()
+        assert len(t) == 11
+        assert isinstance(t[0], Wait)
+        assert sum(1 for _ in t) == 11
+
+    def test_extend(self):
+        t = Trace()
+        t.extend([Wait(Fraction(0)), Wait(Fraction(1))])
+        assert len(t) == 2
+
+
+class TestProjections:
+    def test_channel_writes(self):
+        assert sample_trace().channel_writes() == [("c1", 1764)]
+
+    def test_channel_writes_filtered(self):
+        assert sample_trace().channel_writes("other") == []
+        assert sample_trace().channel_writes("c1") == [("c1", 1764)]
+
+    def test_external_writes(self):
+        assert sample_trace().external_writes() == [("O1", 2, 1764)]
+
+    def test_job_order(self):
+        assert sample_trace().job_order() == [("p", 1), ("q", 1)]
+
+    def test_waits(self):
+        assert sample_trace().waits() == [0, 100]
+
+
+class TestRendering:
+    def test_action_strings_use_paper_notation(self):
+        t = sample_trace()
+        rendered = [str(a) for a in t]
+        assert rendered[0] == "w(0)"
+        assert rendered[2] == "p:42?[1]I1"          # x?[k]Ie
+        assert rendered[3] == "p:x:=1764"           # assignment
+        assert rendered[4] == "p:1764!c1"           # x!c
+        assert "q:1764?c1" in rendered              # x?c
+        assert "q:O1![2]1764" in rendered           # x![k]Oe
+
+    def test_pretty_truncates(self):
+        text = sample_trace().pretty(limit=3)
+        assert "more actions" in text
+        assert len(text.splitlines()) == 4
+
+    def test_pretty_full(self):
+        assert len(sample_trace().pretty().splitlines()) == 11
+
+    def test_job_markers(self):
+        assert str(JobStart("p", 3)) == "start p[3]"
+        assert str(JobEnd("p", 3)) == "end p[3]"

@@ -1,0 +1,104 @@
+"""Transitive reduction tests, cross-checked against networkx as an oracle."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.jobs import Job
+from repro.taskgraph.transitive import transitive_closure_sets, transitive_reduction
+
+
+def graph_from_edges(n, edges):
+    jobs = [Job(f"p{i}", 1, Fraction(0), Fraction(1000), Fraction(1)) for i in range(n)]
+    return TaskGraph(jobs, edges, Fraction(1000))
+
+
+class TestBasics:
+    def test_triangle(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        r = transitive_reduction(g)
+        assert r.edges() == [(0, 1), (1, 2)]
+
+    def test_diamond_keeps_all(self):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        g = graph_from_edges(4, edges)
+        assert transitive_reduction(g).edges() == edges
+
+    def test_long_shortcut_removed(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        r = transitive_reduction(g)
+        assert (0, 4) not in r.edges()
+
+    def test_already_reduced_unchanged(self):
+        edges = [(0, 1), (1, 2)]
+        g = graph_from_edges(3, edges)
+        assert transitive_reduction(g).edges() == edges
+
+    def test_empty_graph(self):
+        g = graph_from_edges(3, [])
+        assert transitive_reduction(g).edges() == []
+
+    def test_preserves_jobs_and_hyperperiod(self):
+        g = graph_from_edges(3, [(0, 2)])
+        r = transitive_reduction(g)
+        assert r.jobs == g.jobs
+        assert r.hyperperiod == g.hyperperiod
+
+    def test_result_is_reduced(self):
+        g = graph_from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3), (3, 4), (0, 4), (1, 4), (4, 5), (2, 5)])
+        assert transitive_reduction(g).is_transitively_reduced()
+
+
+class TestClosure:
+    def test_closure_sets(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        closure = transitive_closure_sets(g)
+        assert closure[0] == {1, 2, 3}
+        assert closure[2] == {3}
+        assert closure[3] == set()
+
+    def test_closure_unaffected_by_reduction(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 4), (1, 4), (3, 4)])
+        assert transitive_closure_sets(g) == transitive_closure_sets(
+            transitive_reduction(g)
+        )
+
+
+def random_dag_edges(n, density, seed):
+    rng = random.Random(seed)
+    return [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < density
+    ]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("density", [0.15, 0.5])
+    def test_matches_networkx(self, seed, density):
+        n = 24
+        edges = random_dag_edges(n, density, seed)
+        g = graph_from_edges(n, edges)
+        ours = set(transitive_reduction(g).edges())
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(edges)
+        theirs = set(nx.transitive_reduction(nxg).edges())
+        assert ours == theirs
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_closure_preserved(self, seed):
+        n = 15
+        edges = random_dag_edges(n, 0.3, seed)
+        g = graph_from_edges(n, edges)
+        r = transitive_reduction(g)
+        assert set(map(tuple, r.edges())) <= set(map(tuple, g.edges()))
+        assert transitive_closure_sets(g) == transitive_closure_sets(r)
+        assert r.is_transitively_reduced()

@@ -1,0 +1,63 @@
+"""Tests for the random workload generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import random_network, random_wcets
+from repro.core.invocations import random_stimulus
+from repro.core.semantics import run_zero_delay
+from repro.taskgraph import derive_task_graph, utilization
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_networks_are_valid_subclass(self, seed):
+        net = random_network(seed=seed, n_periodic=5, n_sporadic=2)
+        net.validate_taskgraph_subclass()
+
+    def test_reproducible(self):
+        a = random_network(seed=11)
+        b = random_network(seed=11)
+        assert sorted(a.processes) == sorted(b.processes)
+        assert sorted(a.channels) == sorted(b.channels)
+        assert a.priorities == b.priorities
+
+    def test_seed_changes_structure(self):
+        a = random_network(seed=1, n_periodic=6, n_sporadic=2)
+        b = random_network(seed=2, n_periodic=6, n_sporadic=2)
+        assert sorted(a.channels) != sorted(b.channels)
+
+    def test_sporadic_count(self):
+        net = random_network(seed=0, n_periodic=4, n_sporadic=3)
+        assert len(net.sporadic_processes()) == 3
+
+    def test_zero_periodic_rejected(self):
+        with pytest.raises(ValueError):
+            random_network(n_periodic=0)
+
+    def test_executable_under_zero_delay(self):
+        net = random_network(seed=5, n_periodic=4, n_sporadic=1)
+        stim = random_stimulus(net, 2000, seed=5)
+        result = run_zero_delay(net, 2000, stim)
+        assert result.job_count > 0
+
+
+class TestWcets:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_utilization_target_hit_exactly(self, seed):
+        net = random_network(seed=seed, n_periodic=4, n_sporadic=1)
+        wcets = random_wcets(net, seed=seed, utilization_target=0.5)
+        g = derive_task_graph(net, wcets)
+        assert utilization(g) == 0.5
+
+    def test_target_validated(self):
+        net = random_network(seed=0)
+        with pytest.raises(ValueError):
+            random_wcets(net, utilization_target=0)
+
+    def test_all_processes_covered(self):
+        net = random_network(seed=3, n_periodic=5, n_sporadic=2)
+        wcets = random_wcets(net, seed=3)
+        assert set(wcets) == set(net.processes)
+        assert all(v > 0 for v in wcets.values())
