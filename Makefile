@@ -1,0 +1,25 @@
+# Developer entry points.  PYTHONPATH is injected so no install is needed.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test bench bench-smoke bench-json
+
+# Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
+test:
+	$(PY) -m pytest -x -q
+
+# The paper-experiment benchmark suite with pytest-benchmark timing tables.
+bench:
+	$(PY) -m pytest benchmarks -q -m experiment
+
+# CI smoke lane: run every experiment benchmark in fast mode (timing
+# disabled, assertions on) plus the perf-trajectory runner in --fast mode,
+# so the hot tick-domain paths stay continuously exercised and any error
+# fails the lane.
+bench-smoke:
+	$(PY) -m pytest benchmarks -q -m experiment --benchmark-disable
+	$(PY) benchmarks/run_bench.py --fast
+
+# Write a BENCH_<date>.json perf-trajectory snapshot (commit it in perf PRs).
+bench-json:
+	$(PY) benchmarks/run_bench.py --label $(or $(LABEL),dev)

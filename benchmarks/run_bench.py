@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Perf-trajectory runner for the E1-E9 benchmark suite.
+
+Runs the same workloads the ``test_bench_e*`` modules exercise — task-graph
+derivation, list scheduling, priority search, runtime simulation and the
+determinism matrix — and writes a ``BENCH_<date>.json`` file with wall
+times and problem sizes.  Committing one such file per perf-relevant PR
+gives the repository a perf trajectory: future changes can be compared
+against any past baseline with plain ``diff``/``jq``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --fast         # smoke lane
+    PYTHONPATH=src python benchmarks/run_bench.py --label seed \
+        --output benchmarks/BENCH_2026-07-28_seed.json
+
+The two headline cases for the tick-domain optimisation are
+``e9_schedule_40s`` (list scheduling of the ~2.8k-job 40 s-hyperperiod FMS
+graph) and ``fms_sim_100`` (100 frames of ``run_static_order`` on the
+reduced FMS network).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis import check_determinism
+from repro.apps import (
+    build_fft_network,
+    build_fig1_network,
+    build_fms_network,
+    fig1_stimulus,
+    fig1_wcets,
+    fft_stimulus,
+    fft_wcets,
+    fms_stimulus,
+    fms_wcets,
+)
+from repro.runtime import OverheadModel, jittered_execution, run_static_order
+from repro.scheduling import (
+    find_feasible_schedule,
+    list_schedule,
+    schedule_quality,
+    search_priorities,
+)
+from repro.taskgraph import derive_task_graph
+
+Case = Tuple[str, Callable[[bool], Tuple[Callable[[], object], Dict[str, object]]]]
+
+
+# ----------------------------------------------------------------------
+# Case definitions.  Each builder does the untimed setup and returns
+# ``(timed_callable, metadata)``; only the callable is measured.
+# ----------------------------------------------------------------------
+
+def _case_e1_fig1_derivation(fast: bool):
+    net = build_fig1_network()
+    return lambda: derive_task_graph(net, 25), {"experiment": "E1"}
+
+
+def _case_e2_fig4_schedule(fast: bool):
+    graph = derive_task_graph(build_fig1_network(), 25)
+    return lambda: find_feasible_schedule(graph, 2), {
+        "experiment": "E2",
+        "jobs": len(graph),
+    }
+
+
+def _case_e3_fft_schedule(fast: bool):
+    graph = derive_task_graph(build_fft_network(), fft_wcets())
+    return lambda: find_feasible_schedule(graph, 2), {
+        "experiment": "E3",
+        "jobs": len(graph),
+    }
+
+
+def _case_e4_fms_derivation(fast: bool):
+    net = build_fms_network()
+    wcets = fms_wcets()
+    return lambda: derive_task_graph(net, wcets), {"experiment": "E4"}
+
+
+def _case_e4_fms_schedule(fast: bool):
+    graph = derive_task_graph(build_fms_network(), fms_wcets())
+    return lambda: find_feasible_schedule(graph, 1), {
+        "experiment": "E4",
+        "jobs": len(graph),
+    }
+
+
+def _case_e6_determinism_fig1(fast: bool):
+    net = build_fig1_network()
+    frames = 2 if fast else 4
+    stim = fig1_stimulus(frames)
+    return (
+        lambda: check_determinism(
+            net, fig1_wcets(), frames, stim, (2, 3), ("alap", "arrival"), (0, 1)
+        ),
+        {"experiment": "E6", "frames": frames},
+    )
+
+
+def _case_e7_overhead_sim(fast: bool):
+    net = build_fft_network()
+    graph = derive_task_graph(net, fft_wcets())
+    schedule = find_feasible_schedule(graph, 2)
+    overheads = OverheadModel.mppa_like()
+    frames = 4 if fast else 16
+    stim = fft_stimulus([[k, k + 1j, -k, 0.5 * k] for k in range(frames)])
+    return (
+        lambda: run_static_order(net, schedule, frames, stim, overheads=overheads),
+        {"experiment": "E7", "frames": frames, "jobs": len(graph)},
+    )
+
+
+def _case_e8_heuristics(fast: bool):
+    graph = derive_task_graph(build_fms_network(), fms_wcets())
+
+    def sweep():
+        return [
+            schedule_quality(graph, 1, name)
+            for name in ("alap", "blevel", "deadline", "arrival")
+        ]
+
+    return sweep, {"experiment": "E8", "jobs": len(graph)}
+
+
+def _case_e8_search(fast: bool):
+    graph = derive_task_graph(build_fig1_network(), 25)
+    iters = 200 if fast else 600
+    return (
+        lambda: search_priorities(graph, 1, seed=0, max_iterations=iters, restarts=2),
+        {"experiment": "E8", "jobs": len(graph), "iterations": iters},
+    )
+
+
+def _case_e9_derive_40s(fast: bool):
+    net = build_fms_network(reduced_hyperperiod=False)
+    wcets = fms_wcets()
+    return lambda: derive_task_graph(net, wcets), {"experiment": "E9"}
+
+
+def _case_e9_schedule_40s(fast: bool):
+    graph = derive_task_graph(build_fms_network(reduced_hyperperiod=False), fms_wcets())
+    return lambda: find_feasible_schedule(graph, 1), {
+        "experiment": "E9",
+        "jobs": len(graph),
+    }
+
+
+def _case_fms_sim_100(fast: bool):
+    net = build_fms_network()
+    graph = derive_task_graph(net, fms_wcets())
+    schedule = find_feasible_schedule(graph, 1)
+    frames = 10 if fast else 100
+    return (
+        lambda: run_static_order(net, schedule, frames),
+        {"experiment": "E4/E9", "frames": frames, "jobs": len(graph)},
+    )
+
+
+def _case_fms_sim_jitter(fast: bool):
+    net = build_fms_network()
+    graph = derive_task_graph(net, fms_wcets())
+    schedule = find_feasible_schedule(graph, 1)
+    frames = 5 if fast else 25
+    stim = fms_stimulus(net, graph.hyperperiod * frames)
+    return (
+        lambda: run_static_order(
+            net, schedule, frames, stim, execution_time=jittered_execution(7)
+        ),
+        {"experiment": "E6", "frames": frames, "jobs": len(graph)},
+    )
+
+
+CASES: List[Case] = [
+    ("e1_fig1_derivation", _case_e1_fig1_derivation),
+    ("e2_fig4_schedule", _case_e2_fig4_schedule),
+    ("e3_fft_schedule", _case_e3_fft_schedule),
+    ("e4_fms_derivation", _case_e4_fms_derivation),
+    ("e4_fms_schedule", _case_e4_fms_schedule),
+    ("e6_determinism_fig1", _case_e6_determinism_fig1),
+    ("e7_overhead_sim", _case_e7_overhead_sim),
+    ("e8_heuristics", _case_e8_heuristics),
+    ("e8_search", _case_e8_search),
+    ("e9_derive_40s", _case_e9_derive_40s),
+    ("e9_schedule_40s", _case_e9_schedule_40s),
+    ("fms_sim_100", _case_fms_sim_100),
+    ("fms_sim_jitter", _case_fms_sim_jitter),
+]
+
+
+def run_suite(fast: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    results: Dict[str, Dict[str, object]] = {}
+    for name, builder in CASES:
+        fn, meta = builder(fast)
+        walls = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - t0)
+        entry = {"wall_s": round(min(walls), 6), "repeats": repeats, **meta}
+        results[name] = entry
+        print(f"{name:24s} {entry['wall_s']*1000:10.2f} ms  {meta}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="smoke mode: 1 repeat, reduced frame counts")
+    parser.add_argument("--label", default="dev",
+                        help="tag stored in the JSON (e.g. 'seed', 'pr1')")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per case (best-of); default 3, 1 in --fast")
+    parser.add_argument("--output", default=None,
+                        help="output path; default benchmarks/BENCH_<date>.json "
+                             "(omitted entirely in --fast mode unless given)")
+    args = parser.parse_args(argv)
+
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    repeats = args.repeats or (1 if args.fast else 3)
+    results = run_suite(args.fast, repeats)
+
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "label": args.label,
+        "fast": args.fast,
+        "python": platform.python_version(),
+        "cases": results,
+    }
+    out = args.output
+    if out is None and not args.fast:
+        out = str(
+            Path(__file__).parent
+            / f"BENCH_{datetime.date.today().isoformat()}.json"
+        )
+    if out:
+        Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

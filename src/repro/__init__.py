@@ -67,6 +67,7 @@ from .core import (
     Process,
     SporadicGenerator,
     Stimulus,
+    TickDomain,
     Time,
     ZeroDelayExecutor,
     as_time,
@@ -125,6 +126,7 @@ __all__ = [
     "Process",
     "SporadicGenerator",
     "Stimulus",
+    "TickDomain",
     "Time",
     "ZeroDelayExecutor",
     "as_time",

@@ -29,6 +29,7 @@ because plain zero-delay execution does not need them.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ChannelError, ModelError
@@ -42,6 +43,42 @@ from .channels import (
 from .events import EventGenerator, PeriodicGenerator, SporadicGenerator
 from .process import Behavior, JobContext, KernelBehavior, Process
 from .timebase import TimeLike
+
+
+def kahn_name_order(
+    names: Sequence[str],
+    edges: Iterable[Tuple[str, str]],
+    cycle_message: str,
+) -> List[str]:
+    """Deterministic topological order of a name DAG (ties by name).
+
+    Kahn's algorithm with a min-heap of names: the lexicographically
+    smallest available name is always emitted next.  Shared by the FP order
+    of :class:`Network` and the FP' order of
+    :class:`repro.taskgraph.servers.TransformedNetwork`.  Raises
+    :class:`ModelError` (``cycle_message`` formatted with the offending
+    names) when the edge relation is cyclic.
+    """
+    names = sorted(names)
+    indeg = {n: 0 for n in names}
+    succs: Dict[str, List[str]] = {n: [] for n in names}
+    for hi, lo in edges:
+        succs[hi].append(lo)
+        indeg[lo] += 1
+    ready = [n for n in names if indeg[n] == 0]
+    heapq.heapify(ready)
+    order: List[str] = []
+    while ready:
+        n = heapq.heappop(ready)
+        order.append(n)
+        for m in succs[n]:
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                heapq.heappush(ready, m)
+    if len(order) != len(names):
+        cyclic = sorted(set(names) - set(order))
+        raise ModelError(cycle_message.format(cyclic=repr(cyclic)))
+    return order
 
 
 class Network:
@@ -273,34 +310,14 @@ class Network:
 
         Processes not related by FP are ordered by name, making the result
         deterministic (the choice cannot affect channel data, because
-        FP covers all channel-sharing pairs).  Raises :class:`ModelError` on
-        a priority cycle.
+        FP covers all channel-sharing pairs).  Raises :class:`ModelError`
+        on a priority cycle.
         """
-        names = sorted(self.processes)
-        indeg = {n: 0 for n in names}
-        succs: Dict[str, List[str]] = {n: [] for n in names}
-        for hi, lo in self.priorities:
-            succs[hi].append(lo)
-            indeg[lo] += 1
-        ready = sorted(n for n in names if indeg[n] == 0)
-        order: List[str] = []
-        while ready:
-            n = ready.pop(0)
-            order.append(n)
-            for m in sorted(succs[n]):
-                indeg[m] -= 1
-                if indeg[m] == 0:
-                    # insert keeping 'ready' sorted for determinism
-                    lo_i = 0
-                    while lo_i < len(ready) and ready[lo_i] < m:
-                        lo_i += 1
-                    ready.insert(lo_i, m)
-        if len(order) != len(names):
-            cyclic = sorted(set(names) - set(order))
-            raise ModelError(
-                f"functional priority graph has a cycle involving {cyclic!r}"
-            )
-        return order
+        return kahn_name_order(
+            list(self.processes),
+            self.priorities,
+            "functional priority graph has a cycle involving {cyclic}",
+        )
 
     def priority_rank(self) -> Dict[str, int]:
         """Map process name -> rank in :meth:`priority_order` (0 = highest)."""

@@ -18,7 +18,15 @@ Timing and data are computed in two phases:
 1. **Timing phase** — per frame, job starts/ends are resolved in a
    topological pass over the combined DAG (precedence edges + per-processor
    chains + invocation floors).  The combined relation is acyclic because a
-   feasible static schedule orders both edge kinds by start time.
+   feasible static schedule orders both edge kinds by start time.  The pass
+   runs entirely in the **integer tick domain** (:mod:`repro.core.ticks`):
+   all timing inputs — hyperperiod, arrivals, overheads, bound sporadic
+   arrival times, process deadlines and the per-instance execution
+   durations — are mapped once per run to exact integer ticks, so the
+   ``max``/``+`` recurrence per job instance costs machine-integer
+   operations.  The resulting :class:`JobRecord` timestamps are converted
+   back to exact rationals and are bit-identical to a pure-Fraction
+   simulation.
 2. **Data phase** — the kernels of all *true* jobs run in ``(start, frame,
    <J index)`` order against fresh channel states.  Jobs sharing a channel
    can never overlap (they are precedence-ordered and the policy enforces
@@ -30,10 +38,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import RuntimeModelError
 from ..core.channels import ChannelState, ExternalOutputState
+from ..core.ticks import fraction_from_ratio
 from ..core.invocations import Stimulus
 from ..core.network import Network
 from ..core.process import JobContext
@@ -65,16 +75,33 @@ def jittered_execution(
     The sample depends only on ``(seed, process, k, frame)``, so repeated
     runs with the same seed are identical — which the determinism tests rely
     on when comparing *different schedules* under the *same* jitter.
+
+    A single reseeded :class:`random.Random` instance is hoisted out of the
+    per-sample path (reseeding produces exactly the same generator state as
+    constructing ``random.Random(key)``), and samples are memoised per
+    ``(process, k, frame)``, so determinism sweeps that replay the same
+    jitter against many schedules pay the string hash only once per
+    instance.
     """
     if not 0 < low_fraction <= 1:
         raise ValueError("low_fraction must be in (0, 1]")
+    rng = random.Random()
+    memo: Dict[Tuple[str, int, int], Tuple[Time, Time]] = {}
 
     def sample(job: Job, frame: int) -> Time:
-        rng = random.Random(f"{seed}/{job.process}/{job.k}/{frame}")
+        key = (job.process, job.k, frame)
+        hit = memo.get(key)
+        if hit is not None and hit[0] == job.wcet:
+            return hit[1]
+        rng.seed(f"{seed}/{job.process}/{job.k}/{frame}")
         frac = low_fraction + (1 - low_fraction) * rng.random()
         # keep it rational with millisecond-ish resolution
         scaled = int(frac * 10_000)
-        return job.wcet * scaled / 10_000
+        value = fraction_from_ratio(
+            job.wcet.numerator * scaled, job.wcet.denominator * 10_000
+        )
+        memo[key] = (job.wcet, value)
+        return value
 
     return sample
 
@@ -107,6 +134,26 @@ class JobRecord:
     @property
     def response_time(self) -> Time:
         return self.end - self.release
+
+
+def _probe_record_fast_path() -> bool:
+    """True when a JobRecord built through ``__dict__`` equals a normally
+    constructed one — guards the hot-loop fast path against future changes
+    to the dataclass (new defaulted fields, ``slots=True``, ...)."""
+    try:
+        kw = dict(
+            process="p", frame=0, k_frame=1, global_k=1, processor=0,
+            release=Time(0), start=Time(0), end=Time(1), deadline=Time(2),
+            is_false=False, is_server=False,
+        )
+        rec = object.__new__(JobRecord)
+        rec.__dict__.update(kw)
+        return rec == JobRecord(**kw)
+    except (AttributeError, TypeError):  # pragma: no cover - future-proofing
+        return False
+
+
+_FAST_RECORD = _probe_record_fast_path()
 
 
 @dataclass
@@ -182,62 +229,180 @@ class MultiprocessorExecutor:
             raise RuntimeModelError("n_frames must be >= 1")
         stimulus = stimulus or Stimulus()
         stimulus.validate(self.network)
-        exec_of = self._resolve_execution_time(execution_time)
         binding = ArrivalBinding(self.network, self.hyperperiod, n_frames, stimulus)
         per_frame_counts = self.plan.per_process_count()
 
+        graph = self.graph
+        jobs = graph.jobs
+        n = len(jobs)
+        topo = self._frame_topological_order()
+        pred_table = graph.predecessor_table()
+        proc_of = [self.plan.processor_of(i) for i in range(n)]
+        counts = [per_frame_counts[j.process] for j in jobs]
+        proc_deadline = [
+            self.network.processes[j.process].deadline for j in jobs
+        ]
+
+        # Phase 1 — invocation identity: which server-job slots are served
+        # by a real arrival in each frame (binding only, no timing).
+        server_jobs = [i for i in range(n) if jobs[i].is_server]
+        bound_rows: List[Dict[int, Any]] = []
+        for frame in range(n_frames):
+            row: Dict[int, Any] = {}
+            for i in server_jobs:
+                b = binding.lookup(
+                    jobs[i].process, frame, jobs[i].subset_index, jobs[i].slot
+                )
+                if b is not None:
+                    row[i] = b
+            bound_rows.append(row)
+
+        # Phase 2 — execution durations (exact rationals, identity-resolved
+        # so the execution-time model is only sampled for true jobs).
+        dur_const, dur_rows = self._durations(
+            execution_time, bound_rows, n_frames, topo
+        )
+
+        # Phase 3 — the run's tick domain: the graph's domain extended by
+        # every other timing input of this simulation.
+        tt = graph.tick_times().rescaled_to(chain(
+            (self.overheads.first_frame_arrival, self.overheads.steady_frame_arrival),
+            proc_deadline,
+            (b.time for row in bound_rows for b in row.values()),
+            (dur_const if dur_rows is None
+             else (d for row in dur_rows for d in row if d is not None)),
+        ))
+        dom = tt.domain
+        arr_t = tt.arrival
+        to_ticks = dom.to_ticks
+        from_ticks = dom.from_ticks
+        H_t = to_ticks(self.hyperperiod)
+        ov_first_t = to_ticks(self.overheads.first_frame_arrival)
+        ov_steady_t = to_ticks(self.overheads.steady_frame_arrival)
+        pdl_t = [to_ticks(d) for d in proc_deadline]
+        if dur_rows is None:
+            dur_t_const: Optional[List[int]] = [to_ticks(d) for d in dur_const]
+            dur_t_rows = None
+        else:
+            dur_t_const = None
+            dur_t_rows = [
+                [to_ticks(d) if d is not None else 0 for d in row]
+                for row in dur_rows
+            ]
+        bound_t_rows: List[Dict[int, Tuple[int, int]]] = [
+            {i: (to_ticks(b.time), b.global_k) for i, b in row.items()}
+            for row in bound_rows
+        ]
+
+        # Phase 4 — the timing recurrence, in pure integer ticks.
         records: List[JobRecord] = []
-        instance_order: List[Tuple[Time, int, int]] = []  # (start, frame, job idx)
-        # per-processor completion time of the previous round (chain state)
-        chain_end: List[Time] = [Time(0)] * self.plan.processors
-        # per (frame, job index) end times for precedence sync
-        ends: Dict[Tuple[int, int], Time] = {}
-        record_at: Dict[Tuple[int, int], JobRecord] = {}
+        record_rows: List[List[Optional[JobRecord]]] = []
+        instance_order: List[Tuple[int, int, int]] = []  # (start, frame, job idx)
+        chain_end: List[int] = [0] * self.plan.processors
         overhead_intervals: List[Tuple[int, Time, Time]] = []
 
-        topo = self._frame_topological_order()
+        # Tick->Fraction conversions repeat heavily (shared arrivals and
+        # deadlines within a frame, end==next-start chains on busy
+        # processors), so memoise them for the duration of the run.
+        frac_memo: Dict[int, Time] = {}
+        is_server_of = [j.is_server for j in jobs]
+        k_of = [j.k for j in jobs]
+        process_of = [j.process for j in jobs]
+        rec_append = records.append
+        inst_append = instance_order.append
+        new = object.__new__
+        fast_record = _FAST_RECORD
 
         for frame in range(n_frames):
-            base = self.hyperperiod * frame
-            ov = self.overheads.frame_arrival(frame)
+            base = H_t * frame
+            ov = ov_first_t if frame == 0 else ov_steady_t
             if ov > 0:
-                overhead_intervals.append((frame, base, base + ov))
-            floor = base + ov
-            for job_idx in topo:
-                job = self.graph.jobs[job_idx]
-                proc = self.plan.processor_of(job_idx)
-                visible, release, deadline, is_false, global_k = self._invocation(
-                    job, frame, base, floor, binding, per_frame_counts
+                overhead_intervals.append(
+                    (frame, from_ticks(base), from_ticks(base + ov))
                 )
-                start = max(visible, chain_end[proc])
-                for p in self.graph.predecessors(job_idx):
-                    start = max(start, ends[(frame, p)])
-                duration = Time(0)
-                if not is_false:
-                    duration = exec_of(job, frame) + self.overheads.per_job
-                end = start + duration
+            floor = base + ov
+            end_row = [0] * n
+            rec_row: List[Optional[JobRecord]] = [None] * n
+            brow = bound_t_rows[frame]
+            durs = dur_t_const if dur_t_rows is None else dur_t_rows[frame]
+            for i in topo:
+                proc = proc_of[i]
+                is_false = False
+                if is_server_of[i]:
+                    bound = brow.get(i)
+                    if bound is None:
+                        is_false = True
+                        release_t = base + arr_t[i]
+                        visible = release_t if release_t > floor else floor
+                        global_k = frame * counts[i] + k_of[i]
+                    else:
+                        release_t, global_k = bound
+                        visible = release_t if release_t > floor else floor
+                        if base > visible:
+                            visible = base
+                else:
+                    release_t = base + arr_t[i]
+                    visible = release_t if release_t > floor else floor
+                    global_k = frame * counts[i] + k_of[i]
+                start = visible
+                ce = chain_end[proc]
+                if ce > start:
+                    start = ce
+                for p in pred_table[i]:
+                    pe = end_row[p]
+                    if pe > start:
+                        start = pe
+                end = start if is_false else start + durs[i]
                 chain_end[proc] = end
-                ends[(frame, job_idx)] = end
-                rec = JobRecord(
-                    process=job.process,
+                end_row[i] = end
+
+                release_f = frac_memo.get(release_t)
+                if release_f is None:
+                    release_f = frac_memo[release_t] = from_ticks(release_t)
+                start_f = frac_memo.get(start)
+                if start_f is None:
+                    start_f = frac_memo[start] = from_ticks(start)
+                if end == start:
+                    end_f = start_f
+                else:
+                    end_f = frac_memo.get(end)
+                    if end_f is None:
+                        end_f = frac_memo[end] = from_ticks(end)
+                deadline_t = release_t + pdl_t[i]
+                deadline_f = frac_memo.get(deadline_t)
+                if deadline_f is None:
+                    deadline_f = frac_memo[deadline_t] = from_ticks(deadline_t)
+
+                # JobRecord is a frozen dataclass; building it through
+                # __dict__ skips the per-field frozen __setattr__ guards in
+                # this allocation-heavy loop (equality/hash are unaffected;
+                # _FAST_RECORD verifies that at import time).
+                kw = dict(
+                    process=process_of[i],
                     frame=frame,
-                    k_frame=job.k,
+                    k_frame=k_of[i],
                     global_k=global_k,
                     processor=proc,
-                    release=release,
-                    start=start,
-                    end=end,
-                    deadline=deadline,
+                    release=release_f,
+                    start=start_f,
+                    end=end_f,
+                    deadline=deadline_f,
                     is_false=is_false,
-                    is_server=job.is_server,
+                    is_server=is_server_of[i],
                 )
-                records.append(rec)
-                record_at[(frame, job_idx)] = rec
+                if fast_record:
+                    rec = new(JobRecord)
+                    rec.__dict__.update(kw)
+                else:  # pragma: no cover - future-proofing fallback
+                    rec = JobRecord(**kw)
+                rec_append(rec)
+                rec_row[i] = rec
                 if not is_false:
-                    instance_order.append((start, frame, job_idx))
+                    inst_append((start, frame, i))
+            record_rows.append(rec_row)
 
         channel_logs, external_outputs, trace = self._data_phase(
-            sorted(instance_order), record_at, stimulus
+            sorted(instance_order), record_rows, stimulus
         )
         return RuntimeResult(
             network_name=self.network.name,
@@ -257,79 +422,80 @@ class MultiprocessorExecutor:
 
         For a feasible schedule this order is topological for the union of
         precedence edges and per-processor chains, so a single pass resolves
-        all timing dependencies within a frame.
+        all timing dependencies within a frame.  A schedule whose start
+        times contradict the precedence edges is rejected loudly here —
+        the timing recurrence would otherwise read uncomputed predecessor
+        end times.
         """
-        return sorted(
-            range(len(self.graph)),
-            key=lambda i: (self.schedule.start(i), i),
-        )
+        n = len(self.graph)
+        _, start_t, _, _, _ = self.schedule.tick_view()
+        if len(start_t) < n:
+            for i in range(n):
+                self.schedule.entry(i)  # raises SchedulingError for the gap
+        order = sorted(range(n), key=lambda i: (start_t[i], i))
+        pos = [0] * n
+        for idx, i in enumerate(order):
+            pos[i] = idx
+        jobs = self.graph.jobs
+        pred_table = self.graph.predecessor_table()
+        for i in range(n):
+            for p in pred_table[i]:
+                if pos[p] > pos[i]:
+                    raise RuntimeModelError(
+                        f"static schedule starts job {jobs[i].name} before its "
+                        f"predecessor {jobs[p].name} — precedence-violating "
+                        "schedules cannot drive the static-order policy"
+                    )
+        return order
 
-    def _invocation(
+    def _durations(
         self,
-        job: Job,
-        frame: int,
-        base: Time,
-        floor: Time,
-        binding: ArrivalBinding,
-        per_frame_counts: Mapping[str, int],
-    ) -> Tuple[Time, Time, Time, bool, int]:
-        """Resolve a job instance's invocation.
+        spec: ExecutionTimeSpec,
+        bound_rows: List[Dict[int, Any]],
+        n_frames: int,
+        topo: List[int],
+    ) -> Tuple[Optional[List[Time]], Optional[List[List[Optional[Time]]]]]:
+        """Per-instance execution durations (including per-job overhead).
 
-        Returns ``(visible, release, deadline, is_false, global_k)`` where
-        *visible* is when Synchronize-Invocation completes, *release* the
-        real invocation time used for response-time accounting and
-        *deadline* the real absolute deadline ``release + dp``.
+        Returns ``(constant_per_job, None)`` when the model is frame
+        independent (default WCETs, per-process tables) and
+        ``(None, per_frame_rows)`` for callable models.  A callable is
+        sampled exactly once per *true* job instance, frame by frame in the
+        schedule-topological order — the same call sequence the timing loop
+        itself makes — so even a stateful callable observes the original
+        evaluation order.  False jobs get ``None`` (they never execute).
         """
-        process = self.network.processes[job.process]
-        if job.is_server:
-            bound = binding.lookup(
-                job.process, frame, job.subset_index, job.slot
-            )
-            if bound is None:
-                nominal = base + job.arrival
-                return (max(nominal, floor), nominal, nominal + process.deadline,
-                        True, frame * per_frame_counts[job.process] + job.k)
-            visible = max(bound.time, floor, base)
-            return (visible, bound.time, bound.time + process.deadline,
-                    False, bound.global_k)
-        nominal = base + job.arrival
-        return (
-            max(nominal, floor),
-            nominal,
-            nominal + process.deadline,
-            False,
-            frame * per_frame_counts[job.process] + job.k,
-        )
-
-    def _resolve_execution_time(
-        self, spec: ExecutionTimeSpec
-    ) -> Callable[[Job, int], Time]:
+        jobs = self.graph.jobs
+        per_job_ov = self.overheads.per_job
         if spec is None:
-            return wcet_execution
-        if callable(spec):
-            def from_callable(job: Job, frame: int) -> Time:
-                return as_time(spec(job, frame))
-            return from_callable
-        table = {
-            name: as_positive_time(value, f"execution time of {name!r}")
-            for name, value in spec.items()
-        }
-        missing = sorted(
-            {j.process for j in self.graph.jobs} - set(table)
-        )
-        if missing:
-            raise RuntimeModelError(f"missing execution time for {missing!r}")
+            return [j.wcet + per_job_ov for j in jobs], None
+        if not callable(spec):
+            table = {
+                name: as_positive_time(value, f"execution time of {name!r}")
+                for name, value in spec.items()
+            }
+            missing = sorted({j.process for j in jobs} - set(table))
+            if missing:
+                raise RuntimeModelError(f"missing execution time for {missing!r}")
+            return [table[j.process] + per_job_ov for j in jobs], None
 
-        def from_table(job: Job, frame: int) -> Time:
-            return table[job.process]
-
-        return from_table
+        rows: List[List[Optional[Time]]] = []
+        for frame in range(n_frames):
+            brow = bound_rows[frame]
+            row: List[Optional[Time]] = [None] * len(jobs)
+            for i in topo:
+                job = jobs[i]
+                if job.is_server and i not in brow:
+                    continue  # false job in this frame
+                row[i] = as_time(spec(job, frame)) + per_job_ov
+            rows.append(row)
+        return None, rows
 
     # ------------------------------------------------------------------
     def _data_phase(
         self,
-        order: List[Tuple[Time, int, int]],
-        record_at: Dict[Tuple[int, int], JobRecord],
+        order: List[Tuple[int, int, int]],
+        record_rows: List[List[Optional[JobRecord]]],
         stimulus: Stimulus,
     ) -> Tuple[Dict[str, List[Any]], Dict[str, List[Tuple[int, Any]]], Trace]:
         channel_states: Dict[str, ChannelState] = {
@@ -344,20 +510,32 @@ class MultiprocessorExecutor:
             for name, spec in self.network.external_outputs.items()
         }
         trace = Trace()
+        # The channel/variable binding of a process is run-constant: the
+        # same state objects back every instance, so the per-context dicts
+        # are built once per process, not once per job instance.
+        bindings: Dict[str, Tuple[Any, ...]] = {
+            name: (
+                proc,
+                variables[name],
+                {n: channel_states[n] for n in proc.inputs},
+                {n: channel_states[n] for n in proc.outputs},
+                {n: stimulus.samples_for(n) for n in proc.external_inputs},
+                {n: ext_out[n] for n in proc.external_outputs},
+            )
+            for name, proc in self.network.processes.items()
+        }
         for _start, frame, job_idx in order:
-            rec = record_at[(frame, job_idx)]
-            proc = self.network.processes[rec.process]
+            rec = record_rows[frame][job_idx]
+            proc, vs, ins, outs, ext_ins, ext_outs = bindings[rec.process]
             ctx = JobContext(
                 process=rec.process,
                 k=rec.global_k,
                 now=rec.release,
-                variables=variables[rec.process],
-                inputs={n: channel_states[n] for n in proc.inputs},
-                outputs={n: channel_states[n] for n in proc.outputs},
-                external_inputs={
-                    n: stimulus.samples_for(n) for n in proc.external_inputs
-                },
-                external_outputs={n: ext_out[n] for n in proc.external_outputs},
+                variables=vs,
+                inputs=ins,
+                outputs=outs,
+                external_inputs=ext_ins,
+                external_outputs=ext_outs,
                 trace=trace,
             )
             trace.append(JobStart(rec.process, rec.global_k))

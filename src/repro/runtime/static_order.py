@@ -27,9 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from itertools import chain
+
 from ..errors import RuntimeModelError
 from ..core.invocations import Stimulus
 from ..core.network import Network
+from ..core.ticks import TickDomain
 from ..core.timebase import Time, TimeLike, as_positive_time
 from ..taskgraph.graph import TaskGraph
 from ..taskgraph.servers import ServerSpec, transform
@@ -75,20 +78,39 @@ class ArrivalBinding:
         self.n_frames = n_frames
         self._slots: Dict[Tuple[str, int, int, int], BoundArrival] = {}
         self._dropped: List[BoundArrival] = []
+        arrivals_by_name = {
+            name: sorted(stimulus.arrivals_for(name)) for name in pn.servers
+        }
+        # One tick domain over every period and arrival: the per-arrival
+        # window arithmetic below is pure integer floor division.
+        dom = TickDomain.for_values(chain(
+            (hyperperiod,),
+            (spec.period for spec in pn.servers.values()),
+            (t for arr in arrivals_by_name.values() for t in arr),
+        ))
+        H_t = dom.to_ticks(hyperperiod)
         for name, spec in pn.servers.items():
-            arrivals = stimulus.arrivals_for(name)
-            self._bind_process(name, spec, arrivals)
+            self._bind_process(name, spec, arrivals_by_name[name], dom, H_t)
 
     # ------------------------------------------------------------------
     def _bind_process(
-        self, name: str, spec: ServerSpec, arrivals: Sequence[Time]
+        self,
+        name: str,
+        spec: ServerSpec,
+        arrivals: Sequence[Time],
+        dom: TickDomain,
+        H_t: int,
     ) -> None:
-        horizon = self.hyperperiod * self.n_frames
+        horizon_t = H_t * self.n_frames
+        T_t = dom.to_ticks(spec.period)
+        to_ticks = dom.to_ticks
+        closed_right = spec.boundary_closed_right
         per_window: Dict[Tuple[int, int], List[BoundArrival]] = {}
-        for global_k, t in enumerate(sorted(arrivals), start=1):
-            frame, subset = self._window_of(spec, t)
+        for global_k, t in enumerate(arrivals, start=1):
+            t_t = to_ticks(t)
+            frame, subset = _window_of_ticks(t_t, T_t, H_t, closed_right)
             bound = BoundArrival(name, t, global_k, frame, subset, slot=0)
-            if frame >= self.n_frames or t >= horizon:
+            if frame >= self.n_frames or t_t >= horizon_t:
                 self._dropped.append(bound)
                 continue
             per_window.setdefault((frame, subset), []).append(bound)
@@ -105,27 +127,6 @@ class ArrivalBinding:
                     name, bound.time, bound.global_k, frame, subset, slot
                 )
 
-    def _window_of(self, spec: ServerSpec, t: Time) -> Tuple[int, int]:
-        """The (frame, subset) whose window contains arrival time *t*."""
-        T = spec.period
-        q = t / T
-        if spec.boundary_closed_right:
-            # window (b - T, b]: b is the smallest multiple of T with b >= t,
-            # except t == multiple keeps b = t.
-            b_index = q.numerator // q.denominator  # floor
-            if b_index * T < t:
-                b_index += 1
-        else:
-            # window [b - T, b): b is the smallest multiple strictly > t.
-            b_index = q.numerator // q.denominator + 1
-        b = b_index * T
-        frame_ratio = b / self.hyperperiod
-        frame = frame_ratio.numerator // frame_ratio.denominator
-        offset = b - frame * self.hyperperiod
-        subset_ratio = offset / T
-        subset = subset_ratio.numerator // subset_ratio.denominator + 1
-        return frame, subset
-
     # ------------------------------------------------------------------
     def lookup(
         self, process: str, frame: int, subset: int, slot: int
@@ -140,6 +141,26 @@ class ArrivalBinding:
     def served(self) -> List[BoundArrival]:
         """All bound arrivals, ordered by ``global_k`` per process."""
         return sorted(self._slots.values(), key=lambda b: (b.process, b.global_k))
+
+
+def _window_of_ticks(
+    t_t: int, T_t: int, H_t: int, closed_right: bool
+) -> Tuple[int, int]:
+    """The (frame, subset) whose server window contains arrival tick ``t_t``.
+
+    ``closed_right`` selects the boundary rule of Section IV: a window
+    ``(b - T, b]`` keeps a boundary arrival (``b`` = smallest multiple of
+    ``T`` with ``b >= t``), a window ``[b - T, b)`` defers it (``b`` =
+    smallest multiple strictly greater than ``t``).
+    """
+    if closed_right:
+        b_index = -(-t_t // T_t)  # ceil
+    else:
+        b_index = t_t // T_t + 1
+    b_t = b_index * T_t
+    frame = b_t // H_t
+    subset = (b_t - frame * H_t) // T_t + 1
+    return frame, subset
 
 
 def served_horizon(network: Network, hyperperiod: Time, n_frames: int) -> Time:

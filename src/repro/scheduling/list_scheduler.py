@@ -14,6 +14,14 @@ onto a free processor; when nothing can be dispatched, time advances to the
 next arrival or completion.  The construction never inserts idle time except
 when forced — the classic work-conserving list schedule.
 
+The simulation itself runs in the **integer tick domain** (see
+:mod:`repro.core.ticks`): arrivals and WCETs are mapped once per graph to
+exact integer tick counts, so the event loop's heap operations compare and
+add machine integers instead of normalising rationals.  Start times are
+converted back to exact :class:`~fractions.Fraction` values only when the
+:class:`~repro.scheduling.schedule.StaticSchedule` is materialised — the
+result is bit-identical to a pure-Fraction implementation.
+
 The produced :class:`~repro.scheduling.schedule.StaticSchedule` may violate
 deadlines; callers check :meth:`is_feasible` (a miss means the SP heuristic
 was suboptimal — try another one via the portfolio optimizer).
@@ -22,10 +30,10 @@ was suboptimal — try another one via the portfolio optimizer).
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence
+from typing import List, Sequence, Set, Tuple
 
 from ..errors import SchedulingError
-from ..core.timebase import Time
+from ..core.ticks import JobTicks
 from ..taskgraph.graph import TaskGraph
 from .priorities import get_heuristic
 from .schedule import ScheduledJob, StaticSchedule
@@ -57,28 +65,58 @@ def list_schedule(
     """
     if processors < 1:
         raise SchedulingError("list_schedule needs at least one processor")
-    n = len(graph)
     ranks = _resolve_priority(graph, priority)
+    tt = graph.tick_times()
+    start_t, proc_of = _schedule_ticks(graph, tt, processors, ranks)
+    from_ticks = tt.domain.from_ticks
+    # Emit entries pre-sorted in the schedule's canonical order so the
+    # StaticSchedule constructor's sort is a linear no-op.
+    order = sorted(
+        range(len(graph)), key=lambda i: (start_t[i], proc_of[i], i)
+    )
+    entries = [
+        ScheduledJob(i, proc_of[i], from_ticks(start_t[i])) for i in order
+    ]
+    return StaticSchedule(graph, processors, entries)
 
-    remaining_preds = [len(graph.predecessors(i)) for i in range(n)]
-    completed = [False] * n
-    end_time: List[Optional[Time]] = [None] * n
-    entries: List[ScheduledJob] = []
 
-    # Jobs not yet arrived, as a heap keyed by arrival.
-    arrivals = [(graph.jobs[i].arrival, ranks[i], i) for i in range(n)]
+def _schedule_ticks(
+    graph: TaskGraph,
+    tt: JobTicks,
+    processors: int,
+    ranks: Sequence[int],
+) -> Tuple[List[int], List[int]]:
+    """The list-scheduling event loop in pure integer ticks.
+
+    Returns per-job ``(start_ticks, processor)`` arrays.  Shared by
+    :func:`list_schedule` and the priority search (which evaluates thousands
+    of rank permutations and must not pay Fraction arithmetic or
+    re-materialise a :class:`StaticSchedule` per candidate).
+    """
+    n = len(graph)
+    arrival = tt.arrival
+    wcet = tt.wcet
+    succ_table = graph.successor_table()
+    pred_table = graph.predecessor_table()
+
+    remaining_preds = [len(p) for p in pred_table]
+    start_t = [0] * n
+    proc_of = [0] * n
+
+    # Jobs not yet arrived, as a heap keyed by arrival tick.
+    arrivals = [(arrival[i], ranks[i], i) for i in range(n)]
     heapq.heapify(arrivals)
     # Ready set: arrived and precedence-free, keyed by SP rank.
-    ready: List = []
+    ready: List[Tuple[int, int]] = []
     # Running jobs: (end, processor, job)
-    running: List = []
+    running: List[Tuple[int, int, int]] = []
     # Free processors (min-heap of ids for deterministic assignment).
     free = list(range(processors))
     heapq.heapify(free)
-    # Arrived but blocked on predecessors.
-    blocked: List[int] = []
+    # Arrived but blocked on predecessors (set: O(1) membership/removal).
+    blocked: Set[int] = set()
 
-    now = Time(0)
+    now = 0
     scheduled = 0
     while scheduled < n:
         # Admit arrivals at 'now'.
@@ -87,25 +125,25 @@ def list_schedule(
             if remaining_preds[i] == 0:
                 heapq.heappush(ready, (rank, i))
             else:
-                blocked.append(i)
+                blocked.add(i)
         # Dispatch while possible.
         while ready and free:
             rank, i = heapq.heappop(ready)
             proc = heapq.heappop(free)
-            entries.append(ScheduledJob(i, proc, now))
-            finish = now + graph.jobs[i].wcet
-            heapq.heappush(running, (finish, proc, i))
+            start_t[i] = now
+            proc_of[i] = proc
+            heapq.heappush(running, (now + wcet[i], proc, i))
             scheduled += 1
         if scheduled >= n:
             break
         # Advance time to the next event: completion or arrival.
-        candidates: List[Time] = []
+        candidates: List[int] = []
         if running:
             candidates.append(running[0][0])
         if arrivals:
             candidates.append(arrivals[0][0])
         if not candidates:
-            stuck = [graph.jobs[i].name for i in blocked][:5]
+            stuck = [graph.jobs[i].name for i in sorted(blocked)][:5]
             raise SchedulingError(
                 f"list scheduler deadlocked with blocked jobs {stuck!r} "
                 "(task graph has an unsatisfiable precedence structure)"
@@ -114,19 +152,17 @@ def list_schedule(
         # Retire completions at 'now' and unblock successors.
         while running and running[0][0] <= now:
             finish, proc, i = heapq.heappop(running)
-            completed[i] = True
-            end_time[i] = finish
             heapq.heappush(free, proc)
-            for s in graph.successors(i):
+            for s in succ_table[i]:
                 remaining_preds[s] -= 1
                 if remaining_preds[s] == 0 and s in blocked:
-                    blocked.remove(s)
-                    if graph.jobs[s].arrival <= now:
+                    blocked.discard(s)
+                    if arrival[s] <= now:
                         heapq.heappush(ready, (ranks[s], s))
                     else:
-                        heapq.heappush(arrivals, (graph.jobs[s].arrival, ranks[s], s))
+                        heapq.heappush(arrivals, (arrival[s], ranks[s], s))
 
-    return StaticSchedule(graph, processors, entries)
+    return start_t, proc_of
 
 
 def _resolve_priority(

@@ -125,14 +125,16 @@ def schedule_quality(
 ) -> QualityReport:
     """Evaluate one heuristic: feasibility, makespan, lateness (bench E8)."""
     schedule = list_schedule(graph, processors, heuristic)
-    lateness = Time(0)
+    dom, start_t, _, wcet_t, deadline_t = schedule.tick_view()
+    lateness_t = 0
     misses = 0
     for entry in schedule.entries:
-        job = graph.jobs[entry.job_index]
-        end = entry.start + job.wcet
-        if end > job.deadline:
+        i = entry.job_index
+        end = start_t[i] + wcet_t[i]
+        if end > deadline_t[i]:
             misses += 1
-            lateness += end - job.deadline
+            lateness_t += end - deadline_t[i]
+    lateness = dom.from_ticks(lateness_t)
     return QualityReport(
         heuristic=heuristic,
         feasible=schedule.is_feasible(),

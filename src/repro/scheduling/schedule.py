@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
+from ..core.ticks import TickDomain
 from ..core.timebase import Time, time_str
 from ..taskgraph.graph import TaskGraph
 
@@ -66,6 +67,10 @@ class StaticSchedule:
             entries, key=lambda e: (e.start, e.processor, e.job_index)
         )
         self._by_job: Dict[int, ScheduledJob] = {}
+        #: lazy integer-tick view (domain, start ticks, job time arrays)
+        self._ticks: Optional[
+            Tuple[TickDomain, Dict[int, int], Sequence[int], Sequence[int], Sequence[int]]
+        ] = None
         for e in self.entries:
             if e.processor >= processors:
                 raise SchedulingError(
@@ -95,9 +100,35 @@ class StaticSchedule:
     def mapping(self, job_index: int) -> int:
         return self.entry(job_index).processor
 
+    def tick_view(
+        self,
+    ) -> Tuple[TickDomain, Dict[int, int], Sequence[int], Sequence[int], Sequence[int]]:
+        """Integer-tick view ``(domain, start_ticks, arrival, wcet, deadline)``.
+
+        The domain is the graph's tick domain, extended if hand-built entries
+        carry start times outside it; all arrays are exact integer images of
+        the rational values.  Built lazily once (schedules are immutable
+        after construction) and shared by the feasibility checks and the
+        runtime executor's frame ordering.
+        """
+        cached = self._ticks
+        if cached is None:
+            tt = self.graph.tick_times().rescaled_to(
+                e.start for e in self.entries
+            )
+            to_ticks = tt.domain.to_ticks
+            start_t = {e.job_index: to_ticks(e.start) for e in self.entries}
+            cached = self._ticks = (
+                tt.domain, start_t, tt.arrival, tt.wcet, tt.deadline
+            )
+        return cached
+
     def makespan(self) -> Time:
         """Completion time of the last job in the frame."""
-        return max((self.end(e.job_index) for e in self.entries), default=Time(0))
+        dom, start_t, _, wcet, _ = self.tick_view()
+        return dom.from_ticks(
+            max((t + wcet[i] for i, t in start_t.items()), default=0)
+        )
 
     def processor_order(self, processor: int) -> List[int]:
         """Job indices mapped to *processor*, in start-time order.
@@ -113,15 +144,22 @@ class StaticSchedule:
 
     # ------------------------------------------------------------------
     def violations(self) -> List[Violation]:
-        """All feasibility violations of Definition 3.2 (empty == feasible)."""
+        """All feasibility violations of Definition 3.2 (empty == feasible).
+
+        All comparisons run in the integer tick view; the diagnostic
+        messages are rendered from the exact rational times, so they are
+        identical to a pure-Fraction check.
+        """
         out: List[Violation] = []
         jobs = self.graph.jobs
+        _, start_t, arrival_t, wcet_t, deadline_t = self.tick_view()
         for i in range(len(jobs)):
             if i not in self._by_job:
                 out.append(Violation("missing", f"job {jobs[i].name} unscheduled"))
         for i, e in self._by_job.items():
             job = jobs[i]
-            if e.start < job.arrival:
+            s = start_t[i]
+            if s < arrival_t[i]:
                 out.append(
                     Violation(
                         "arrival",
@@ -129,7 +167,7 @@ class StaticSchedule:
                         f"arrival {time_str(job.arrival)}",
                     )
                 )
-            if e.start + job.wcet > job.deadline:
+            if s + wcet_t[i] > deadline_t[i]:
                 out.append(
                     Violation(
                         "deadline",
@@ -138,8 +176,8 @@ class StaticSchedule:
                     )
                 )
         for i, j in self.graph.edges():
-            if i in self._by_job and j in self._by_job:
-                if self.end(i) > self.start(j):
+            if i in start_t and j in start_t:
+                if start_t[i] + wcet_t[i] > start_t[j]:
                     out.append(
                         Violation(
                             "precedence",
@@ -151,7 +189,7 @@ class StaticSchedule:
         for m in range(self.processors):
             order = self.processor_order(m)
             for a, b in zip(order, order[1:]):
-                if self.end(a) > self.start(b):
+                if start_t[a] + wcet_t[a] > start_t[b]:
                     out.append(
                         Violation(
                             "mutex",

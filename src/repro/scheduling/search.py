@@ -17,6 +17,14 @@ tight instance:
 * restarts re-seed from other heuristics and random shuffles.
 
 Deterministic given the seed.
+
+Every candidate is evaluated entirely in the graph's integer tick domain:
+one list-scheduling pass over int arrays, no ``StaticSchedule``
+materialisation and no rank-permutation re-validation per iteration (swaps
+preserve the permutation invariant, so it is checked only where ranks enter
+from outside).  The tick map is monotone, so accept/reject decisions — and
+therefore the whole search trajectory — match a Fraction-domain
+implementation exactly; only the final best schedule is materialised.
 """
 
 from __future__ import annotations
@@ -28,26 +36,42 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.timebase import Time
 from ..errors import InfeasibleError
 from ..taskgraph.graph import TaskGraph
-from .list_scheduler import list_schedule
+from .list_scheduler import _schedule_ticks, list_schedule
 from .priorities import available_heuristics, get_heuristic
 from .schedule import StaticSchedule
 
 Objective = Tuple[int, Time, Time]
 
+#: Internal all-integer objective: (#violations, lateness ticks, makespan ticks).
+_TickObjective = Tuple[int, int, int]
 
-def _evaluate(graph: TaskGraph, processors: int, ranks: Sequence[int]):
-    schedule = list_schedule(graph, processors, list(ranks))
+
+def _evaluate_ticks(
+    graph: TaskGraph, processors: int, ranks: Sequence[int]
+) -> Tuple[_TickObjective, List[int]]:
+    """One list-scheduling pass; objective and late jobs in pure ticks.
+
+    The late-job list is ordered like the schedule's canonical entry order
+    (start, processor, index) so the swap bias samples jobs exactly as an
+    entry-iterating implementation would.
+    """
+    tt = graph.tick_times()
+    start_t, proc_of = _schedule_ticks(graph, tt, processors, ranks)
+    wcet, deadline = tt.wcet, tt.deadline
     violations = 0
-    lateness = Time(0)
-    late_jobs: List[int] = []
-    for entry in schedule.entries:
-        job = graph.jobs[entry.job_index]
-        end = entry.start + job.wcet
-        if end > job.deadline:
+    lateness = 0
+    makespan = 0
+    late: List[Tuple[int, int, int]] = []
+    for i in range(len(start_t)):
+        end = start_t[i] + wcet[i]
+        if end > makespan:
+            makespan = end
+        if end > deadline[i]:
             violations += 1
-            lateness += end - job.deadline
-            late_jobs.append(entry.job_index)
-    return schedule, (violations, lateness, schedule.makespan()), late_jobs
+            lateness += end - deadline[i]
+            late.append((start_t[i], proc_of[i], i))
+    late.sort()
+    return (violations, lateness, makespan), [i for _, _, i in late]
 
 
 @dataclass
@@ -83,7 +107,10 @@ def search_priorities(
     rng = random.Random(seed)
     heuristic_names = list(seeds_from or available_heuristics())
 
-    best: Optional[SearchResult] = None
+    best_ranks: Optional[List[int]] = None
+    best_objective: Optional[_TickObjective] = None
+    best_restarts = 0
+    best_iterations = 0
     total_iters = 0
 
     for restart in range(max(1, restarts)):
@@ -92,7 +119,7 @@ def search_priorities(
         else:
             ranks = list(range(n))
             rng.shuffle(ranks)
-        schedule, objective, late = _evaluate(graph, processors, ranks)
+        objective, late = _evaluate_ticks(graph, processors, ranks)
         budget = max_iterations // max(1, restarts)
 
         for _ in range(budget):
@@ -108,28 +135,36 @@ def search_priorities(
             if i == j:
                 continue
             ranks[i], ranks[j] = ranks[j], ranks[i]
-            cand_schedule, cand_objective, cand_late = _evaluate(
-                graph, processors, ranks
-            )
+            cand_objective, cand_late = _evaluate_ticks(graph, processors, ranks)
             if cand_objective <= objective:
-                schedule, objective, late = cand_schedule, cand_objective, cand_late
+                objective, late = cand_objective, cand_late
             else:
                 ranks[i], ranks[j] = ranks[j], ranks[i]  # revert
 
-        candidate = SearchResult(
-            schedule=schedule,
-            ranks=list(ranks),
-            objective=objective,
-            iterations=total_iters,
-            restarts=restart + 1,
-        )
-        if best is None or candidate.objective < best.objective:
-            best = candidate
-        if best.feasible:
+        if best_objective is None or objective < best_objective:
+            best_ranks = list(ranks)
+            best_objective = objective
+            best_restarts = restart + 1
+            best_iterations = total_iters
+        if best_objective[0] == 0:
             break
 
-    assert best is not None
-    return best
+    assert best_ranks is not None and best_objective is not None
+    # Materialise the winning schedule once (the tick core is deterministic,
+    # so this reproduces the evaluated candidate exactly).
+    schedule = list_schedule(graph, processors, best_ranks)
+    from_ticks = graph.tick_times().domain.from_ticks
+    return SearchResult(
+        schedule=schedule,
+        ranks=best_ranks,
+        objective=(
+            best_objective[0],
+            from_ticks(best_objective[1]),
+            from_ticks(best_objective[2]),
+        ),
+        iterations=best_iterations,
+        restarts=best_restarts,
+    )
 
 
 def find_feasible_schedule_with_search(

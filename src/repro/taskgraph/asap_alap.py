@@ -13,12 +13,17 @@ These times feed (a) the necessary schedulability condition of
 Proposition 3.1, (b) the precedence-aware load metric
 (:mod:`repro.taskgraph.load`), and (c) the ALAP/EDF schedule-priority
 heuristic (:mod:`repro.scheduling.priorities`).
+
+Both passes run in the graph's integer tick domain (the fixpoints are pure
+max/add recurrences, so the tick results convert back to the exact rational
+bounds); :func:`compute_bounds_ticks` exposes the raw integer arrays for
+hot callers like the SP heuristics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from ..core.timebase import Time
 from .graph import TaskGraph
@@ -36,30 +41,43 @@ class TimingBounds:
         return self.alap[i] - self.asap[i]
 
 
-def compute_bounds(graph: TaskGraph) -> TimingBounds:
-    """Compute ASAP/ALAP for every job of *graph*."""
+def compute_bounds_ticks(graph: TaskGraph) -> Tuple[List[int], List[int]]:
+    """ASAP/ALAP fixpoints as integer tick arrays of ``graph.tick_times()``."""
     n = len(graph)
-    asap: List[Time] = [Time(0)] * n
+    tt = graph.tick_times()
+    arrival, deadline, wcet = tt.arrival, tt.deadline, tt.wcet
+    pred_table = graph.predecessor_table()
+    succ_table = graph.successor_table()
+
+    asap: List[int] = [0] * n
     for i in range(n):
-        job = graph.jobs[i]
-        best = job.arrival
-        for p in graph.predecessors(i):
-            cand = asap[p] + graph.jobs[p].wcet
+        best = arrival[i]
+        for p in pred_table[i]:
+            cand = asap[p] + wcet[p]
             if cand > best:
                 best = cand
         asap[i] = best
 
-    alap: List[Time] = [Time(0)] * n
+    alap: List[int] = [0] * n
     for i in range(n - 1, -1, -1):
-        job = graph.jobs[i]
-        best = job.deadline
-        for s in graph.successors(i):
-            cand = alap[s] - graph.jobs[s].wcet
+        best = deadline[i]
+        for s in succ_table[i]:
+            cand = alap[s] - wcet[s]
             if cand < best:
                 best = cand
         alap[i] = best
 
-    return TimingBounds(asap, alap)
+    return asap, alap
+
+
+def compute_bounds(graph: TaskGraph) -> TimingBounds:
+    """Compute ASAP/ALAP for every job of *graph* (exact rationals)."""
+    asap_t, alap_t = compute_bounds_ticks(graph)
+    from_ticks = graph.tick_times().domain.from_ticks
+    return TimingBounds(
+        [from_ticks(t) for t in asap_t],
+        [from_ticks(t) for t in alap_t],
+    )
 
 
 def precedence_feasible(graph: TaskGraph, bounds: TimingBounds = None) -> bool:
@@ -69,7 +87,11 @@ def precedence_feasible(graph: TaskGraph, bounds: TimingBounds = None) -> bool:
     many processors — the graph is infeasible regardless of platform.
     """
     if bounds is None:
-        bounds = compute_bounds(graph)
+        asap_t, alap_t = compute_bounds_ticks(graph)
+        wcet_t = graph.tick_times().wcet
+        return all(
+            asap_t[i] + wcet_t[i] <= alap_t[i] for i in range(len(graph))
+        )
     return all(
         bounds.asap[i] + graph.jobs[i].wcet <= bounds.alap[i]
         for i in range(len(graph))
@@ -82,14 +104,17 @@ def critical_path_length(graph: TaskGraph) -> Time:
     Useful as a makespan lower bound and in reports.
     """
     n = len(graph)
-    finish: List[Time] = [Time(0)] * n
-    best = Time(0)
+    tt = graph.tick_times()
+    wcet = tt.wcet
+    pred_table = graph.predecessor_table()
+    finish: List[int] = [0] * n
+    best = 0
     for i in range(n):
-        start = Time(0)
-        for p in graph.predecessors(i):
+        start = 0
+        for p in pred_table[i]:
             if finish[p] > start:
                 start = finish[p]
-        finish[i] = start + graph.jobs[i].wcet
+        finish[i] = start + wcet[i]
         if finish[i] > best:
             best = finish[i]
-    return best
+    return tt.domain.from_ticks(best)

@@ -5,6 +5,13 @@ hyperperiod simulation, so the node list itself is a topological order —
 every edge ``(i, j)`` satisfies ``i < j``.  The class enforces this, which
 makes downstream algorithms (ASAP/ALAP, list scheduling, transitive
 reduction) single forward/backward passes.
+
+Adjacency queries (``successors``/``predecessors``/``sources``/``sinks``/
+``edges``/``jobs_of``) return **cached immutable tuples**: the sorted views
+are built lazily on first use and invalidated by ``add_edge``/
+``remove_edge``, so the hot scheduling and simulation loops pay no per-call
+sorting.  The job list itself is frozen at construction (the name index and
+the integer-tick time view both rely on that).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ModelError
+from ..core.ticks import JobTicks
 from ..core.timebase import Time
 from .jobs import Job
 
@@ -40,7 +48,9 @@ class TaskGraph:
         edges: Iterable[Edge] = (),
         hyperperiod: Optional[Time] = None,
     ) -> None:
-        self.jobs: List[Job] = list(jobs)
+        # A tuple: the job list is frozen at construction (the name index,
+        # the jobs_of grouping and the tick-time view all cache over it).
+        self.jobs: Tuple[Job, ...] = tuple(jobs)
         self.hyperperiod = hyperperiod
         names = [j.name for j in self.jobs]
         if len(set(names)) != len(names):
@@ -49,8 +59,18 @@ class TaskGraph:
         self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
         self._succs: List[Set[int]] = [set() for _ in self.jobs]
         self._preds: List[Set[int]] = [set() for _ in self.jobs]
+        # Lazily built immutable adjacency views, all keyed in one dict so
+        # edge mutations invalidate with a single (usually no-op) clear.
+        self._adj_cache: Dict[str, object] = {}
+        # Job-derived caches (jobs are frozen at construction, never stale).
+        self._jobs_of_view: Optional[Dict[str, Tuple[int, ...]]] = None
+        self._tick_times: Optional[JobTicks] = None
         for i, j in edges:
             self.add_edge(i, j)
+
+    def _invalidate_adjacency(self) -> None:
+        if self._adj_cache:
+            self._adj_cache = {}
 
     # ------------------------------------------------------------------
     def add_edge(self, i: int, j: int) -> None:
@@ -67,10 +87,12 @@ class TaskGraph:
             )
         self._succs[i].add(j)
         self._preds[j].add(i)
+        self._invalidate_adjacency()
 
     def remove_edge(self, i: int, j: int) -> None:
         self._succs[i].discard(j)
         self._preds[j].discard(i)
+        self._invalidate_adjacency()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -95,34 +117,88 @@ class TaskGraph:
     def has_edge_named(self, a: str, b: str) -> bool:
         return self.has_edge(self.index_of(a), self.index_of(b))
 
-    def successors(self, i: int) -> List[int]:
-        return sorted(self._succs[i])
+    def successors(self, i: int) -> Tuple[int, ...]:
+        """Direct successors of job *i* as a cached sorted tuple."""
+        return self.successor_table()[i]
 
-    def predecessors(self, i: int) -> List[int]:
-        return sorted(self._preds[i])
+    def predecessors(self, i: int) -> Tuple[int, ...]:
+        """Direct predecessors of job *i* as a cached sorted tuple."""
+        return self.predecessor_table()[i]
+
+    def successor_table(self) -> List[Tuple[int, ...]]:
+        """The whole successor adjacency, indexed like ``jobs`` (cached)."""
+        view = self._adj_cache.get("succ")
+        if view is None:
+            view = self._adj_cache["succ"] = [
+                tuple(sorted(s)) for s in self._succs
+            ]
+        return view
+
+    def predecessor_table(self) -> List[Tuple[int, ...]]:
+        """The whole predecessor adjacency, indexed like ``jobs`` (cached)."""
+        view = self._adj_cache.get("pred")
+        if view is None:
+            view = self._adj_cache["pred"] = [
+                tuple(sorted(s)) for s in self._preds
+            ]
+        return view
 
     def edges(self) -> List[Edge]:
         """All edges as sorted ``(i, j)`` pairs."""
-        return sorted((i, j) for i, succs in enumerate(self._succs) for j in succs)
+        view = self._adj_cache.get("edges")
+        if view is None:
+            view = self._adj_cache["edges"] = tuple(
+                sorted((i, j) for i, succs in enumerate(self._succs) for j in succs)
+            )
+        return list(view)
 
     @property
     def edge_count(self) -> int:
         return sum(len(s) for s in self._succs)
 
-    def sources(self) -> List[int]:
-        """Jobs with no predecessors."""
-        return [i for i in range(len(self.jobs)) if not self._preds[i]]
+    def sources(self) -> Tuple[int, ...]:
+        """Jobs with no predecessors (cached tuple)."""
+        view = self._adj_cache.get("sources")
+        if view is None:
+            view = self._adj_cache["sources"] = tuple(
+                i for i in range(len(self.jobs)) if not self._preds[i]
+            )
+        return view
 
-    def sinks(self) -> List[int]:
-        """Jobs with no successors."""
-        return [i for i in range(len(self.jobs)) if not self._succs[i]]
+    def sinks(self) -> Tuple[int, ...]:
+        """Jobs with no successors (cached tuple)."""
+        view = self._adj_cache.get("sinks")
+        if view is None:
+            view = self._adj_cache["sinks"] = tuple(
+                i for i in range(len(self.jobs)) if not self._succs[i]
+            )
+        return view
 
     # ------------------------------------------------------------------
-    def jobs_of(self, process: str) -> List[int]:
-        """Indices of all jobs of *process*, in k order."""
-        out = [i for i, j in enumerate(self.jobs) if j.process == process]
-        out.sort(key=lambda i: self.jobs[i].k)
-        return out
+    def jobs_of(self, process: str) -> Tuple[int, ...]:
+        """Indices of all jobs of *process*, in k order (cached tuple)."""
+        view = self._jobs_of_view
+        if view is None:
+            grouped: Dict[str, List[int]] = {}
+            for i, j in enumerate(self.jobs):
+                grouped.setdefault(j.process, []).append(i)
+            view = self._jobs_of_view = {
+                name: tuple(sorted(idxs, key=lambda i: self.jobs[i].k))
+                for name, idxs in grouped.items()
+            }
+        return view.get(process, ())
+
+    def tick_times(self) -> JobTicks:
+        """The graph's integer-tick time view (cached; see :mod:`repro.core.ticks`).
+
+        Contains every job arrival, deadline and WCET plus the hyperperiod,
+        so all list-scheduling and priority arithmetic over this graph can
+        run on plain integers and convert back exactly.
+        """
+        tt = self._tick_times
+        if tt is None:
+            tt = self._tick_times = JobTicks(self.jobs, self.hyperperiod)
+        return tt
 
     def total_wcet(self) -> Time:
         """Sum of all job WCETs (the numerator of utilization over a frame)."""

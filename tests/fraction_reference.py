@@ -1,0 +1,277 @@
+"""Pure-Fraction reference implementations for tick-domain equivalence tests.
+
+These are faithful copies of the library's *pre-tick-domain* algorithms
+(the seed implementations): every timestamp is computed with
+:class:`fractions.Fraction` arithmetic end to end.  The equivalence suite
+(``test_tick_equivalence.py``) asserts that the optimised integer-tick
+implementations in ``repro`` produce *exactly* the same schedules, job
+records and determinism observables.
+
+Deliberately unoptimised — do not "improve" these; their value is being a
+direct transliteration of the rational-domain definitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.channels import ChannelState, ExternalOutputState
+from repro.core.invocations import Stimulus
+from repro.core.network import Network
+from repro.core.process import JobContext
+from repro.core.timebase import Time, as_positive_time, as_time
+from repro.core.trace import JobEnd, JobStart, Trace
+from repro.runtime.executor import JobRecord, RuntimeResult
+from repro.runtime.overheads import OverheadModel
+from repro.runtime.static_order import ArrivalBinding, FramePlan
+from repro.scheduling.list_scheduler import _resolve_priority
+from repro.scheduling.schedule import ScheduledJob, StaticSchedule
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.jobs import Job
+
+
+# ----------------------------------------------------------------------
+# Reference list scheduler (Fraction event loop, list-based blocked set).
+# ----------------------------------------------------------------------
+
+def reference_list_schedule(
+    graph: TaskGraph, processors: int, priority="alap"
+) -> StaticSchedule:
+    ranks = _resolve_priority(graph, priority)
+    n = len(graph)
+    remaining_preds = [len(graph.predecessors(i)) for i in range(n)]
+    entries: List[ScheduledJob] = []
+
+    arrivals = [(graph.jobs[i].arrival, ranks[i], i) for i in range(n)]
+    heapq.heapify(arrivals)
+    ready: List = []
+    running: List = []
+    free = list(range(processors))
+    heapq.heapify(free)
+    blocked: List[int] = []
+
+    now = Time(0)
+    scheduled = 0
+    while scheduled < n:
+        while arrivals and arrivals[0][0] <= now:
+            _, rank, i = heapq.heappop(arrivals)
+            if remaining_preds[i] == 0:
+                heapq.heappush(ready, (rank, i))
+            else:
+                blocked.append(i)
+        while ready and free:
+            rank, i = heapq.heappop(ready)
+            proc = heapq.heappop(free)
+            entries.append(ScheduledJob(i, proc, now))
+            finish = now + graph.jobs[i].wcet
+            heapq.heappush(running, (finish, proc, i))
+            scheduled += 1
+        if scheduled >= n:
+            break
+        candidates: List[Time] = []
+        if running:
+            candidates.append(running[0][0])
+        if arrivals:
+            candidates.append(arrivals[0][0])
+        assert candidates, "reference scheduler deadlocked"
+        now = max(now, min(candidates))
+        while running and running[0][0] <= now:
+            finish, proc, i = heapq.heappop(running)
+            heapq.heappush(free, proc)
+            for s in graph.successors(i):
+                remaining_preds[s] -= 1
+                if remaining_preds[s] == 0 and s in blocked:
+                    blocked.remove(s)
+                    if graph.jobs[s].arrival <= now:
+                        heapq.heappush(ready, (ranks[s], s))
+                    else:
+                        heapq.heappush(
+                            arrivals, (graph.jobs[s].arrival, ranks[s], s)
+                        )
+    return StaticSchedule(graph, processors, entries)
+
+
+# ----------------------------------------------------------------------
+# Reference execution-time models.
+# ----------------------------------------------------------------------
+
+def reference_jittered_execution(
+    seed: int, low_fraction: float = 0.5
+) -> Callable[[Job, int], Time]:
+    """Seed sampler: a fresh ``random.Random(key)`` per sample."""
+
+    def sample(job: Job, frame: int) -> Time:
+        rng = random.Random(f"{seed}/{job.process}/{job.k}/{frame}")
+        frac = low_fraction + (1 - low_fraction) * rng.random()
+        scaled = int(frac * 10_000)
+        return job.wcet * scaled / 10_000
+
+    return sample
+
+
+def _resolve_execution_time(graph: TaskGraph, spec) -> Callable[[Job, int], Time]:
+    if spec is None:
+        return lambda job, frame: job.wcet
+    if callable(spec):
+        return lambda job, frame: as_time(spec(job, frame))
+    table = {
+        name: as_positive_time(value, f"execution time of {name!r}")
+        for name, value in spec.items()
+    }
+    return lambda job, frame: table[job.process]
+
+
+# ----------------------------------------------------------------------
+# Reference runtime simulation (Fraction timing phase + data phase).
+# ----------------------------------------------------------------------
+
+def reference_run_static_order(
+    network: Network,
+    schedule: StaticSchedule,
+    n_frames: int,
+    stimulus: Optional[Stimulus] = None,
+    execution_time=None,
+    overheads: Optional[OverheadModel] = None,
+) -> RuntimeResult:
+    network.validate_taskgraph_subclass()
+    graph = schedule.graph
+    hyperperiod = graph.hyperperiod
+    plan = FramePlan.from_schedule(schedule)
+    overheads = overheads or OverheadModel.none()
+    stimulus = stimulus or Stimulus()
+    stimulus.validate(network)
+    exec_of = _resolve_execution_time(graph, execution_time)
+    binding = ArrivalBinding(network, hyperperiod, n_frames, stimulus)
+    per_frame_counts = plan.per_process_count()
+
+    records: List[JobRecord] = []
+    instance_order: List[Tuple[Time, int, int]] = []
+    chain_end: List[Time] = [Time(0)] * plan.processors
+    ends: Dict[Tuple[int, int], Time] = {}
+    record_at: Dict[Tuple[int, int], JobRecord] = {}
+    overhead_intervals: List[Tuple[int, Time, Time]] = []
+
+    topo = sorted(range(len(graph)), key=lambda i: (schedule.start(i), i))
+
+    for frame in range(n_frames):
+        base = hyperperiod * frame
+        ov = overheads.frame_arrival(frame)
+        if ov > 0:
+            overhead_intervals.append((frame, base, base + ov))
+        floor = base + ov
+        for job_idx in topo:
+            job = graph.jobs[job_idx]
+            proc = plan.processor_of(job_idx)
+            process = network.processes[job.process]
+            if job.is_server:
+                bound = binding.lookup(
+                    job.process, frame, job.subset_index, job.slot
+                )
+                if bound is None:
+                    nominal = base + job.arrival
+                    visible, release, deadline = (
+                        max(nominal, floor),
+                        nominal,
+                        nominal + process.deadline,
+                    )
+                    is_false = True
+                    global_k = frame * per_frame_counts[job.process] + job.k
+                else:
+                    visible = max(bound.time, floor, base)
+                    release = bound.time
+                    deadline = bound.time + process.deadline
+                    is_false = False
+                    global_k = bound.global_k
+            else:
+                nominal = base + job.arrival
+                visible = max(nominal, floor)
+                release = nominal
+                deadline = nominal + process.deadline
+                is_false = False
+                global_k = frame * per_frame_counts[job.process] + job.k
+            start = max(visible, chain_end[proc])
+            for p in graph.predecessors(job_idx):
+                start = max(start, ends[(frame, p)])
+            duration = Time(0)
+            if not is_false:
+                duration = exec_of(job, frame) + overheads.per_job
+            end = start + duration
+            chain_end[proc] = end
+            ends[(frame, job_idx)] = end
+            rec = JobRecord(
+                process=job.process,
+                frame=frame,
+                k_frame=job.k,
+                global_k=global_k,
+                processor=proc,
+                release=release,
+                start=start,
+                end=end,
+                deadline=deadline,
+                is_false=is_false,
+                is_server=job.is_server,
+            )
+            records.append(rec)
+            record_at[(frame, job_idx)] = rec
+            if not is_false:
+                instance_order.append((start, frame, job_idx))
+
+    channel_logs, external_outputs, trace = _reference_data_phase(
+        network, sorted(instance_order), record_at, stimulus
+    )
+    return RuntimeResult(
+        network_name=network.name,
+        frames=n_frames,
+        hyperperiod=hyperperiod,
+        processors=plan.processors,
+        records=records,
+        channel_logs=channel_logs,
+        external_outputs=external_outputs,
+        trace=trace,
+        overhead_intervals=overhead_intervals,
+    )
+
+
+def _reference_data_phase(
+    network: Network,
+    order: List[Tuple[Time, int, int]],
+    record_at: Dict[Tuple[int, int], JobRecord],
+    stimulus: Stimulus,
+):
+    channel_states: Dict[str, ChannelState] = {
+        name: spec.new_state() for name, spec in network.channels.items()
+    }
+    variables: Dict[str, Dict[str, Any]] = {
+        name: proc.fresh_variables() for name, proc in network.processes.items()
+    }
+    ext_out: Dict[str, ExternalOutputState] = {
+        name: ExternalOutputState(spec)
+        for name, spec in network.external_outputs.items()
+    }
+    trace = Trace()
+    for _start, frame, job_idx in order:
+        rec = record_at[(frame, job_idx)]
+        proc = network.processes[rec.process]
+        ctx = JobContext(
+            process=rec.process,
+            k=rec.global_k,
+            now=rec.release,
+            variables=variables[rec.process],
+            inputs={n: channel_states[n] for n in proc.inputs},
+            outputs={n: channel_states[n] for n in proc.outputs},
+            external_inputs={
+                n: stimulus.samples_for(n) for n in proc.external_inputs
+            },
+            external_outputs={n: ext_out[n] for n in proc.external_outputs},
+            trace=trace,
+        )
+        trace.append(JobStart(rec.process, rec.global_k))
+        proc.behavior.run_job(ctx)
+        trace.append(JobEnd(rec.process, rec.global_k))
+    return (
+        {n: list(s.write_log) for n, s in channel_states.items()},
+        {n: s.as_sequence() for n, s in ext_out.items()},
+        trace,
+    )

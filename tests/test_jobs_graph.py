@@ -86,14 +86,23 @@ class TestTaskGraph:
 
     def test_pred_succ(self):
         g = chain_graph(3)
-        assert g.successors(0) == [1]
-        assert g.predecessors(2) == [1]
-        assert g.predecessors(0) == []
+        assert g.successors(0) == (1,)
+        assert g.predecessors(2) == (1,)
+        assert g.predecessors(0) == ()
+
+    def test_pred_succ_cache_invalidated_by_mutation(self):
+        g = chain_graph(3)
+        assert g.successors(0) == (1,)  # builds the cached view
+        g.add_edge(0, 2)
+        assert g.successors(0) == (1, 2)
+        g.remove_edge(0, 2)
+        assert g.successors(0) == (1,)
+        assert g.sinks() == (2,)
 
     def test_sources_sinks(self):
         g = chain_graph(3)
-        assert g.sources() == [0]
-        assert g.sinks() == [2]
+        assert g.sources() == (0,)
+        assert g.sinks() == (2,)
 
     def test_edge_count_and_listing(self):
         g = chain_graph(3)
@@ -104,7 +113,7 @@ class TestTaskGraph:
         g = chain_graph(3)
         g.remove_edge(0, 1)
         assert not g.has_edge(0, 1)
-        assert g.sources() == [0, 1]
+        assert g.sources() == (0, 1)
 
     def test_has_edge_named(self):
         g = chain_graph(2)
@@ -113,7 +122,8 @@ class TestTaskGraph:
     def test_jobs_of_sorted_by_k(self):
         jobs = [J("a", 1), J("b", 1), J("a", 2)]
         g = TaskGraph(jobs)
-        assert g.jobs_of("a") == [0, 2]
+        assert g.jobs_of("a") == (0, 2)
+        assert g.jobs_of("no-such-process") == ()
 
     def test_total_wcet(self):
         assert chain_graph(4).total_wcet() == 40

@@ -1,0 +1,196 @@
+"""Tick-domain vs Fraction-domain equivalence (the optimisation's contract).
+
+The integer-tick ports of the list scheduler, priority search and runtime
+executor must produce *exactly* — not approximately — the same public
+values as the pure-Fraction reference implementations copied into
+``fraction_reference.py``:
+
+* identical ``StaticSchedule`` entries (job, processor, exact start),
+* identical ``JobRecord`` timing fields on every instance,
+* identical determinism observables (channel write logs, external outputs),
+
+on the three example applications (Fig. 1, FFT, FMS), on networks with
+fractional periods (1/2, 1/3 — non-trivial LCM of denominators), and under
+jittered execution times.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import (
+    build_fft_network,
+    build_fig1_network,
+    build_fms_network,
+    fft_stimulus,
+    fft_wcets,
+    fig1_stimulus,
+    fig1_wcets,
+    fms_stimulus,
+    fms_wcets,
+)
+from repro.core import Network
+from repro.runtime import (
+    OverheadModel,
+    jittered_execution,
+    run_static_order,
+)
+from repro.runtime.static_order import _window_of_ticks
+from repro.core.ticks import TickDomain
+from repro.scheduling import available_heuristics, list_schedule
+from repro.taskgraph import derive_task_graph
+
+from fraction_reference import (
+    reference_jittered_execution,
+    reference_list_schedule,
+    reference_run_static_order,
+)
+
+
+def fig1():
+    net = build_fig1_network()
+    return net, derive_task_graph(net, fig1_wcets()), 2, fig1_stimulus(3)
+
+
+def fft():
+    net = build_fft_network()
+    vecs = [[k, k + 1j, -k, 0.5 * k] for k in range(3)]
+    return net, derive_task_graph(net, fft_wcets()), 2, fft_stimulus(vecs)
+
+
+def fms():
+    net = build_fms_network()
+    g = derive_task_graph(net, fms_wcets())
+    return net, g, 1, fms_stimulus(net, g.hyperperiod * 3)
+
+
+def fractional():
+    """Periods 1/2 and 1/3: hyperperiod 1, tick scale lcm(2, 3) = 6."""
+    net = Network("fractional")
+    net.add_periodic("Fast", period="1/3", deadline="1/3",
+                     kernel=lambda ctx: ctx.write("c", ctx.k))
+    net.add_periodic("Slow", period="1/2", deadline="1/2",
+                     kernel=lambda ctx: ctx.read("c"))
+    net.connect("Fast", "Slow", "c")
+    net.add_priority("Fast", "Slow")
+    net.validate()
+    graph = derive_task_graph(net, {"Fast": "1/30", "Slow": "1/20"})
+    assert graph.hyperperiod == Fraction(1)
+    return net, graph, 2, None
+
+
+APPS = {"fig1": fig1, "fft": fft, "fms": fms, "fractional": fractional}
+
+
+def assert_same_schedule(ours, ref):
+    assert ours.processors == ref.processors
+    assert len(ours.entries) == len(ref.entries)
+    for a, b in zip(ours.entries, ref.entries):
+        assert (a.job_index, a.processor) == (b.job_index, b.processor)
+        # exact rational equality, not float closeness
+        assert a.start == b.start
+        assert (a.start.numerator, a.start.denominator) == (
+            b.start.numerator, b.start.denominator)
+    assert ours.makespan() == ref.makespan()
+    assert ours.is_feasible() == ref.is_feasible()
+
+
+def assert_same_result(ours, ref):
+    assert len(ours.records) == len(ref.records)
+    for a, b in zip(ours.records, ref.records):
+        assert a == b  # dataclass equality: every field, exact Fractions
+        for attr in ("release", "start", "end", "deadline"):
+            fa, fb = getattr(a, attr), getattr(b, attr)
+            assert (fa.numerator, fa.denominator) == (fb.numerator, fb.denominator)
+    assert ours.observable() == ref.observable()
+    assert ours.overhead_intervals == ref.overhead_intervals
+    assert list(ours.trace) == list(ref.trace)
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("heuristic", ["alap", "blevel", "deadline", "arrival"])
+def test_schedules_identical(app, heuristic):
+    _, graph, m, _ = APPS[app]()
+    assert_same_schedule(
+        list_schedule(graph, m, heuristic),
+        reference_list_schedule(graph, m, heuristic),
+    )
+    assert heuristic in available_heuristics()
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_wcet_simulation_identical(app):
+    net, graph, m, stim = APPS[app]()
+    schedule = list_schedule(graph, m, "alap")
+    frames = 3
+    ours = run_static_order(net, schedule, frames, stim)
+    ref = reference_run_static_order(net, schedule, frames, stim)
+    assert_same_result(ours, ref)
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_jittered_simulation_identical(app):
+    net, graph, m, stim = APPS[app]()
+    schedule = list_schedule(graph, m, "alap")
+    ours = run_static_order(
+        net, schedule, 2, stim, execution_time=jittered_execution(42)
+    )
+    ref = reference_run_static_order(
+        net, schedule, 2, stim, execution_time=reference_jittered_execution(42)
+    )
+    assert_same_result(ours, ref)
+
+
+def test_overhead_simulation_identical():
+    net, graph, m, stim = fig1()
+    schedule = list_schedule(graph, m, "alap")
+    ov = OverheadModel.create(first_frame_arrival=41, steady_frame_arrival=20,
+                              per_job="1/2")
+    ours = run_static_order(net, schedule, 3, stim, overheads=ov)
+    ref = reference_run_static_order(net, schedule, 3, stim, overheads=ov)
+    assert_same_result(ours, ref)
+
+
+def test_jitter_sampler_matches_seed_construction():
+    """The reseeded+memoised sampler equals a fresh Random(key) per sample."""
+    _, graph, _, _ = fms()
+    ours = jittered_execution(7)
+    ref = reference_jittered_execution(7)
+    for job in graph.jobs[:100]:
+        for frame in (0, 1, 5):
+            a, b = ours(job, frame), ref(job, frame)
+            assert (a.numerator, a.denominator) == (b.numerator, b.denominator)
+    # memoised second pass returns identical values
+    for job in graph.jobs[:20]:
+        assert ours(job, 0) == ref(job, 0)
+
+
+def reference_window_of(period, hyperperiod, closed_right, t):
+    """Seed's Fraction-domain server-window formula."""
+    q = t / period
+    if closed_right:
+        b_index = q.numerator // q.denominator
+        if b_index * period < t:
+            b_index += 1
+    else:
+        b_index = q.numerator // q.denominator + 1
+    b = b_index * period
+    frame_ratio = b / hyperperiod
+    frame = frame_ratio.numerator // frame_ratio.denominator
+    offset = b - frame * hyperperiod
+    subset_ratio = offset / period
+    subset = subset_ratio.numerator // subset_ratio.denominator + 1
+    return frame, subset
+
+
+@pytest.mark.parametrize("closed_right", [True, False])
+def test_window_binding_matches_fraction_formula(closed_right):
+    period = Fraction(7, 3)
+    hyperperiod = Fraction(14)  # 6 windows per frame
+    dom = TickDomain.for_values([period, hyperperiod, Fraction(1, 5)])
+    T_t, H_t = dom.to_ticks(period), dom.to_ticks(hyperperiod)
+    for num in range(0, 500):
+        t = Fraction(num, 5)
+        expected = reference_window_of(period, hyperperiod, closed_right, t)
+        got = _window_of_ticks(dom.to_ticks(t), T_t, H_t, closed_right)
+        assert got == expected, f"t={t}"

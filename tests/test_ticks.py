@@ -1,0 +1,113 @@
+"""Unit tests for the integer-tick timing domain (repro.core.ticks)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ticks import JobTicks, TickDomain, fraction_from_ratio
+from repro.taskgraph import Job, TaskGraph
+
+
+class TestTickDomain:
+    def test_for_values_is_lcm_of_denominators(self):
+        dom = TickDomain.for_values([Fraction(1, 2), Fraction(1, 3), 5])
+        assert dom.scale == 6
+
+    def test_integer_only_values_give_scale_one(self):
+        dom = TickDomain.for_values([1, 200, Fraction(100)])
+        assert dom.scale == 1
+
+    def test_accepts_time_like_values(self):
+        dom = TickDomain.for_values(["1/4", 0.1, 3])
+        assert dom.scale == 20
+        assert dom.to_ticks("1/4") == 5
+
+    def test_roundtrip_is_exact(self):
+        dom = TickDomain.for_values([Fraction(3, 7), Fraction(5, 12)])
+        for f in (Fraction(3, 7), Fraction(5, 12), Fraction(0), Fraction(9, 84),
+                  Fraction(-5, 12), Fraction(1000000007, 84)):
+            assert dom.from_ticks(dom.to_ticks(f)) == f
+
+    def test_from_ticks_is_normalised_fraction(self):
+        dom = TickDomain(6)
+        f = dom.from_ticks(4)
+        assert isinstance(f, Fraction)
+        assert (f.numerator, f.denominator) == (2, 3)
+        assert hash(f) == hash(Fraction(2, 3))
+        # negative and zero ticks
+        assert dom.from_ticks(-4) == Fraction(-2, 3)
+        assert dom.from_ticks(0) == 0
+
+    def test_to_ticks_rejects_unrepresentable(self):
+        dom = TickDomain.for_values([Fraction(1, 2)])
+        with pytest.raises(ValueError, match="not representable"):
+            dom.to_ticks(Fraction(1, 3))
+        assert not dom.contains(Fraction(1, 3))
+        assert dom.contains(Fraction(7, 2))
+
+    def test_monotone_order_preserving(self):
+        dom = TickDomain.for_values([Fraction(1, 6), Fraction(1, 10)])
+        values = [Fraction(n, d) for n in range(-5, 6) for d in (1, 2, 3, 5, 6, 10, 15, 30)]
+        ticks = [dom.to_ticks(v) for v in values]
+        assert sorted(range(len(values)), key=lambda i: values[i]) == \
+            sorted(range(len(values)), key=lambda i: ticks[i])
+
+    def test_extended_returns_self_when_sufficient(self):
+        dom = TickDomain.for_values([Fraction(1, 6)])
+        assert dom.extended([Fraction(1, 2), Fraction(5, 3)]) is dom
+
+    def test_extended_enlarges_and_rescales(self):
+        dom = TickDomain.for_values([Fraction(1, 6)])
+        finer = dom.extended([Fraction(1, 4)])
+        assert finer.scale == 12
+        assert dom.rescale_factor(finer) == 2
+        assert dom.to_ticks(Fraction(5, 6)) * 2 == finer.to_ticks(Fraction(5, 6))
+        with pytest.raises(ValueError, match="does not refine"):
+            TickDomain(5).rescale_factor(TickDomain(12))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            TickDomain(0)
+
+    def test_equality(self):
+        assert TickDomain(6) == TickDomain(6)
+        assert TickDomain(6) != TickDomain(12)
+        assert hash(TickDomain(6)) == hash(TickDomain(6))
+
+
+class TestFractionFromRatio:
+    def test_normalises(self):
+        f = fraction_from_ratio(10, 4)
+        assert (f.numerator, f.denominator) == (5, 2)
+        assert f == Fraction(10, 4)
+
+    def test_signs(self):
+        assert fraction_from_ratio(-10, 4) == Fraction(-5, 2)
+        assert fraction_from_ratio(10, -4) == Fraction(-5, 2)
+        assert fraction_from_ratio(0, 7) == 0
+
+
+class TestJobTicks:
+    def graph(self):
+        jobs = [
+            Job("a", 1, arrival=Fraction(0), deadline=Fraction(1, 3), wcet=Fraction(1, 4)),
+            Job("b", 1, arrival=Fraction(1, 3), deadline=Fraction(1), wcet=Fraction(1, 6)),
+        ]
+        return TaskGraph(jobs, [(0, 1)], hyperperiod=Fraction(1))
+
+    def test_arrays_are_exact_images(self):
+        g = self.graph()
+        tt = g.tick_times()
+        assert tt.domain.scale == 12
+        assert tt.arrival == [0, 4]
+        assert tt.deadline == [4, 12]
+        assert tt.wcet == [3, 2]
+
+    def test_cached_on_graph(self):
+        g = self.graph()
+        assert g.tick_times() is g.tick_times()
+
+    def test_includes_hyperperiod(self):
+        jobs = [Job("a", 1, arrival=0, deadline=2, wcet=1)]
+        g = TaskGraph(jobs, hyperperiod=Fraction(5, 2))
+        assert g.tick_times().domain.scale == 2
