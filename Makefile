@@ -2,11 +2,20 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-smoke bench-json
+.PHONY: test bench bench-smoke bench-json lint
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
 	$(PY) -m pytest -x -q
+
+# Error-level lint (ruff.toml: syntax errors / undefined names only).
+# Skips gracefully when ruff is not in the environment; CI installs it.
+lint:
+	@if $(PY) -c "import ruff" 2>/dev/null; then \
+		$(PY) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed — skipping lint (pip install ruff)"; \
+	fi
 
 # The paper-experiment benchmark suite with pytest-benchmark timing tables.
 bench:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf-trajectory runner for the E1-E9 benchmark suite.
+"""Perf-trajectory runner for the E1-E10 benchmark suite.
 
 Runs the same workloads the ``test_bench_e*`` modules exercise — task-graph
 derivation, list scheduling, priority search, runtime simulation and the
@@ -156,6 +156,16 @@ def _case_e9_schedule_40s(fast: bool):
     }
 
 
+def _case_e10_derive_fig1_40s(fast: bool):
+    net = build_fig1_network()
+    wcets = fig1_wcets()
+    jobs = len(derive_task_graph(net, wcets, horizon=40_000))
+    return lambda: derive_task_graph(net, wcets, horizon=40_000), {
+        "experiment": "E10",
+        "jobs": jobs,
+    }
+
+
 def _case_fms_sim_100(fast: bool):
     net = build_fms_network()
     graph = derive_task_graph(net, fms_wcets())
@@ -181,6 +191,19 @@ def _case_fms_sim_jitter(fast: bool):
     )
 
 
+def _case_fms_sim_timing_100(fast: bool):
+    """The records-only fast mode: identical JobRecord timing, no kernels."""
+    net = build_fms_network()
+    graph = derive_task_graph(net, fms_wcets())
+    schedule = find_feasible_schedule(graph, 1)
+    frames = 10 if fast else 100
+    return (
+        lambda: run_static_order(net, schedule, frames, records_only=True),
+        {"experiment": "E4/E9", "frames": frames, "jobs": len(graph),
+         "mode": "records_only"},
+    )
+
+
 CASES: List[Case] = [
     ("e1_fig1_derivation", _case_e1_fig1_derivation),
     ("e2_fig4_schedule", _case_e2_fig4_schedule),
@@ -193,8 +216,10 @@ CASES: List[Case] = [
     ("e8_search", _case_e8_search),
     ("e9_derive_40s", _case_e9_derive_40s),
     ("e9_schedule_40s", _case_e9_schedule_40s),
+    ("e10_derive_fig1_40s", _case_e10_derive_fig1_40s),
     ("fms_sim_100", _case_fms_sim_100),
     ("fms_sim_jitter", _case_fms_sim_jitter),
+    ("fms_sim_timing_100", _case_fms_sim_timing_100),
 ]
 
 

@@ -1,0 +1,70 @@
+"""E10 — tick-domain derivation at 40 s hyperperiods (Fig. 1 + FMS).
+
+The Section V-B pain point from the derivation side: building the task
+graph of a long-hyperperiod instance.  PR 1 moved scheduling/simulation to
+the integer tick domain; this experiment measures the derivation pipeline
+(invocation simulation, job construction, edge generation, transitive
+reduction) after its own tick-domain port:
+
+* the Fig. 1 network derived over a 40 s horizon (200 frames of its 200 ms
+  hyperperiod — 2 000 jobs);
+* the 40 s-hyperperiod FMS variant (2 798 jobs), the graph the paper found
+  too expensive to generate code for.
+
+Structural assertions pin the derived graphs (job counts, reduction
+invariant, per-frame shape) so the speed path cannot drift semantically;
+bit-exactness against the Fraction reference is enforced separately by
+``tests/test_tick_equivalence.py``.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentReport
+from repro.apps import build_fig1_network, build_fms_network, fig1_wcets, fms_wcets
+from repro.taskgraph import derive_task_graph
+
+FIG1_40S_HORIZON = 40_000  # ms: 200 frames of the 200 ms hyperperiod
+
+
+@pytest.mark.experiment("E10")
+def test_fig1_40s_derivation(benchmark):
+    net = build_fig1_network()
+    wcets = fig1_wcets()
+
+    graph = benchmark(derive_task_graph, net, wcets, FIG1_40S_HORIZON)
+
+    report = ExperimentReport(
+        "E10 tick-domain derivation (Fig. 1 @ 40 s)", "Section III-A / V-B"
+    )
+    report.add("horizon (ms)", 40_000, int(graph.hyperperiod))
+    report.add("jobs", 10 * 200, len(graph))
+    report.add("reduced", True, graph.is_transitively_reduced())
+    report.show()
+
+    assert len(graph) == 2000
+    assert int(graph.hyperperiod) == FIG1_40S_HORIZON
+    assert graph.is_transitively_reduced()
+    # Same per-frame shape as the Fig. 3 graph, repeated 200x.
+    assert len(graph.jobs_of("CoefB")) == 2 * 200
+    assert len(graph.jobs_of("FilterA")) == 2 * 200
+
+
+@pytest.mark.experiment("E10")
+def test_fms_40s_derivation(benchmark):
+    net = build_fms_network(reduced_hyperperiod=False)
+    wcets = fms_wcets()
+
+    graph = benchmark(derive_task_graph, net, wcets)
+
+    report = ExperimentReport(
+        "E10 tick-domain derivation (FMS @ 40 s)", "Section V-B"
+    )
+    report.add("hyperperiod (ms)", 40_000, int(graph.hyperperiod))
+    report.add("jobs", "a few thousands", len(graph))
+    report.add("edges", "-", graph.edge_count)
+    report.add("reduced", True, graph.is_transitively_reduced())
+    report.show()
+
+    assert len(graph) == 2798
+    assert int(graph.hyperperiod) == 40_000
+    assert graph.is_transitively_reduced()

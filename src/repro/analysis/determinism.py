@@ -107,6 +107,12 @@ def check_determinism(
     All variants consume the *same* stimulus, so by Prop. 2.1 every
     observable must be identical to the zero-delay reference over the same
     horizon ``n_frames * H``.
+
+    Each variant runs through the executor's observer-based core with
+    ``collect_records=False``: the matrix only compares data-phase
+    observables, so no :class:`~repro.runtime.executor.JobRecord` is ever
+    materialised — the timing recurrence stays in pure integer ticks and
+    the sweep skips every tick→Fraction record conversion.
     """
     graph = derive_task_graph(network, wcet)
     horizon = graph.hyperperiod * n_frames
@@ -132,7 +138,9 @@ def check_determinism(
                 (f"jitter#{seed}", jittered_execution(seed)) for seed in jitter_seeds
             ]
             for label, exec_time in variants:
-                result = executor.run(n_frames, stimulus, exec_time)
+                result = executor.run(
+                    n_frames, stimulus, exec_time, collect_records=False
+                )
                 obs = result.observable()
                 div = first_divergence(ref_obs, obs)
                 report.variants.append(

@@ -1,0 +1,52 @@
+"""Import-time guard for ``__dict__``-based trusted constructors.
+
+The derivation and simulation hot loops build their frozen dataclasses
+(:class:`~repro.taskgraph.jobs.Job`, :class:`~repro.runtime.executor.
+JobRecord`) through explicit trusted constructors that bypass the frozen
+``__setattr__`` guards and any ``__post_init__`` validation.  Each such
+constructor registers itself here at module import: the check fails the
+import **loudly** — never falls back to a slow path silently — if the
+dataclass's fields drift from the constructor's explicit field list, or if
+the ``__dict__`` construction path itself stops reproducing the public
+constructor (e.g. a future ``slots=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Callable, Dict, Tuple
+
+
+def check_trusted_constructor(
+    cls: type,
+    expected_fields: Tuple[str, ...],
+    make: Callable[..., Any],
+    sample_kwargs: Dict[str, Any],
+) -> None:
+    """Fail the import if *make* cannot stand in for ``cls(**kwargs)``.
+
+    Two checks: the dataclass field names must equal *expected_fields*
+    (so adding a field without updating the trusted constructor is caught
+    immediately), and building *sample_kwargs* through *make* must equal
+    the public constructor's result (so the ``__dict__`` fast path itself
+    is exercised once, at import, where a failure is cheap to diagnose).
+    """
+    actual = tuple(f.name for f in fields(cls))
+    if actual != expected_fields:
+        raise AssertionError(
+            f"{cls.__name__}'s dataclass fields changed ({actual} != "
+            f"{expected_fields}) — update its trusted constructor "
+            f"{make.__name__} and the expected field tuple to match, or the "
+            "hot loops would build incomplete instances"
+        )
+    try:
+        ok = make(**sample_kwargs) == cls(**sample_kwargs)
+    except Exception:  # pragma: no cover - e.g. slots=True breaking __dict__
+        ok = False
+    if not ok:  # pragma: no cover - guard for future dataclass changes
+        raise AssertionError(
+            f"{cls.__name__}.{make.__name__} no longer reproduces the public "
+            f"constructor — did {cls.__name__} gain slots=True or "
+            "field-altering logic? Update the trusted constructor before "
+            "shipping"
+        )

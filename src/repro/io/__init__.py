@@ -12,7 +12,7 @@ from .json_io import (
     task_graph_from_dict,
     task_graph_to_dict,
 )
-from .vcd import VcdError, runtime_result_to_vcd, write_vcd
+from .vcd import VcdError, runtime_result_to_vcd, trace_to_vcd, write_vcd
 
 __all__ = [
     "network_to_dot",
@@ -29,5 +29,6 @@ __all__ = [
     "task_graph_to_dict",
     "VcdError",
     "runtime_result_to_vcd",
+    "trace_to_vcd",
     "write_vcd",
 ]

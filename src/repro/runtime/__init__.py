@@ -8,7 +8,7 @@ from .executor import (
     run_static_order,
     wcet_execution,
 )
-from .gantt import runtime_gantt, schedule_gantt
+from .gantt import GanttObserver, gantt_from_observer, runtime_gantt, schedule_gantt
 from .metrics import (
     MissSummary,
     frame_makespans,
@@ -16,6 +16,14 @@ from .metrics import (
     miss_summary,
     processor_utilization,
     response_times,
+)
+from .observers import (
+    ExecutionObserver,
+    MetricsObserver,
+    RecordsObserver,
+    RunMeta,
+    TraceObserver,
+    replay,
 )
 from .overheads import OverheadModel
 from .static_order import (
@@ -33,8 +41,16 @@ __all__ = [
     "jittered_execution",
     "run_static_order",
     "wcet_execution",
+    "GanttObserver",
+    "gantt_from_observer",
     "runtime_gantt",
     "schedule_gantt",
+    "ExecutionObserver",
+    "MetricsObserver",
+    "RecordsObserver",
+    "RunMeta",
+    "TraceObserver",
+    "replay",
     "MissSummary",
     "frame_makespans",
     "jobs_of_process",

@@ -13,25 +13,34 @@ executing the frame-periodic static-order policy of Section IV, including:
   the policy must stay correct because it synchronises instead of trusting
   the static start times (Prop. 4.1).
 
-Timing and data are computed in two phases:
+The executor is split into a **timing core** and pluggable **consumers**:
 
-1. **Timing phase** — per frame, job starts/ends are resolved in a
-   topological pass over the combined DAG (precedence edges + per-processor
-   chains + invocation floors).  The combined relation is acyclic because a
-   feasible static schedule orders both edge kinds by start time.  The pass
-   runs entirely in the **integer tick domain** (:mod:`repro.core.ticks`):
-   all timing inputs — hyperperiod, arrivals, overheads, bound sporadic
-   arrival times, process deadlines and the per-instance execution
-   durations — are mapped once per run to exact integer ticks, so the
-   ``max``/``+`` recurrence per job instance costs machine-integer
-   operations.  The resulting :class:`JobRecord` timestamps are converted
-   back to exact rationals and are bit-identical to a pure-Fraction
-   simulation.
-2. **Data phase** — the kernels of all *true* jobs run in ``(start, frame,
-   <J index)`` order against fresh channel states.  Jobs sharing a channel
-   can never overlap (they are precedence-ordered and the policy enforces
-   it), so atomic-at-start execution reproduces the real interleaving; the
+1. **Timing phase** (:meth:`MultiprocessorExecutor._timing_phase`) — per
+   frame, job starts/ends are resolved in a topological pass over the
+   combined DAG (precedence edges + per-processor chains + invocation
+   floors).  The combined relation is acyclic because a feasible static
+   schedule orders both edge kinds by start time.  The pass runs entirely
+   in the **integer tick domain** (:mod:`repro.core.ticks`): all timing
+   inputs — hyperperiod, arrivals, overheads, bound sporadic arrival
+   times, process deadlines and the per-instance execution durations — are
+   mapped once per run to exact integer ticks, so the ``max``/``+``
+   recurrence per job instance costs machine-integer operations.  The
+   resulting :class:`JobRecord` timestamps are converted back to exact
+   rationals (bit-identical to a pure-Fraction simulation) and **emitted
+   as events** to the observers of :mod:`repro.runtime.observers`.
+2. **Data phase** (:meth:`MultiprocessorExecutor._data_phase`) — the
+   kernels of all *true* jobs run in ``(start, frame, <J index)`` order
+   against fresh channel states.  Jobs sharing a channel can never overlap
+   (they are precedence-ordered and the policy enforces it), so
+   atomic-at-start execution reproduces the real interleaving; the
    resulting channel write sequences are the Prop. 2.1 observable.
+
+Two fast modes drop work a caller does not need: ``records_only=True``
+skips the data phase entirely (no ``JobContext``, no kernel dispatch —
+timing-only runs with identical :class:`JobRecord` streams), and
+``collect_records=False`` skips record retention — and record
+construction altogether when no observer listens, which is how the
+determinism matrix runs (it only compares data-phase observables).
 """
 
 from __future__ import annotations
@@ -39,19 +48,21 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from itertools import chain
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import RuntimeModelError
 from ..core.channels import ChannelState, ExternalOutputState
-from ..core.ticks import fraction_from_ratio
+from ..core.ticks import TickDomain, fraction_from_ratio
 from ..core.invocations import Stimulus
 from ..core.network import Network
 from ..core.process import JobContext
 from ..core.timebase import Time, TimeLike, as_positive_time, as_time
 from ..core.trace import JobEnd, JobStart, Trace
+from ..core.trusted import check_trusted_constructor
 from ..taskgraph.graph import TaskGraph
 from ..taskgraph.jobs import Job
 from ..scheduling.schedule import StaticSchedule
+from .observers import ExecutionObserver, RunMeta
 from .overheads import OverheadModel
 from .static_order import ArrivalBinding, FramePlan
 
@@ -122,6 +133,46 @@ class JobRecord:
     is_false: bool
     is_server: bool
 
+    @classmethod
+    def _from_fields(
+        cls,
+        process: str,
+        frame: int,
+        k_frame: int,
+        global_k: int,
+        processor: int,
+        release: Time,
+        start: Time,
+        end: Time,
+        deadline: Time,
+        is_false: bool,
+        is_server: bool,
+    ) -> "JobRecord":
+        """Hot-loop constructor bypassing the frozen ``__setattr__`` guards.
+
+        Building through ``__dict__`` skips the per-field frozen-dataclass
+        checks in the allocation-heavy timing loop (equality and hashing
+        are unaffected).  The field list is explicit and cross-checked
+        against the dataclass at import time (below): adding a field to
+        ``JobRecord`` fails loudly there instead of silently reverting to
+        a slow path or building incomplete records.
+        """
+        rec = object.__new__(cls)
+        rec.__dict__.update({
+            "process": process,
+            "frame": frame,
+            "k_frame": k_frame,
+            "global_k": global_k,
+            "processor": processor,
+            "release": release,
+            "start": start,
+            "end": end,
+            "deadline": deadline,
+            "is_false": is_false,
+            "is_server": is_server,
+        })
+        return rec
+
     @property
     def name(self) -> str:
         return f"{self.process}[{self.global_k}]"
@@ -136,24 +187,16 @@ class JobRecord:
         return self.end - self.release
 
 
-def _probe_record_fast_path() -> bool:
-    """True when a JobRecord built through ``__dict__`` equals a normally
-    constructed one — guards the hot-loop fast path against future changes
-    to the dataclass (new defaulted fields, ``slots=True``, ...)."""
-    try:
-        kw = dict(
-            process="p", frame=0, k_frame=1, global_k=1, processor=0,
-            release=Time(0), start=Time(0), end=Time(1), deadline=Time(2),
-            is_false=False, is_server=False,
-        )
-        rec = object.__new__(JobRecord)
-        rec.__dict__.update(kw)
-        return rec == JobRecord(**kw)
-    except (AttributeError, TypeError):  # pragma: no cover - future-proofing
-        return False
-
-
-_FAST_RECORD = _probe_record_fast_path()
+_JOB_RECORD_FIELDS = (
+    "process", "frame", "k_frame", "global_k", "processor",
+    "release", "start", "end", "deadline", "is_false", "is_server",
+)
+check_trusted_constructor(
+    JobRecord, _JOB_RECORD_FIELDS, JobRecord._from_fields,
+    dict(process="p", frame=0, k_frame=1, global_k=1, processor=0,
+         release=Time(0), start=Time(0), end=Time(1), deadline=Time(2),
+         is_false=False, is_server=False),
+)
 
 
 @dataclass
@@ -169,24 +212,50 @@ class RuntimeResult:
     external_outputs: Dict[str, List[Tuple[int, Any]]]
     trace: Trace
     overhead_intervals: List[Tuple[int, Time, Time]] = field(default_factory=list)
+    #: False when the run was made with ``collect_records=False``: the empty
+    #: ``records`` list then means "not retained", not "no jobs ran", and
+    #: every record-derived accessor refuses to report misleading zeros.
+    records_collected: bool = True
+    #: False when the run was made with ``records_only=True``: the data
+    #: phase never ran, so the empty channel/output observables mean "not
+    #: computed", not "no activity" — ``observable()`` refuses to compare.
+    data_collected: bool = True
+
+    def _require_records(self) -> None:
+        if not self.records_collected:
+            raise RuntimeModelError(
+                "this result was produced with collect_records=False — job "
+                "records were not retained; re-run with collect_records=True "
+                "or aggregate via observers during the run"
+            )
 
     def observable(self) -> Dict[str, Any]:
         """Canonical determinism observable (same shape as zero-delay runs)."""
+        if not self.data_collected:
+            raise RuntimeModelError(
+                "this result was produced with records_only=True — the data "
+                "phase never ran, so there is no observable to compare; "
+                "re-run without records_only"
+            )
         return {
             "channels": {k: list(v) for k, v in sorted(self.channel_logs.items())},
             "outputs": {k: list(v) for k, v in sorted(self.external_outputs.items())},
         }
 
     def misses(self) -> List[JobRecord]:
+        self._require_records()
         return [r for r in self.records if r.missed]
 
     def executed(self) -> List[JobRecord]:
+        self._require_records()
         return [r for r in self.records if not r.is_false]
 
     def false_jobs(self) -> List[JobRecord]:
+        self._require_records()
         return [r for r in self.records if r.is_false]
 
     def makespan(self) -> Time:
+        self._require_records()
         return max((r.end for r in self.records), default=Time(0))
 
     def max_response_time(self, process: Optional[str] = None) -> Time:
@@ -196,6 +265,33 @@ class RuntimeResult:
             if process is None or r.process == process
         ]
         return max(candidates, default=Time(0))
+
+
+#: One true job instance handed from the timing phase to the data phase:
+#: ``(start_tick, frame, job_index, global_k, release_tick)``.  Sorting these
+#: tuples orders instances by ``(start, frame, <J index)`` — the execution
+#: order of the policy — because ``(frame, job_index)`` is unique.
+_Instance = Tuple[int, int, int, int, int]
+
+
+@dataclass
+class _RunSetup:
+    """Per-run immutable inputs, resolved once before the timing loop."""
+
+    n_frames: int
+    topo: List[int]
+    pred_table: List[Tuple[int, ...]]
+    proc_of: List[int]
+    counts: List[int]
+    dom: TickDomain
+    arr_t: List[int]
+    H_t: int
+    ov_first_t: int
+    ov_steady_t: int
+    pdl_t: List[int]
+    dur_t_const: Optional[List[int]]
+    dur_t_rows: Optional[List[List[int]]]
+    bound_t_rows: List[Dict[int, Tuple[int, int]]]
 
 
 class MultiprocessorExecutor:
@@ -223,12 +319,92 @@ class MultiprocessorExecutor:
         n_frames: int,
         stimulus: Optional[Stimulus] = None,
         execution_time: ExecutionTimeSpec = None,
+        *,
+        observers: Sequence[ExecutionObserver] = (),
+        records_only: bool = False,
+        collect_records: bool = True,
     ) -> RuntimeResult:
-        """Simulate ``n_frames`` frames of the static-order policy."""
+        """Simulate ``n_frames`` frames of the static-order policy.
+
+        Parameters
+        ----------
+        observers:
+            :class:`~repro.runtime.observers.ExecutionObserver` instances
+            receiving run/overhead/record events as they are resolved.
+        records_only:
+            Skip the data phase (no kernels, no channel states): the result
+            carries identical :class:`JobRecord` timing but empty
+            observables.  For timing-only consumers (sweeps, waveforms).
+        collect_records:
+            When ``False``, ``result.records`` stays empty: records are
+            not retained, and are not even built unless observers are
+            listening (``on_record`` always fires when they are).  The
+            data phase still runs.  For observable-only consumers like
+            the determinism matrix, and for streaming observers over
+            long runs that must not accumulate per-instance data.
+        """
         if n_frames < 1:
             raise RuntimeModelError("n_frames must be >= 1")
         stimulus = stimulus or Stimulus()
         stimulus.validate(self.network)
+        setup = self._prepare(n_frames, stimulus, execution_time)
+
+        if observers:
+            meta = RunMeta(
+                network=self.network.name,
+                processors=self.plan.processors,
+                frames=n_frames,
+                hyperperiod=self.hyperperiod,
+            )
+            for ob in observers:
+                ob.on_run_start(meta)
+
+        records, instances, overhead_intervals, frac_memo = self._timing_phase(
+            setup, observers, collect_records, collect_instances=not records_only
+        )
+
+        if records_only:
+            channel_logs: Dict[str, List[Any]] = {}
+            external_outputs: Dict[str, List[Tuple[int, Any]]] = {}
+            trace = Trace()
+        else:
+            channel_logs, external_outputs, trace = self._data_phase(
+                sorted(instances), stimulus, setup.dom, frac_memo
+            )
+
+        result = RuntimeResult(
+            network_name=self.network.name,
+            frames=n_frames,
+            hyperperiod=self.hyperperiod,
+            processors=self.plan.processors,
+            records=records,
+            channel_logs=channel_logs,
+            external_outputs=external_outputs,
+            trace=trace,
+            overhead_intervals=overhead_intervals,
+            records_collected=collect_records,
+            data_collected=not records_only,
+        )
+        for ob in observers:
+            ob.on_run_end(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        n_frames: int,
+        stimulus: Stimulus,
+        execution_time: ExecutionTimeSpec,
+    ) -> _RunSetup:
+        """Resolve every run input into the integer tick domain.
+
+        Three steps: (1) invocation identity — which server-job slots are
+        served by a real arrival in each frame; (2) execution durations
+        (exact rationals, identity-resolved so the execution-time model is
+        only sampled for true jobs); (3) the run's tick domain — the
+        graph's domain extended by every other timing input — and the
+        integer views of all of them.
+        """
         binding = ArrivalBinding(self.network, self.hyperperiod, n_frames, stimulus)
         per_frame_counts = self.plan.per_process_count()
 
@@ -236,15 +412,12 @@ class MultiprocessorExecutor:
         jobs = graph.jobs
         n = len(jobs)
         topo = self._frame_topological_order()
-        pred_table = graph.predecessor_table()
         proc_of = [self.plan.processor_of(i) for i in range(n)]
         counts = [per_frame_counts[j.process] for j in jobs]
         proc_deadline = [
             self.network.processes[j.process].deadline for j in jobs
         ]
 
-        # Phase 1 — invocation identity: which server-job slots are served
-        # by a real arrival in each frame (binding only, no timing).
         server_jobs = [i for i in range(n) if jobs[i].is_server]
         bound_rows: List[Dict[int, Any]] = []
         for frame in range(n_frames):
@@ -257,14 +430,10 @@ class MultiprocessorExecutor:
                     row[i] = b
             bound_rows.append(row)
 
-        # Phase 2 — execution durations (exact rationals, identity-resolved
-        # so the execution-time model is only sampled for true jobs).
         dur_const, dur_rows = self._durations(
             execution_time, bound_rows, n_frames, topo
         )
 
-        # Phase 3 — the run's tick domain: the graph's domain extended by
-        # every other timing input of this simulation.
         tt = graph.tick_times().rescaled_to(chain(
             (self.overheads.first_frame_arrival, self.overheads.steady_frame_arrival),
             proc_deadline,
@@ -273,13 +442,7 @@ class MultiprocessorExecutor:
              else (d for row in dur_rows for d in row if d is not None)),
         ))
         dom = tt.domain
-        arr_t = tt.arrival
         to_ticks = dom.to_ticks
-        from_ticks = dom.from_ticks
-        H_t = to_ticks(self.hyperperiod)
-        ov_first_t = to_ticks(self.overheads.first_frame_arrival)
-        ov_steady_t = to_ticks(self.overheads.steady_frame_arrival)
-        pdl_t = [to_ticks(d) for d in proc_deadline]
         if dur_rows is None:
             dur_t_const: Optional[List[int]] = [to_ticks(d) for d in dur_const]
             dur_t_rows = None
@@ -293,13 +456,59 @@ class MultiprocessorExecutor:
             {i: (to_ticks(b.time), b.global_k) for i, b in row.items()}
             for row in bound_rows
         ]
+        return _RunSetup(
+            n_frames=n_frames,
+            topo=topo,
+            pred_table=graph.predecessor_table(),
+            proc_of=proc_of,
+            counts=counts,
+            dom=dom,
+            arr_t=tt.arrival,
+            H_t=to_ticks(self.hyperperiod),
+            ov_first_t=to_ticks(self.overheads.first_frame_arrival),
+            ov_steady_t=to_ticks(self.overheads.steady_frame_arrival),
+            pdl_t=[to_ticks(d) for d in proc_deadline],
+            dur_t_const=dur_t_const,
+            dur_t_rows=dur_t_rows,
+            bound_t_rows=bound_t_rows,
+        )
 
-        # Phase 4 — the timing recurrence, in pure integer ticks.
+    # ------------------------------------------------------------------
+    def _timing_phase(
+        self,
+        rs: _RunSetup,
+        observers: Sequence[ExecutionObserver],
+        collect_records: bool,
+        collect_instances: bool = True,
+    ) -> Tuple[
+        List[JobRecord],
+        List[_Instance],
+        List[Tuple[int, Time, Time]],
+        Dict[int, Time],
+    ]:
+        """The per-frame timing recurrence, in pure integer ticks.
+
+        Emits overhead windows and (when *collect_records*) one
+        :class:`JobRecord` per instance to *observers* as they resolve.
+        Returns the record list, the true-instance hand-off for the data
+        phase, the overhead intervals and the tick→Fraction memo (shared
+        with the data phase so release conversions are not repeated).
+        """
+        jobs = self.graph.jobs
+        n = len(jobs)
+        topo = rs.topo
+        pred_table = rs.pred_table
+        proc_of = rs.proc_of
+        counts = rs.counts
+        arr_t = rs.arr_t
+        pdl_t = rs.pdl_t
+        H_t = rs.H_t
+        from_ticks = rs.dom.from_ticks
+
         records: List[JobRecord] = []
-        record_rows: List[List[Optional[JobRecord]]] = []
-        instance_order: List[Tuple[int, int, int]] = []  # (start, frame, job idx)
-        chain_end: List[int] = [0] * self.plan.processors
+        instances: List[_Instance] = []
         overhead_intervals: List[Tuple[int, Time, Time]] = []
+        chain_end: List[int] = [0] * self.plan.processors
 
         # Tick->Fraction conversions repeat heavily (shared arrivals and
         # deadlines within a frame, end==next-start chains on busy
@@ -308,23 +517,39 @@ class MultiprocessorExecutor:
         is_server_of = [j.is_server for j in jobs]
         k_of = [j.k for j in jobs]
         process_of = [j.process for j in jobs]
-        rec_append = records.append
-        inst_append = instance_order.append
-        new = object.__new__
-        fast_record = _FAST_RECORD
+        rec_append = records.append if collect_records else None
+        # The instance hand-off only feeds the data phase; skip it when the
+        # caller will not run one (records_only), keeping long timing-only
+        # sweeps O(1) in per-instance memory beyond the records they asked for.
+        inst_append = instances.append if collect_instances else None
+        make_record = JobRecord._from_fields
+        notify_overhead = [ob.on_overhead for ob in observers]
+        # Only observers that actually override on_record (in a subclass or
+        # as an instance attribute) count as record consumers — the no-op
+        # inherited hook must not force record construction in the
+        # collect_records=False fast path.
+        notify_record = [
+            ob.on_record for ob in observers
+            if getattr(ob.on_record, "__func__", None)
+            is not ExecutionObserver.on_record
+        ]
+        # Records are *built* whenever someone consumes them (the result
+        # list or an observer) but *retained* only when collect_records —
+        # so observers can stream a long run without the result growing.
+        build_records = collect_records or bool(notify_record)
 
-        for frame in range(n_frames):
+        for frame in range(rs.n_frames):
             base = H_t * frame
-            ov = ov_first_t if frame == 0 else ov_steady_t
+            ov = rs.ov_first_t if frame == 0 else rs.ov_steady_t
             if ov > 0:
-                overhead_intervals.append(
-                    (frame, from_ticks(base), from_ticks(base + ov))
-                )
+                o_start, o_end = from_ticks(base), from_ticks(base + ov)
+                overhead_intervals.append((frame, o_start, o_end))
+                for emit in notify_overhead:
+                    emit(frame, o_start, o_end)
             floor = base + ov
             end_row = [0] * n
-            rec_row: List[Optional[JobRecord]] = [None] * n
-            brow = bound_t_rows[frame]
-            durs = dur_t_const if dur_t_rows is None else dur_t_rows[frame]
+            brow = rs.bound_t_rows[frame]
+            durs = rs.dur_t_const if rs.dur_t_rows is None else rs.dur_t_rows[frame]
             for i in topo:
                 proc = proc_of[i]
                 is_false = False
@@ -356,6 +581,11 @@ class MultiprocessorExecutor:
                 chain_end[proc] = end
                 end_row[i] = end
 
+                if inst_append is not None and not is_false:
+                    inst_append((start, frame, i, global_k, release_t))
+                if not build_records:
+                    continue
+
                 release_f = frac_memo.get(release_t)
                 if release_f is None:
                     release_f = frac_memo[release_t] = from_ticks(release_t)
@@ -373,48 +603,24 @@ class MultiprocessorExecutor:
                 if deadline_f is None:
                     deadline_f = frac_memo[deadline_t] = from_ticks(deadline_t)
 
-                # JobRecord is a frozen dataclass; building it through
-                # __dict__ skips the per-field frozen __setattr__ guards in
-                # this allocation-heavy loop (equality/hash are unaffected;
-                # _FAST_RECORD verifies that at import time).
-                kw = dict(
-                    process=process_of[i],
-                    frame=frame,
-                    k_frame=k_of[i],
-                    global_k=global_k,
-                    processor=proc,
-                    release=release_f,
-                    start=start_f,
-                    end=end_f,
-                    deadline=deadline_f,
-                    is_false=is_false,
-                    is_server=is_server_of[i],
+                rec = make_record(
+                    process_of[i],
+                    frame,
+                    k_of[i],
+                    global_k,
+                    proc,
+                    release_f,
+                    start_f,
+                    end_f,
+                    deadline_f,
+                    is_false,
+                    is_server_of[i],
                 )
-                if fast_record:
-                    rec = new(JobRecord)
-                    rec.__dict__.update(kw)
-                else:  # pragma: no cover - future-proofing fallback
-                    rec = JobRecord(**kw)
-                rec_append(rec)
-                rec_row[i] = rec
-                if not is_false:
-                    inst_append((start, frame, i))
-            record_rows.append(rec_row)
-
-        channel_logs, external_outputs, trace = self._data_phase(
-            sorted(instance_order), record_rows, stimulus
-        )
-        return RuntimeResult(
-            network_name=self.network.name,
-            frames=n_frames,
-            hyperperiod=self.hyperperiod,
-            processors=self.plan.processors,
-            records=records,
-            channel_logs=channel_logs,
-            external_outputs=external_outputs,
-            trace=trace,
-            overhead_intervals=overhead_intervals,
-        )
+                if rec_append is not None:
+                    rec_append(rec)
+                for emit in notify_record:
+                    emit(rec)
+        return records, instances, overhead_intervals, frac_memo
 
     # ------------------------------------------------------------------
     def _frame_topological_order(self) -> List[int]:
@@ -494,9 +700,10 @@ class MultiprocessorExecutor:
     # ------------------------------------------------------------------
     def _data_phase(
         self,
-        order: List[Tuple[int, int, int]],
-        record_rows: List[List[Optional[JobRecord]]],
+        order: List[_Instance],
         stimulus: Stimulus,
+        dom: TickDomain,
+        frac_memo: Dict[int, Time],
     ) -> Tuple[Dict[str, List[Any]], Dict[str, List[Tuple[int, Any]]], Trace]:
         channel_states: Dict[str, ChannelState] = {
             name: spec.new_state() for name, spec in self.network.channels.items()
@@ -510,6 +717,8 @@ class MultiprocessorExecutor:
             for name, spec in self.network.external_outputs.items()
         }
         trace = Trace()
+        from_ticks = dom.from_ticks
+        process_of = [j.process for j in self.graph.jobs]
         # The channel/variable binding of a process is run-constant: the
         # same state objects back every instance, so the per-context dicts
         # are built once per process, not once per job instance.
@@ -524,13 +733,16 @@ class MultiprocessorExecutor:
             )
             for name, proc in self.network.processes.items()
         }
-        for _start, frame, job_idx in order:
-            rec = record_rows[frame][job_idx]
-            proc, vs, ins, outs, ext_ins, ext_outs = bindings[rec.process]
+        for _start, _frame, job_idx, global_k, release_t in order:
+            release = frac_memo.get(release_t)
+            if release is None:
+                release = frac_memo[release_t] = from_ticks(release_t)
+            name = process_of[job_idx]
+            proc, vs, ins, outs, ext_ins, ext_outs = bindings[name]
             ctx = JobContext(
-                process=rec.process,
-                k=rec.global_k,
-                now=rec.release,
+                process=name,
+                k=global_k,
+                now=release,
                 variables=vs,
                 inputs=ins,
                 outputs=outs,
@@ -538,9 +750,9 @@ class MultiprocessorExecutor:
                 external_outputs=ext_outs,
                 trace=trace,
             )
-            trace.append(JobStart(rec.process, rec.global_k))
+            trace.append(JobStart(name, global_k))
             proc.behavior.run_job(ctx)
-            trace.append(JobEnd(rec.process, rec.global_k))
+            trace.append(JobEnd(name, global_k))
         return (
             {n: list(s.write_log) for n, s in channel_states.items()},
             {n: s.as_sequence() for n, s in ext_out.items()},
@@ -555,7 +767,18 @@ def run_static_order(
     stimulus: Optional[Stimulus] = None,
     execution_time: ExecutionTimeSpec = None,
     overheads: Optional[OverheadModel] = None,
+    *,
+    observers: Sequence[ExecutionObserver] = (),
+    records_only: bool = False,
+    collect_records: bool = True,
 ) -> RuntimeResult:
     """One-call convenience wrapper around :class:`MultiprocessorExecutor`."""
     executor = MultiprocessorExecutor(network, schedule, overheads)
-    return executor.run(n_frames, stimulus, execution_time)
+    return executor.run(
+        n_frames,
+        stimulus,
+        execution_time,
+        observers=observers,
+        records_only=records_only,
+        collect_records=collect_records,
+    )

@@ -4,9 +4,11 @@ Two renderers:
 
 * :func:`schedule_gantt` — a static schedule's frame, one row per processor
   (the Fig. 4 view);
-* :func:`runtime_gantt` — a simulated run's records, one row per processor
-  plus a ``runtime`` row showing frame-arrival overhead intervals (the
-  Fig. 6 view).
+* :func:`runtime_gantt` — a simulated run, one row per processor plus a
+  ``runtime`` row showing frame-arrival overhead intervals (the Fig. 6
+  view).  The bars come from a :class:`GanttObserver` consuming executor
+  events, so the chart can be built live (``run(observers=[obs])``) or by
+  replaying a finished :class:`~repro.runtime.executor.RuntimeResult`.
 
 The renderers are deliberately plain-text so benchmark output embeds them
 directly in reports.
@@ -15,13 +17,43 @@ directly in reports.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.timebase import Time, time_str
 from ..scheduling.schedule import StaticSchedule
 from .executor import RuntimeResult
+from .observers import ExecutionObserver, RunMeta, replay
 
 Bar = Tuple[Time, Time, str]  # (start, end, label)
+
+
+class GanttObserver(ExecutionObserver):
+    """Collects Fig. 6-style bars from executor events.
+
+    One bar per executed job instance on its processor's row, plus the
+    frame-arrival overhead bars for the ``runtime`` row.
+    """
+
+    def __init__(self) -> None:
+        self.meta: Optional[RunMeta] = None
+        self.processor_bars: Dict[int, List[Bar]] = {}
+        self.runtime_bars: List[Bar] = []
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        # Full reset so a reused observer holds exactly one run's bars.
+        self.meta = meta
+        self.processor_bars = {m: [] for m in range(meta.processors)}
+        self.runtime_bars = []
+
+    def on_overhead(self, frame: int, start: Time, end: Time) -> None:
+        self.runtime_bars.append((start, end, "rt"))
+
+    def on_record(self, record) -> None:
+        if record.is_false:
+            return
+        self.processor_bars[record.processor].append(
+            (record.start, record.end, record.name)
+        )
 
 
 def _render_rows(
@@ -68,30 +100,39 @@ def schedule_gantt(schedule: StaticSchedule, width: int = 72) -> str:
     return _render_rows(rows, max(horizon, schedule.makespan()), width)
 
 
+def gantt_from_observer(
+    observer: GanttObserver,
+    frames: Optional[int] = None,
+    width: int = 96,
+) -> str:
+    """Render the bars a :class:`GanttObserver` collected (Fig. 6 style)."""
+    meta = observer.meta
+    if meta is None:
+        raise ValueError("observer has not seen a run (no on_run_start event)")
+    limit = meta.hyperperiod * (frames if frames is not None else meta.frames)
+    rows: List[Tuple[str, List[Bar]]] = []
+    for m in range(meta.processors):
+        bars = [b for b in observer.processor_bars[m] if b[0] < limit]
+        rows.append((f"M{m + 1}", bars))
+    # Job bars (not the runtime row) define the time axis, so an overhead
+    # tail never stretches the chart.
+    t_end = max(
+        [limit] + [end for _, bars in rows for _start, end, _label in bars]
+    )
+    runtime_bars = [b for b in observer.runtime_bars if b[0] < limit]
+    if runtime_bars:
+        rows.append(("runtime", runtime_bars))
+    return _render_rows(rows, t_end, width)
+
+
 def runtime_gantt(
-    result: RuntimeResult,
+    source: Union[RuntimeResult, GanttObserver],
     frames: Optional[int] = None,
     width: int = 96,
 ) -> str:
     """Render a simulated run (Fig. 6 style), including the runtime row."""
-    limit = result.hyperperiod * (frames if frames is not None else result.frames)
-    rows: List[Tuple[str, List[Bar]]] = []
-    for m in range(result.processors):
-        bars = [
-            (r.start, r.end, r.name)
-            for r in result.records
-            if r.processor == m and not r.is_false and r.start < limit
-        ]
-        rows.append((f"M{m + 1}", bars))
-    runtime_bars: List[Bar] = [
-        (start, end, "rt")
-        for _frame, start, end in result.overhead_intervals
-        if start < limit
-    ]
-    if runtime_bars:
-        rows.append(("runtime", runtime_bars))
-    t_end = max(
-        [limit]
-        + [r.end for r in result.records if not r.is_false and r.start < limit]
-    )
-    return _render_rows(rows, t_end, width)
+    if isinstance(source, GanttObserver):
+        return gantt_from_observer(source, frames, width)
+    observer = GanttObserver()
+    replay(source, observer)
+    return gantt_from_observer(observer, frames, width)

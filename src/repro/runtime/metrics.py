@@ -3,15 +3,21 @@
 These are the quantities Section V reports narratively ("no deadline misses
 were observed", overhead per frame, load): each gets a first-class function
 so the benchmark harness prints paper-style rows from one call.
+
+All aggregation lives in :class:`~repro.runtime.observers.MetricsObserver`
+(a streaming event consumer); the functions here replay a finished
+:class:`RuntimeResult` through it, so live runs (``run(observers=[obs])``)
+and post-hoc analysis compute identical values from the same code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.timebase import Time
 from .executor import JobRecord, RuntimeResult
+from .observers import MetricsObserver, replay
 
 
 @dataclass(frozen=True)
@@ -30,57 +36,35 @@ class MissSummary:
         return self.missed_jobs > 0
 
 
+def _metrics_of(result: RuntimeResult) -> MetricsObserver:
+    obs = MetricsObserver()
+    replay(result, obs)
+    return obs
+
+
 def miss_summary(result: RuntimeResult) -> MissSummary:
     """Summarise deadline behaviour of a run."""
-    executed = result.executed()
-    misses = [r for r in executed if r.missed]
-    worst = Time(0)
-    for r in misses:
-        lateness = r.end - r.deadline
-        if lateness > worst:
-            worst = lateness
-    return MissSummary(
-        total_jobs=len(result.records),
-        executed_jobs=len(executed),
-        false_jobs=len(result.false_jobs()),
-        missed_jobs=len(misses),
-        worst_lateness=worst,
-        miss_ratio=(len(misses) / len(executed)) if executed else 0.0,
-    )
+    return _metrics_of(result).miss_summary()
 
 
 def response_times(result: RuntimeResult) -> Dict[str, Time]:
     """Worst-case observed response time per process."""
-    out: Dict[str, Time] = {}
-    for r in result.executed():
-        current = out.get(r.process, Time(0))
-        if r.response_time > current:
-            out[r.process] = r.response_time
-    return out
+    return _metrics_of(result).response_times()
 
 
 def processor_utilization(result: RuntimeResult) -> List[float]:
     """Busy fraction per processor over the simulated horizon."""
-    horizon = result.hyperperiod * result.frames
-    busy = [Time(0)] * result.processors
-    for r in result.executed():
-        busy[r.processor] += r.end - r.start
-    return [float(b / horizon) for b in busy]
+    return _metrics_of(result).processor_utilization()
 
 
 def frame_makespans(result: RuntimeResult) -> List[Time]:
     """Per-frame completion time relative to the frame start."""
-    spans: List[Time] = [Time(0)] * result.frames
-    for r in result.executed():
-        base = result.hyperperiod * r.frame
-        span = r.end - base
-        if span > spans[r.frame]:
-            spans[r.frame] = span
-    return spans
+    return _metrics_of(result).frame_makespans()
 
 
 def jobs_of_process(result: RuntimeResult, process: str) -> List[JobRecord]:
     """All records of one process, ordered by frame then invocation."""
+    result._require_records()
     return sorted(
         (r for r in result.records if r.process == process),
         key=lambda r: (r.frame, r.k_frame),

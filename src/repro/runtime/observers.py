@@ -1,0 +1,281 @@
+"""Observer/sink protocol for the runtime executor.
+
+The :class:`~repro.runtime.executor.MultiprocessorExecutor` separates the
+paper's deterministic timing core from its growing set of output consumers:
+the timing phase (pure integer-tick recurrence) *emits events* — run
+milestones, frame-arrival overhead windows, one :class:`~repro.runtime.
+executor.JobRecord` per resolved job instance — and observers passed to
+``run(observers=...)`` consume them as they happen.  VCD export
+(:mod:`repro.io.vcd`), Gantt rendering (:mod:`repro.runtime.gantt`),
+metrics (:mod:`repro.runtime.metrics`) and determinism sweeps
+(:mod:`repro.analysis.determinism`) are all such consumers; new backends
+plug in by subclassing :class:`ExecutionObserver` without touching the
+executor core.
+
+Event order and domain:
+
+* ``on_run_start`` once, then per live frame the frame's overhead window
+  (if any) followed by that frame's records in timing-resolution order
+  (schedule-topological within the frame), then ``on_run_end`` once.
+  :func:`replay` re-emits a finished run in the same shape except that all
+  overhead windows precede all records — observers must not rely on the
+  interleaving, only on the per-stream order.
+* Every time stamp an observer sees is an **exact rational**
+  (:class:`fractions.Fraction`): events are emitted at the tick→Fraction
+  conversion boundary of the executor, so observers never handle raw ticks
+  and never see rounded values.
+
+``run(records_only=True)`` skips the data phase (no ``JobContext``, no
+kernel dispatch, empty channel observables) for timing-only consumers.
+``run(collect_records=False)`` keeps ``result.records`` empty: observers
+still receive every ``on_record`` event, so streaming consumers (metrics
+over a very long run) aggregate without the result accumulating
+per-instance data, and with no observers attached records are never even
+built — the determinism matrix's observable-only fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..core.timebase import Time, ZERO
+from ..errors import RuntimeModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .executor import JobRecord, RuntimeResult
+    from .metrics import MissSummary
+
+__all__ = [
+    "ExecutionObserver",
+    "MetricsObserver",
+    "RecordsObserver",
+    "RunMeta",
+    "TraceObserver",
+    "replay",
+]
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Run-level milestone data, emitted once at ``on_run_start``."""
+
+    network: str
+    processors: int
+    frames: int
+    hyperperiod: Time
+
+
+class ExecutionObserver:
+    """Base observer: every hook is a no-op — override what you consume."""
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        """The run's static shape, before any timing is resolved."""
+
+    def on_overhead(self, frame: int, start: Time, end: Time) -> None:
+        """A frame-arrival overhead window ``[start, end)`` (Section V-A)."""
+
+    def on_record(self, record: "JobRecord") -> None:
+        """One resolved job instance (including false server jobs)."""
+
+    def on_run_end(self, result: "RuntimeResult") -> None:
+        """The assembled result, after timing (and data, unless skipped)."""
+
+
+def replay(result: "RuntimeResult", *observers: ExecutionObserver) -> None:
+    """Re-emit a finished run's events through *observers*.
+
+    Lets every event consumer work identically live (``run(observers=...)``)
+    and post-hoc (on a stored :class:`RuntimeResult`).  Results produced
+    with ``collect_records=False`` cannot be replayed — their empty record
+    list would misreport every count as zero — so they are rejected here;
+    attach the observers during the run instead.
+    """
+    if not result.records_collected:
+        raise RuntimeModelError(
+            "cannot replay a result produced with collect_records=False — "
+            "job records were not retained; attach observers to run() instead"
+        )
+    meta = RunMeta(
+        network=result.network_name,
+        processors=result.processors,
+        frames=result.frames,
+        hyperperiod=result.hyperperiod,
+    )
+    for ob in observers:
+        ob.on_run_start(meta)
+    for frame, start, end in result.overhead_intervals:
+        for ob in observers:
+            ob.on_overhead(frame, start, end)
+    for rec in result.records:
+        for ob in observers:
+            ob.on_record(rec)
+    for ob in observers:
+        ob.on_run_end(result)
+
+
+class RecordsObserver(ExecutionObserver):
+    """Accumulates the raw event streams (records, overheads, meta).
+
+    The executor assembles its :class:`RuntimeResult` from exactly these
+    streams; external users get the same accumulation for live runs.
+    """
+
+    def __init__(self) -> None:
+        self.meta: Optional[RunMeta] = None
+        self.records: List["JobRecord"] = []
+        self.overhead_intervals: List[Tuple[int, Time, Time]] = []
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        # Full reset so a reused observer holds exactly one run's streams.
+        self.meta = meta
+        self.records = []
+        self.overhead_intervals = []
+
+    def on_overhead(self, frame: int, start: Time, end: Time) -> None:
+        self.overhead_intervals.append((frame, start, end))
+
+    def on_record(self, record: "JobRecord") -> None:
+        self.records.append(record)
+
+
+class MetricsObserver(ExecutionObserver):
+    """Streaming aggregation of the Section V metrics.
+
+    Computes miss statistics, worst response times, per-processor busy time,
+    makespan and per-frame makespans from the event stream alone — no stored
+    record list — so long determinism/overload sweeps can aggregate without
+    retaining per-instance data.
+    """
+
+    def __init__(self) -> None:
+        self.meta: Optional[RunMeta] = None
+        self.total_jobs = 0
+        self.executed_jobs = 0
+        self.false_jobs = 0
+        self.missed_jobs = 0
+        self.worst_lateness: Time = ZERO
+        self.makespan: Time = ZERO
+        self._busy: List[Time] = []
+        self._frame_spans: List[Time] = []
+        self._responses: Dict[str, Time] = {}
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        # Full reset: one observer instance can be reused across runs
+        # without mixing their statistics.
+        self.meta = meta
+        self.total_jobs = 0
+        self.executed_jobs = 0
+        self.false_jobs = 0
+        self.missed_jobs = 0
+        self.worst_lateness = ZERO
+        self.makespan = ZERO
+        self._busy = [ZERO] * meta.processors
+        self._frame_spans = [ZERO] * meta.frames
+        self._responses = {}
+
+    def on_record(self, record: "JobRecord") -> None:
+        self.total_jobs += 1
+        end = record.end
+        # All records count toward the makespan (false jobs carry their
+        # zero-length visibility instant), matching RuntimeResult.makespan().
+        if end > self.makespan:
+            self.makespan = end
+        if record.is_false:
+            self.false_jobs += 1
+            return
+        self.executed_jobs += 1
+        if end > record.deadline:
+            self.missed_jobs += 1
+            lateness = end - record.deadline
+            if lateness > self.worst_lateness:
+                self.worst_lateness = lateness
+        self._busy[record.processor] += end - record.start
+        response = end - record.release
+        if response > self._responses.get(record.process, ZERO):
+            self._responses[record.process] = response
+        base = self.meta.hyperperiod * record.frame
+        span = end - base
+        if span > self._frame_spans[record.frame]:
+            self._frame_spans[record.frame] = span
+
+    # -- consumers ------------------------------------------------------
+    def _require_run(self) -> None:
+        if self.meta is None:
+            raise RuntimeModelError(
+                "metrics observer has not seen a run (no on_run_start event) "
+                "— pass it to run(observers=[...]) or replay(result, ...)"
+            )
+
+    def miss_summary(self) -> "MissSummary":
+        from .metrics import MissSummary
+
+        self._require_run()
+        return MissSummary(
+            total_jobs=self.total_jobs,
+            executed_jobs=self.executed_jobs,
+            false_jobs=self.false_jobs,
+            missed_jobs=self.missed_jobs,
+            worst_lateness=self.worst_lateness,
+            miss_ratio=(
+                self.missed_jobs / self.executed_jobs if self.executed_jobs else 0.0
+            ),
+        )
+
+    def response_times(self) -> Dict[str, Time]:
+        """Worst-case observed response time per process."""
+        self._require_run()
+        return dict(self._responses)
+
+    def processor_utilization(self) -> List[float]:
+        """Busy fraction per processor over the simulated horizon."""
+        self._require_run()
+        horizon = self.meta.hyperperiod * self.meta.frames
+        return [float(b / horizon) for b in self._busy]
+
+    def frame_makespans(self) -> List[Time]:
+        """Per-frame completion time relative to the frame start."""
+        self._require_run()
+        return list(self._frame_spans)
+
+
+class TraceObserver(ExecutionObserver):
+    """Waveform-shaped view of a run: busy intervals and pulse times.
+
+    Collects, in exact rational time, per-processor and per-process busy
+    intervals, deadline-miss pulse instants and runtime-overhead windows —
+    everything a waveform backend (e.g. the VCD serialiser in
+    :mod:`repro.io.vcd`) needs, without retaining ``JobRecord`` objects.
+    """
+
+    def __init__(self) -> None:
+        self.meta: Optional[RunMeta] = None
+        self.processes: Set[str] = set()
+        self.processor_intervals: Dict[int, List[Tuple[Time, Time]]] = {}
+        self.process_intervals: Dict[str, List[Tuple[Time, Time]]] = {}
+        self.miss_times: List[Time] = []
+        self.overheads: List[Tuple[Time, Time]] = []
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        # Full reset so a reused observer holds exactly one run's waveform.
+        self.meta = meta
+        self.processes = set()
+        self.processor_intervals = {}
+        self.process_intervals = {}
+        self.miss_times = []
+        self.overheads = []
+
+    def on_overhead(self, frame: int, start: Time, end: Time) -> None:
+        self.overheads.append((start, end))
+
+    def on_record(self, record: "JobRecord") -> None:
+        # False jobs still declare their process (a silent wire), exactly
+        # like the record-list post-processing did.
+        self.processes.add(record.process)
+        if record.is_false or record.end == record.start:
+            return
+        span = (record.start, record.end)
+        self.processor_intervals.setdefault(record.processor, []).append(span)
+        self.process_intervals.setdefault(record.process, []).append(span)
+        if record.end > record.deadline:
+            self.miss_times.append(record.deadline)

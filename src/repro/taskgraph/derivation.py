@@ -23,6 +23,21 @@ process pair, each job's edge to the next job of the other process — whose
 transitive closure provably equals the full rule's (the reduction of step 5
 is unique per closure, so the result is identical).  ``dense=True`` forces
 the literal quadratic construction; the test suite cross-checks both paths.
+
+**Tick-domain boundary.**  Steps 2–4 run entirely in the integer tick domain
+(:mod:`repro.core.ticks`): one :class:`TickDomain` is built per derivation
+from the transformed network's periods, deadlines and frame length, the
+invocation simulation and all job-parameter arithmetic (``Ai``, ``Di``,
+truncation) happen on machine integers, and the results convert back to
+exact rationals only at the :class:`~repro.taskgraph.graph.TaskGraph`
+boundary, when :class:`~repro.taskgraph.jobs.Job` objects are materialised.
+Because the tick map is an exact, strictly monotone linear bijection, the
+derived graph is **bit-identical** to a pure-Fraction derivation — jobs,
+parameters and edges alike (enforced by ``tests/test_tick_equivalence.py``
+against the reference implementation in ``tests/fraction_reference.py``).
+Step 5 runs on the raw integer edge list (:func:`~repro.taskgraph.
+transitive.reduce_edge_list`) *before* the graph is materialised, so only
+one ``TaskGraph`` is ever built.
 """
 
 from __future__ import annotations
@@ -32,19 +47,28 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..errors import ModelError
 from ..core.network import Network
+from ..core.ticks import TickDomain
 from ..core.timebase import Time, TimeLike, as_positive_time, hyperperiod as lcm_periods
 from .graph import TaskGraph
 from .jobs import Job
 from .servers import TransformedNetwork, transform
-from .transitive import transitive_reduction
+from .transitive import reduce_edge_list
 
 WcetLike = Union[TimeLike, Callable[[str, int], TimeLike]]
 WcetMap = Union[Mapping[str, WcetLike], TimeLike]
 
+#: One entry of the tick-domain invocation sequence: ``(tick, rank, name, k)``.
+#: Tuple order *is* the total order ``<J`` — sorted by invocation tick, then
+#: FP' topological rank (higher priority first), then process name (for
+#: FP'-unrelated ties — harmless, as unrelated processes get no edges), then
+#: invocation count within a burst.
+_TickInvocation = Tuple[int, int, str, int]
+
 
 @dataclass(frozen=True)
 class _Invocation:
-    """One entry of the simulated invocation sequence of PN'."""
+    """One entry of the simulated invocation sequence of PN' (public,
+    Fraction-domain view; the derivation itself stays in ticks)."""
 
     time: Time
     rank: int       # FP' topological rank of the process
@@ -81,13 +105,14 @@ def derive_task_graph(
     """
     pn = transform(network)
     H = _frame_length(pn, horizon)
-    sequence = simulate_invocations(pn, H)
-    jobs = _make_jobs(pn, sequence, wcet, H)
+    dom = _derivation_domain(pn, H)
+    H_t = dom.to_ticks(H)
+    sequence = _invocation_ticks(pn, dom, H_t, H)
+    jobs = _make_jobs(pn, sequence, wcet, H_t, dom)
     edges = (_dense_edges if dense else _generating_edges)(pn, sequence)
-    graph = TaskGraph(jobs, edges, H)
     if reduce_edges:
-        graph = transitive_reduction(graph)
-    return graph
+        edges = reduce_edge_list(len(jobs), edges)
+    return TaskGraph(jobs, edges, H)
 
 
 def _frame_length(pn: TransformedNetwork, horizon: Optional[TimeLike]) -> Time:
@@ -104,74 +129,116 @@ def _frame_length(pn: TransformedNetwork, horizon: Optional[TimeLike]) -> Time:
     return h
 
 
-def simulate_invocations(
-    pn: TransformedNetwork, H: Time
-) -> List[_Invocation]:
-    """Step 2: simulate the PN' job invocation order over ``[0, H)``.
+def _derivation_domain(pn: TransformedNetwork, H: Time) -> TickDomain:
+    """The derivation's tick domain: every effective period, every process
+    deadline (server deadlines are differences of these) and the frame
+    length convert exactly."""
+    values: List[TimeLike] = [H]
+    for period, _ in pn.effective.values():
+        values.append(period)
+    for proc in pn.network.processes.values():
+        values.append(proc.deadline)
+    return TickDomain.for_values(values)
 
-    The resulting list *is* the total order ``<J``: sorted by invocation
-    time, then FP' rank (higher priority first), then process name (for
-    FP'-unrelated ties — harmless, as unrelated processes get no edges),
-    then invocation count within a burst.
+
+def _invocation_ticks(
+    pn: TransformedNetwork, dom: TickDomain, H_t: int, H: Time
+) -> List[_TickInvocation]:
+    """Step 2 in ticks: the PN' job invocation order over ``[0, H)``.
+
+    Plain tuple sort — the tick map is strictly monotone, so the resulting
+    order is exactly the Fraction-domain total order ``<J``.
     """
     rank = {name: i for i, name in enumerate(pn.priority_order())}
-    entries: List[_Invocation] = []
+    entries: List[_TickInvocation] = []
     for name, (period, burst) in pn.effective.items():
-        count = 0
-        n_periods = H / period
-        if n_periods.denominator != 1:
+        T_t = dom.to_ticks(period)
+        n_periods, rem = divmod(H_t, T_t)
+        if rem:
             raise ModelError(
                 f"frame {H} is not a multiple of period {period} of {name!r}"
             )
-        for slot in range(int(n_periods)):
-            t = slot * period
+        r = rank[name]
+        count = 0
+        for slot in range(n_periods):
+            t_t = slot * T_t
             for _ in range(burst):
                 count += 1
-                entries.append(_Invocation(t, rank[name], name, count))
-    entries.sort(key=lambda e: (e.time, e.rank, e.process, e.k))
+                entries.append((t_t, r, name, count))
+    entries.sort()
     return entries
+
+
+def simulate_invocations(
+    pn: TransformedNetwork, H: TimeLike
+) -> List[_Invocation]:
+    """Step 2: simulate the PN' job invocation order over ``[0, H)``.
+
+    Public Fraction-domain view of the total order ``<J`` (the derivation
+    itself consumes the integer-tick sequence directly).
+    """
+    H = as_positive_time(H, "frame length")
+    dom = _derivation_domain(pn, H)
+    from_ticks = dom.from_ticks
+    memo: Dict[int, Time] = {}
+    out: List[_Invocation] = []
+    for t_t, rank, name, k in _invocation_ticks(pn, dom, dom.to_ticks(H), H):
+        t = memo.get(t_t)
+        if t is None:
+            t = memo[t_t] = from_ticks(t_t)
+        out.append(_Invocation(t, rank, name, k))
+    return out
 
 
 def _make_jobs(
     pn: TransformedNetwork,
-    sequence: Sequence[_Invocation],
+    sequence: Sequence[_TickInvocation],
     wcet: WcetMap,
-    H: Time,
+    H_t: int,
+    dom: TickDomain,
 ) -> List[Job]:
+    """Steps 3–4 job parameters, computed on integers.
+
+    ``Ai`` equals the invocation tick (both are ``T' * floor((k-1)/m')``),
+    ``Di = min(H, Ai + d)`` with the per-process relative deadline ``d``
+    precomputed in ticks (``dp`` for periodic processes, ``dp - Tp'`` for
+    servers).  Conversion back to exact rationals happens only here, at the
+    graph boundary, memoised per distinct tick value.
+    """
     wcet_of = _wcet_resolver(pn.network, wcet)
-    jobs: List[Job] = []
-    for inv in sequence:
-        proc = pn.network.processes[inv.process]
-        period, burst = pn.effective[inv.process]
-        arrival = period * ((inv.k - 1) // burst)
+    from_ticks = dom.from_ticks
+    memo: Dict[int, Time] = {}
+
+    # Per-process constants: (relative deadline ticks, burst, is_server).
+    info: Dict[str, Tuple[int, int, bool]] = {}
+    for name, (period, burst) in pn.effective.items():
+        proc = pn.network.processes[name]
+        dl_t = dom.to_ticks(proc.deadline)
         if proc.is_sporadic:
-            spec = pn.servers[inv.process]
-            deadline = arrival + proc.deadline - spec.period
-            subset = (inv.k - 1) // burst + 1
-            slot = (inv.k - 1) % burst + 1
-            jobs.append(
-                Job(
-                    process=inv.process,
-                    k=inv.k,
-                    arrival=arrival,
-                    deadline=min(H, deadline),
-                    wcet=wcet_of(inv.process, inv.k),
-                    is_server=True,
-                    subset_index=subset,
-                    slot=slot,
-                )
-            )
+            dl_t -= dom.to_ticks(pn.servers[name].period)
+        info[name] = (dl_t, burst, proc.is_sporadic)
+
+    jobs: List[Job] = []
+    append = jobs.append
+    make = Job._of
+    for arrival_t, _rank, name, k in sequence:
+        dl_t, burst, is_server = info[name]
+        deadline_t = arrival_t + dl_t
+        if deadline_t > H_t:
+            deadline_t = H_t
+        arrival = memo.get(arrival_t)
+        if arrival is None:
+            arrival = memo[arrival_t] = from_ticks(arrival_t)
+        deadline = memo.get(deadline_t)
+        if deadline is None:
+            deadline = memo[deadline_t] = from_ticks(deadline_t)
+        if is_server:
+            append(make(
+                name, k, arrival, deadline, wcet_of(name, k),
+                True, (k - 1) // burst + 1, (k - 1) % burst + 1,
+            ))
         else:
-            deadline = arrival + proc.deadline
-            jobs.append(
-                Job(
-                    process=inv.process,
-                    k=inv.k,
-                    arrival=arrival,
-                    deadline=min(H, deadline),
-                    wcet=wcet_of(inv.process, inv.k),
-                )
-            )
+            append(make(name, k, arrival, deadline, wcet_of(name, k)))
     return jobs
 
 
@@ -183,12 +250,19 @@ def _wcet_resolver(
         missing = sorted(set(network.processes) - set(table))
         if missing:
             raise ModelError(f"missing WCET for processes {missing!r}")
+        # Non-callable entries normalise once per process, not once per job.
+        resolved: Dict[str, Time] = {}
 
         def resolve(process: str, k: int) -> Time:
+            value = resolved.get(process)
+            if value is not None:
+                return value
             entry = table[process]
             if callable(entry):
                 return as_positive_time(entry(process, k), f"WCET of {process}[{k}]")
-            return as_positive_time(entry, f"WCET of {process!r}")
+            value = as_positive_time(entry, f"WCET of {process!r}")
+            resolved[process] = value
+            return value
 
         return resolve
 
@@ -197,12 +271,12 @@ def _wcet_resolver(
 
 
 def _generating_edges(
-    pn: TransformedNetwork, sequence: Sequence[_Invocation]
+    pn: TransformedNetwork, sequence: Sequence[_TickInvocation]
 ) -> List[Tuple[int, int]]:
     """Compact generating set with the same transitive closure as step 3."""
     by_process: Dict[str, List[int]] = {}
     for idx, inv in enumerate(sequence):
-        by_process.setdefault(inv.process, []).append(idx)
+        by_process.setdefault(inv[2], []).append(idx)
 
     edges: List[Tuple[int, int]] = []
     # Same process: chain of consecutive jobs.
@@ -237,15 +311,15 @@ def _next_of_partner(
 
 
 def _dense_edges(
-    pn: TransformedNetwork, sequence: Sequence[_Invocation]
+    pn: TransformedNetwork, sequence: Sequence[_TickInvocation]
 ) -> List[Tuple[int, int]]:
     """The literal step-3 rule: all ordered pairs of related jobs."""
     n = len(sequence)
     edges: List[Tuple[int, int]] = []
     for i in range(n):
-        a = sequence[i]
+        a = sequence[i][2]
         for j in range(i + 1, n):
-            b = sequence[j]
-            if a.process == b.process or pn.fp_related(a.process, b.process):
+            b = sequence[j][2]
+            if a == b or pn.fp_related(a, b):
                 edges.append((i, j))
     return edges

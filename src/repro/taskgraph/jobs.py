@@ -16,10 +16,11 @@ run-time sporadic arrivals onto them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.timebase import Time, time_str
+from ..core.trusted import check_trusted_constructor
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,41 @@ class Job:
         if self.is_server and (self.subset_index is None or self.slot is None):
             raise ValueError(f"server job {self.name} needs subset_index and slot")
 
+    @classmethod
+    def _of(
+        cls,
+        process: str,
+        k: int,
+        arrival: Time,
+        deadline: Time,
+        wcet: Time,
+        is_server: bool = False,
+        subset_index: Optional[int] = None,
+        slot: Optional[int] = None,
+    ) -> "Job":
+        """Trusted constructor for the derivation hot path.
+
+        Skips the frozen-dataclass ``__setattr__`` guards and the
+        ``__post_init__`` validation: the tick-domain derivation has already
+        established ``k >= 1``, ``0 <= arrival < deadline`` and ``wcet > 0``
+        on integers before converting back to rationals.  The explicit field
+        list is cross-checked against the dataclass at import time (below),
+        so adding a field to ``Job`` fails loudly here instead of silently
+        building incomplete jobs.
+        """
+        job = object.__new__(cls)
+        job.__dict__.update({
+            "process": process,
+            "k": k,
+            "arrival": arrival,
+            "deadline": deadline,
+            "wcet": wcet,
+            "is_server": is_server,
+            "subset_index": subset_index,
+            "slot": slot,
+        })
+        return job
+
     @property
     def name(self) -> str:
         """Paper notation ``p[k]``."""
@@ -94,3 +130,13 @@ class Job:
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.describe()
+
+
+_JOB_FIELDS = (
+    "process", "k", "arrival", "deadline", "wcet",
+    "is_server", "subset_index", "slot",
+)
+check_trusted_constructor(
+    Job, _JOB_FIELDS, Job._of,
+    dict(process="p", k=1, arrival=Time(0), deadline=Time(1), wcet=Time(1)),
+)

@@ -17,32 +17,39 @@ serves as an independent oracle in the test suite.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from .graph import TaskGraph
 
 
-def transitive_reduction(graph: TaskGraph) -> TaskGraph:
-    """Return a new :class:`TaskGraph` with redundant edges removed.
+def reduce_edge_list(n: int, edges: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Transitive reduction of a raw, topologically indexed edge list.
 
-    An edge ``(u, v)`` is redundant iff some other direct successor ``w`` of
-    ``u`` reaches ``v``; because node order is topological, each node's
-    reachability set is the union of its successors' sets, computed in one
-    reverse sweep.
+    Nodes are ``0..n-1`` and every edge ``(u, v)`` satisfies ``u < v`` (the
+    ``<J`` invariant the derivation guarantees), so the node indices are a
+    topological order.  An edge ``(u, v)`` is redundant iff some other
+    direct successor ``w`` of ``u`` reaches ``v``; each node's reachability
+    set is the union of its successors' sets, computed in one reverse sweep
+    over big-int bitsets.
+
+    This is the derivation's step-5 entry point: reducing the integer edge
+    list *before* the :class:`TaskGraph` is materialised means only one
+    graph (name index, adjacency sets) is ever built per derivation.
     """
-    n = len(graph)
-    succ_sets: List[Set[int]] = [set(graph.successors(i)) for i in range(n)]
+    succ: List[List[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        succ[u].append(v)
     # reach[v] = bitset of nodes reachable from v by a path of length >= 1
     reach: List[int] = [0] * n
     for v in range(n - 1, -1, -1):
         acc = 0
-        for w in succ_sets[v]:
+        for w in succ[v]:
             acc |= (1 << w) | reach[w]
         reach[v] = acc
 
     kept: List[Tuple[int, int]] = []
     for u in range(n):
-        succs = succ_sets[u]
+        succs = succ[u]
         # Union of what is reachable *through* each direct successor.
         indirect = 0
         for w in succs:
@@ -50,7 +57,20 @@ def transitive_reduction(graph: TaskGraph) -> TaskGraph:
         for v in succs:
             if not (indirect >> v) & 1:
                 kept.append((u, v))
-    return TaskGraph(graph.jobs, kept, graph.hyperperiod)
+    return kept
+
+
+def transitive_reduction(graph: TaskGraph) -> TaskGraph:
+    """Return a new :class:`TaskGraph` with redundant edges removed.
+
+    Graph-level wrapper around :func:`reduce_edge_list` (the derivation
+    calls the edge-list form directly, before any graph exists).
+    """
+    return TaskGraph(
+        graph.jobs,
+        reduce_edge_list(len(graph), graph.edges()),
+        graph.hyperperiod,
+    )
 
 
 def transitive_closure_sets(graph: TaskGraph) -> List[Set[int]]:

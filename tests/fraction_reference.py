@@ -15,21 +15,209 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.channels import ChannelState, ExternalOutputState
 from repro.core.invocations import Stimulus
 from repro.core.network import Network
 from repro.core.process import JobContext
-from repro.core.timebase import Time, as_positive_time, as_time
+from repro.core.timebase import (
+    Time,
+    TimeLike,
+    as_positive_time,
+    as_time,
+    hyperperiod as lcm_periods,
+)
 from repro.core.trace import JobEnd, JobStart, Trace
+from repro.errors import ModelError
 from repro.runtime.executor import JobRecord, RuntimeResult
 from repro.runtime.overheads import OverheadModel
 from repro.runtime.static_order import ArrivalBinding, FramePlan
 from repro.scheduling.list_scheduler import _resolve_priority
 from repro.scheduling.schedule import ScheduledJob, StaticSchedule
+from repro.taskgraph.derivation import WcetMap
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.jobs import Job
+from repro.taskgraph.servers import TransformedNetwork, transform
+
+
+# ----------------------------------------------------------------------
+# Reference task-graph derivation (Section III-A steps 2-5, Fraction
+# arithmetic end to end: Fraction invocation times, Fraction job
+# parameters, graph-level transitive reduction over a second TaskGraph).
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _RefInvocation:
+    time: Time
+    rank: int
+    process: str
+    k: int
+
+
+def reference_simulate_invocations(
+    pn: TransformedNetwork, H: Time
+) -> List[_RefInvocation]:
+    rank = {name: i for i, name in enumerate(pn.priority_order())}
+    entries: List[_RefInvocation] = []
+    for name, (period, burst) in pn.effective.items():
+        count = 0
+        n_periods = H / period
+        if n_periods.denominator != 1:
+            raise ModelError(
+                f"frame {H} is not a multiple of period {period} of {name!r}"
+            )
+        for slot in range(int(n_periods)):
+            t = slot * period
+            for _ in range(burst):
+                count += 1
+                entries.append(_RefInvocation(t, rank[name], name, count))
+    entries.sort(key=lambda e: (e.time, e.rank, e.process, e.k))
+    return entries
+
+
+def _reference_wcet_resolver(network: Network, wcet: WcetMap):
+    if isinstance(wcet, Mapping):
+        table = dict(wcet)
+        missing = sorted(set(network.processes) - set(table))
+        if missing:
+            raise ModelError(f"missing WCET for processes {missing!r}")
+
+        def resolve(process: str, k: int) -> Time:
+            entry = table[process]
+            if callable(entry):
+                return as_positive_time(entry(process, k), f"WCET of {process}[{k}]")
+            return as_positive_time(entry, f"WCET of {process!r}")
+
+        return resolve
+
+    uniform = as_positive_time(wcet, "WCET")
+    return lambda process, k: uniform
+
+
+def _reference_make_jobs(
+    pn: TransformedNetwork,
+    sequence: Sequence[_RefInvocation],
+    wcet: WcetMap,
+    H: Time,
+) -> List[Job]:
+    wcet_of = _reference_wcet_resolver(pn.network, wcet)
+    jobs: List[Job] = []
+    for inv in sequence:
+        proc = pn.network.processes[inv.process]
+        period, burst = pn.effective[inv.process]
+        arrival = period * ((inv.k - 1) // burst)
+        if proc.is_sporadic:
+            spec = pn.servers[inv.process]
+            deadline = arrival + proc.deadline - spec.period
+            jobs.append(
+                Job(
+                    process=inv.process,
+                    k=inv.k,
+                    arrival=arrival,
+                    deadline=min(H, deadline),
+                    wcet=wcet_of(inv.process, inv.k),
+                    is_server=True,
+                    subset_index=(inv.k - 1) // burst + 1,
+                    slot=(inv.k - 1) % burst + 1,
+                )
+            )
+        else:
+            deadline = arrival + proc.deadline
+            jobs.append(
+                Job(
+                    process=inv.process,
+                    k=inv.k,
+                    arrival=arrival,
+                    deadline=min(H, deadline),
+                    wcet=wcet_of(inv.process, inv.k),
+                )
+            )
+    return jobs
+
+
+def _reference_generating_edges(
+    pn: TransformedNetwork, sequence: Sequence[_RefInvocation]
+) -> List[Tuple[int, int]]:
+    by_process: Dict[str, List[int]] = {}
+    for idx, inv in enumerate(sequence):
+        by_process.setdefault(inv.process, []).append(idx)
+
+    edges: List[Tuple[int, int]] = []
+    for indices in by_process.values():
+        edges.extend(zip(indices, indices[1:]))
+
+    def next_of_partner(from_indices, to_indices):
+        out = []
+        j = 0
+        for i in from_indices:
+            while j < len(to_indices) and to_indices[j] < i:
+                j += 1
+            if j == len(to_indices):
+                break
+            out.append((i, to_indices[j]))
+        return out
+
+    names = sorted(by_process)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if not pn.fp_related(a, b):
+                continue
+            edges.extend(next_of_partner(by_process[a], by_process[b]))
+            edges.extend(next_of_partner(by_process[b], by_process[a]))
+    return sorted(set(edges))
+
+
+def reference_transitive_reduction(graph: TaskGraph) -> TaskGraph:
+    """Seed's graph-level reduction: bitset sweep over a built TaskGraph."""
+    n = len(graph)
+    succ_sets: List[Set[int]] = [set(graph.successors(i)) for i in range(n)]
+    reach: List[int] = [0] * n
+    for v in range(n - 1, -1, -1):
+        acc = 0
+        for w in succ_sets[v]:
+            acc |= (1 << w) | reach[w]
+        reach[v] = acc
+
+    kept: List[Tuple[int, int]] = []
+    for u in range(n):
+        succs = succ_sets[u]
+        indirect = 0
+        for w in succs:
+            indirect |= reach[w]
+        for v in succs:
+            if not (indirect >> v) & 1:
+                kept.append((u, v))
+    return TaskGraph(graph.jobs, kept, graph.hyperperiod)
+
+
+def reference_derive_task_graph(
+    network: Network,
+    wcet: WcetMap,
+    horizon: Optional[TimeLike] = None,
+    reduce_edges: bool = True,
+) -> TaskGraph:
+    """The seed's Fraction-domain derivation: two TaskGraph constructions,
+    Fraction job parameters, graph-level reduction."""
+    pn = transform(network)
+    H = lcm_periods([period for period, _ in pn.effective.values()])
+    if horizon is not None:
+        h = as_positive_time(horizon, "horizon")
+        for name, (period, _) in pn.effective.items():
+            if (h / period).denominator != 1:
+                raise ModelError(
+                    f"horizon {h} is not a multiple of the effective period "
+                    f"{period} of process {name!r}"
+                )
+        H = h
+    sequence = reference_simulate_invocations(pn, H)
+    jobs = _reference_make_jobs(pn, sequence, wcet, H)
+    edges = _reference_generating_edges(pn, sequence)
+    graph = TaskGraph(jobs, edges, H)
+    if reduce_edges:
+        graph = reference_transitive_reduction(graph)
+    return graph
 
 
 # ----------------------------------------------------------------------

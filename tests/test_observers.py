@@ -1,0 +1,317 @@
+"""The executor's observer protocol: live events, replay, fast modes.
+
+Covers the PR's acceptance criteria for the runtime layer:
+
+* observers receive the same streams live and via :func:`replay`;
+* VCD, Gantt and metrics consumers produce identical output through events;
+* ``records_only=True`` reproduces identical ``JobRecord`` timing on the
+  FMS and FFT applications while skipping the data phase;
+* ``collect_records=False`` reproduces identical observables with an empty
+  record list (the determinism-sweep fast path).
+"""
+
+import pytest
+
+from repro.apps import (
+    build_fft_network,
+    build_fig1_network,
+    build_fms_network,
+    fft_stimulus,
+    fft_wcets,
+    fig1_stimulus,
+    fig1_wcets,
+    fms_stimulus,
+    fms_wcets,
+)
+from repro.core.timebase import Time
+from repro.io import trace_to_vcd, runtime_result_to_vcd
+from repro.runtime import (
+    ExecutionObserver,
+    GanttObserver,
+    MetricsObserver,
+    OverheadModel,
+    RecordsObserver,
+    TraceObserver,
+    frame_makespans,
+    gantt_from_observer,
+    jittered_execution,
+    miss_summary,
+    processor_utilization,
+    replay,
+    response_times,
+    run_static_order,
+    runtime_gantt,
+)
+from repro.runtime.executor import JobRecord
+from repro.scheduling import list_schedule
+from repro.taskgraph import derive_task_graph
+
+
+def fig1_run(observers=(), overheads=None, **kwargs):
+    net = build_fig1_network()
+    graph = derive_task_graph(net, fig1_wcets())
+    schedule = list_schedule(graph, 2, "alap")
+    return run_static_order(
+        net, schedule, 3, fig1_stimulus(3),
+        overheads=overheads, observers=observers, **kwargs,
+    )
+
+
+class TestEventStreams:
+    def test_records_observer_matches_result(self):
+        obs = RecordsObserver()
+        result = fig1_run([obs], overheads=OverheadModel.create(
+            first_frame_arrival=41, steady_frame_arrival=20))
+        assert obs.records == result.records
+        assert obs.overhead_intervals == result.overhead_intervals
+        assert obs.meta is not None
+        assert obs.meta.network == result.network_name
+        assert obs.meta.processors == result.processors
+        assert obs.meta.frames == result.frames
+        assert obs.meta.hyperperiod == result.hyperperiod
+
+    def test_replay_equals_live(self):
+        live = RecordsObserver()
+        result = fig1_run([live])
+        replayed = RecordsObserver()
+        replay(result, replayed)
+        assert replayed.records == live.records
+        assert replayed.overhead_intervals == live.overhead_intervals
+        assert replayed.meta == live.meta
+
+    def test_run_end_receives_result(self):
+        seen = []
+
+        class EndObserver(ExecutionObserver):
+            def on_run_end(self, result):
+                seen.append(result)
+
+        result = fig1_run([EndObserver()])
+        assert seen == [result]
+
+    def test_event_order_is_frame_coherent(self):
+        events = []
+
+        class OrderObserver(ExecutionObserver):
+            def on_overhead(self, frame, start, end):
+                events.append(("ov", frame))
+
+            def on_record(self, record):
+                events.append(("rec", record.frame))
+
+        fig1_run([OrderObserver()], overheads=OverheadModel.create(
+            first_frame_arrival=10, steady_frame_arrival=10))
+        # Live emission: each frame's overhead precedes its records.
+        frames = [f for _kind, f in events]
+        assert frames == sorted(frames)
+        for frame in set(frames):
+            of_frame = [kind for kind, f in events if f == frame]
+            assert of_frame[0] == "ov"
+
+
+class TestMetricsObserver:
+    def test_matches_metrics_functions(self):
+        obs = MetricsObserver()
+        result = fig1_run([obs], execution_time=jittered_execution(3))
+        assert obs.miss_summary() == miss_summary(result)
+        assert obs.response_times() == response_times(result)
+        assert obs.processor_utilization() == processor_utilization(result)
+        assert obs.frame_makespans() == frame_makespans(result)
+        assert obs.makespan == result.makespan()
+
+    def test_counts(self):
+        obs = MetricsObserver()
+        result = fig1_run([obs])
+        assert obs.total_jobs == len(result.records)
+        assert obs.executed_jobs == len(result.executed())
+        assert obs.false_jobs == len(result.false_jobs())
+
+
+class TestTraceAndGantt:
+    def test_vcd_from_live_observer_equals_result_vcd(self):
+        obs = TraceObserver()
+        result = fig1_run([obs], overheads=OverheadModel.mppa_like())
+        assert trace_to_vcd(obs) == runtime_result_to_vcd(result)
+
+    def test_gantt_from_live_observer_equals_result_gantt(self):
+        obs = GanttObserver()
+        result = fig1_run([obs], overheads=OverheadModel.mppa_like())
+        assert gantt_from_observer(obs) == runtime_gantt(result)
+        assert runtime_gantt(obs) == runtime_gantt(result)
+
+    def test_unused_observer_rejected(self):
+        from repro.errors import RuntimeModelError
+
+        with pytest.raises(Exception):
+            trace_to_vcd(TraceObserver())
+        with pytest.raises(ValueError):
+            gantt_from_observer(GanttObserver())
+        fresh = MetricsObserver()
+        for query in (fresh.miss_summary, fresh.response_times,
+                      fresh.processor_utilization, fresh.frame_makespans):
+            with pytest.raises(RuntimeModelError):
+                query()
+
+
+def _records_only_case(app):
+    if app == "fms":
+        net = build_fms_network()
+        graph = derive_task_graph(net, fms_wcets())
+        schedule = list_schedule(graph, 1, "alap")
+        stim = fms_stimulus(net, graph.hyperperiod * 3)
+    else:
+        net = build_fft_network()
+        graph = derive_task_graph(net, fft_wcets())
+        schedule = list_schedule(graph, 2, "alap")
+        stim = fft_stimulus([[k, k + 1j, -k, 0.5 * k] for k in range(3)])
+    return net, schedule, stim
+
+
+class TestFastModes:
+    @pytest.mark.parametrize("app", ["fms", "fft"])
+    def test_records_only_identical_timing(self, app):
+        """Acceptance: records-only mode reproduces identical JobRecord
+        timing on FMS/FFT while skipping kernels and channel states."""
+        net, schedule, stim = _records_only_case(app)
+        full = run_static_order(net, schedule, 3, stim)
+        timing = run_static_order(net, schedule, 3, stim, records_only=True)
+        assert timing.records == full.records
+        assert timing.overhead_intervals == full.overhead_intervals
+        # the data phase really was skipped
+        assert timing.channel_logs == {}
+        assert timing.external_outputs == {}
+        assert list(timing.trace) == []
+        assert full.channel_logs  # sanity: the full run did produce data
+
+    @pytest.mark.parametrize("app", ["fms", "fft"])
+    def test_records_only_identical_under_jitter(self, app):
+        net, schedule, stim = _records_only_case(app)
+        full = run_static_order(
+            net, schedule, 2, stim, execution_time=jittered_execution(11))
+        timing = run_static_order(
+            net, schedule, 2, stim, execution_time=jittered_execution(11),
+            records_only=True)
+        assert timing.records == full.records
+
+    def test_collect_records_false_identical_observables(self):
+        net, schedule, stim = _records_only_case("fms")
+        full = run_static_order(net, schedule, 3, stim)
+        lean = run_static_order(net, schedule, 3, stim, collect_records=False)
+        assert lean.records == []
+        assert lean.observable() == full.observable()
+        assert list(lean.trace) == list(full.trace)
+
+    def test_observers_fire_in_records_only_mode(self):
+        obs = MetricsObserver()
+        net, schedule, stim = _records_only_case("fft")
+        full = run_static_order(net, schedule, 3, stim)
+        run_static_order(net, schedule, 3, stim, records_only=True,
+                         observers=[obs])
+        assert obs.miss_summary() == miss_summary(full)
+
+    def test_records_only_results_refuse_observable(self):
+        """A records_only result has no data phase — comparing its (empty)
+        observable would mask real divergences."""
+        from repro.errors import RuntimeModelError
+
+        net, schedule, stim = _records_only_case("fft")
+        timing = run_static_order(net, schedule, 2, stim, records_only=True)
+        with pytest.raises(RuntimeModelError):
+            timing.observable()
+
+    def test_non_record_observer_keeps_fast_path(self):
+        """An observer that never overrides on_record must not force record
+        construction when collect_records=False."""
+        overheads_seen = []
+
+        class ProgressObserver(ExecutionObserver):
+            def on_overhead(self, frame, start, end):
+                overheads_seen.append(frame)
+
+        calls = []
+        real_from_fields = JobRecord._from_fields
+
+        def spy(*args):
+            calls.append(args)
+            return real_from_fields(*args)
+
+        net, schedule, stim = _records_only_case("fft")
+        try:
+            JobRecord._from_fields = spy
+            run_static_order(
+                net, schedule, 2, stim,
+                observers=[ProgressObserver()], collect_records=False,
+                overheads=OverheadModel.create(
+                    first_frame_arrival=5, steady_frame_arrival=5),
+            )
+        finally:
+            JobRecord._from_fields = classmethod(real_from_fields.__func__)
+        assert calls == []          # no record was ever built
+        assert overheads_seen       # but the observer still got its events
+
+    def test_uncollected_results_refuse_record_queries(self):
+        """A collect_records=False result must not silently report zeros."""
+        from repro.errors import RuntimeModelError
+
+        net, schedule, stim = _records_only_case("fft")
+        lean = run_static_order(net, schedule, 2, stim, collect_records=False)
+        for query in (lean.misses, lean.executed, lean.false_jobs,
+                      lean.makespan):
+            with pytest.raises(RuntimeModelError):
+                query()
+        with pytest.raises(RuntimeModelError):
+            miss_summary(lean)
+        with pytest.raises(RuntimeModelError):
+            replay(lean, MetricsObserver())
+        from repro.runtime import jobs_of_process
+        with pytest.raises(RuntimeModelError):
+            jobs_of_process(lean, "FFT")
+
+    def test_streaming_observers_without_record_retention(self):
+        """collect_records=False still feeds observers every record —
+        streaming aggregation with an empty result.records."""
+        obs = MetricsObserver()
+        net, schedule, stim = _records_only_case("fft")
+        full = run_static_order(net, schedule, 3, stim)
+        lean = run_static_order(net, schedule, 3, stim,
+                                collect_records=False, observers=[obs])
+        assert lean.records == []
+        assert obs.miss_summary() == miss_summary(full)
+        assert lean.observable() == full.observable()
+
+
+class TestObserverReuse:
+    def test_run_start_resets_state(self):
+        """One observer instance reused across runs holds only the last
+        run's streams — no cross-run mixing."""
+        records_obs = RecordsObserver()
+        metrics_obs = MetricsObserver()
+        trace_obs = TraceObserver()
+        gantt_obs = GanttObserver()
+        observers = [records_obs, metrics_obs, trace_obs, gantt_obs]
+        ov = OverheadModel.create(first_frame_arrival=10, steady_frame_arrival=5)
+        fig1_run(observers, overheads=ov)
+        result = fig1_run(observers, overheads=ov)
+
+        assert records_obs.records == result.records
+        assert records_obs.overhead_intervals == result.overhead_intervals
+        assert metrics_obs.miss_summary() == miss_summary(result)
+        assert metrics_obs.total_jobs == len(result.records)
+        assert trace_to_vcd(trace_obs) == runtime_result_to_vcd(result)
+        assert gantt_from_observer(gantt_obs) == runtime_gantt(result)
+
+
+class TestJobRecordConstructor:
+    def test_from_fields_equals_public_constructor(self):
+        kw = dict(
+            process="p", frame=1, k_frame=2, global_k=12, processor=0,
+            release=Time(5), start=Time(6), end=Time(7), deadline=Time(9),
+            is_false=False, is_server=True,
+        )
+        assert JobRecord._from_fields(**kw) == JobRecord(**kw)
+
+    def test_field_guard_is_in_sync(self):
+        from dataclasses import fields
+        from repro.runtime.executor import _JOB_RECORD_FIELDS
+
+        assert tuple(f.name for f in fields(JobRecord)) == _JOB_RECORD_FIELDS

@@ -41,9 +41,11 @@ from repro.scheduling import available_heuristics, list_schedule
 from repro.taskgraph import derive_task_graph
 
 from fraction_reference import (
+    reference_derive_task_graph,
     reference_jittered_execution,
     reference_list_schedule,
     reference_run_static_order,
+    reference_simulate_invocations,
 )
 
 
@@ -105,6 +107,106 @@ def assert_same_result(ours, ref):
     assert ours.observable() == ref.observable()
     assert ours.overhead_intervals == ref.overhead_intervals
     assert list(ours.trace) == list(ref.trace)
+
+
+def assert_same_graph(ours, ref):
+    """Derived graphs must match bit for bit: jobs, parameters, edges."""
+    assert len(ours) == len(ref)
+    assert ours.hyperperiod == ref.hyperperiod
+    hp, rp = ours.hyperperiod, ref.hyperperiod
+    assert (hp.numerator, hp.denominator) == (rp.numerator, rp.denominator)
+    for a, b in zip(ours.jobs, ref.jobs):
+        assert a == b  # dataclass equality: every field
+        for attr in ("arrival", "deadline", "wcet"):
+            fa, fb = getattr(a, attr), getattr(b, attr)
+            assert (fa.numerator, fa.denominator) == (fb.numerator, fb.denominator)
+        assert (a.is_server, a.subset_index, a.slot) == (
+            b.is_server, b.subset_index, b.slot)
+    assert ours.edges() == ref.edges()
+
+
+DERIVATION_CASES = {
+    "fig1": lambda: (build_fig1_network(), fig1_wcets(), None),
+    "fig1_40s": lambda: (build_fig1_network(), fig1_wcets(), 40_000),
+    "fft": lambda: (build_fft_network(), fft_wcets(), None),
+    "fms": lambda: (build_fms_network(), fms_wcets(), None),
+}
+
+
+@pytest.mark.parametrize("case", sorted(DERIVATION_CASES))
+def test_derivation_identical(case):
+    net, wcets, horizon = DERIVATION_CASES[case]()
+    assert_same_graph(
+        derive_task_graph(net, wcets, horizon=horizon),
+        reference_derive_task_graph(net, wcets, horizon=horizon),
+    )
+
+
+def test_derivation_identical_fms_40s():
+    """The Section V-B pain point: the 40 s-hyperperiod FMS graph."""
+    net = build_fms_network(reduced_hyperperiod=False)
+    wcets = fms_wcets()
+    ours = derive_task_graph(net, wcets)
+    ref = reference_derive_task_graph(net, wcets)
+    assert len(ours) == 2798
+    assert_same_graph(ours, ref)
+
+
+def test_derivation_identical_fractional_periods():
+    net, graph, _, _ = fractional()
+    assert_same_graph(
+        graph, reference_derive_task_graph(net, {"Fast": "1/30", "Slow": "1/20"})
+    )
+
+
+def test_derivation_identical_unreduced():
+    """The reduce_edges=False escape hatch matches the reference pre-step-5."""
+    net, wcets, _ = DERIVATION_CASES["fig1"]()
+    ours = derive_task_graph(net, wcets, reduce_edges=False)
+    ref = reference_derive_task_graph(net, wcets, reduce_edges=False)
+    assert_same_graph(ours, ref)
+
+
+def test_derivation_identical_per_job_wcet_callable():
+    """Callable WCETs are sampled per job, in the same <J order."""
+    calls_ours, calls_ref = [], []
+
+    def make_wcet(log):
+        def wcet(process, k):
+            log.append((process, k))
+            return Fraction(20 + (k % 3), 1 + (k % 2))
+        return wcet
+
+    net = build_fig1_network()
+    ours = derive_task_graph(
+        net, {name: make_wcet(calls_ours) for name in fig1_wcets()}
+    )
+    ref = reference_derive_task_graph(
+        net, {name: make_wcet(calls_ref) for name in fig1_wcets()}
+    )
+    assert_same_graph(ours, ref)
+    assert calls_ours == calls_ref
+
+
+@pytest.mark.parametrize("app", ["fig1", "fft", "fms"])
+def test_invocation_order_identical(app):
+    """The public simulate_invocations equals the Fraction simulation."""
+    from repro.taskgraph import simulate_invocations, transform
+
+    builders = {
+        "fig1": build_fig1_network, "fft": build_fft_network,
+        "fms": build_fms_network,
+    }
+    pn = transform(builders[app]())
+    from repro.core.timebase import hyperperiod
+    H = hyperperiod([p for p, _ in pn.effective.values()])
+    ours = simulate_invocations(pn, H)
+    ref = reference_simulate_invocations(pn, H)
+    assert len(ours) == len(ref)
+    for a, b in zip(ours, ref):
+        assert (a.time, a.rank, a.process, a.k) == (b.time, b.rank, b.process, b.k)
+        assert (a.time.numerator, a.time.denominator) == (
+            b.time.numerator, b.time.denominator)
 
 
 @pytest.mark.parametrize("app", sorted(APPS))

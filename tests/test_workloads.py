@@ -6,7 +6,21 @@ from hypothesis import given, settings, strategies as st
 from repro.apps import random_network, random_wcets
 from repro.core.invocations import random_stimulus
 from repro.core.semantics import run_zero_delay
+from repro.runtime import (
+    MetricsObserver,
+    RecordsObserver,
+    TraceObserver,
+    miss_summary,
+    run_static_order,
+)
+from repro.scheduling import list_schedule
 from repro.taskgraph import derive_task_graph, utilization
+
+from fraction_reference import (
+    reference_derive_task_graph,
+    reference_list_schedule,
+    reference_run_static_order,
+)
 
 
 class TestGeneration:
@@ -61,3 +75,80 @@ class TestWcets:
         wcets = random_wcets(net, seed=3)
         assert set(wcets) == set(net.processes)
         assert all(v > 0 for v in wcets.values())
+
+
+class TestEndToEnd:
+    """derive → schedule → execute with observers, on seeded random
+    subclass FPPNs, against the pure-Fraction references.
+
+    This is the property the paper's examples cannot cover: the tick-domain
+    pipeline and the observer-based executor must be bit-identical to the
+    Fraction-domain algorithms on *arbitrary* subclass networks.
+    """
+
+    FRAMES = 2
+
+    def _pipeline(self, seed):
+        net = random_network(seed=seed, n_periodic=4, n_sporadic=2)
+        wcets = random_wcets(net, seed=seed, utilization_target=0.4)
+        graph = derive_task_graph(net, wcets)
+        stim = random_stimulus(
+            net, graph.hyperperiod * self.FRAMES, seed=seed
+        )
+        return net, wcets, graph, stim
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_tick_derivation_matches_fraction_reference(self, seed):
+        net, wcets, graph, _ = self._pipeline(seed)
+        ref = reference_derive_task_graph(net, wcets)
+        assert len(graph) == len(ref)
+        assert graph.hyperperiod == ref.hyperperiod
+        for a, b in zip(graph.jobs, ref.jobs):
+            assert a == b
+            for attr in ("arrival", "deadline", "wcet"):
+                fa, fb = getattr(a, attr), getattr(b, attr)
+                assert (fa.numerator, fa.denominator) == (
+                    fb.numerator, fb.denominator)
+        assert graph.edges() == ref.edges()
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    @pytest.mark.parametrize("processors", [1, 2])
+    def test_execution_with_observers_matches_reference(self, seed, processors):
+        net, wcets, graph, stim = self._pipeline(seed)
+        schedule = list_schedule(graph, processors, "alap")
+        ref_schedule = reference_list_schedule(graph, processors, "alap")
+        for a, b in zip(schedule.entries, ref_schedule.entries):
+            assert (a.job_index, a.processor, a.start) == (
+                b.job_index, b.processor, b.start)
+
+        records_obs = RecordsObserver()
+        metrics_obs = MetricsObserver()
+        trace_obs = TraceObserver()
+        result = run_static_order(
+            net, schedule, self.FRAMES, stim,
+            observers=[records_obs, metrics_obs, trace_obs],
+        )
+        ref = reference_run_static_order(net, ref_schedule, self.FRAMES, stim)
+
+        assert result.records == ref.records
+        for a, b in zip(result.records, ref.records):
+            for attr in ("release", "start", "end", "deadline"):
+                fa, fb = getattr(a, attr), getattr(b, attr)
+                assert (fa.numerator, fa.denominator) == (
+                    fb.numerator, fb.denominator)
+        assert result.observable() == ref.observable()
+        # observers saw the full event stream
+        assert records_obs.records == result.records
+        assert metrics_obs.miss_summary() == miss_summary(result)
+        assert metrics_obs.total_jobs == len(result.records)
+        executed = {r.process for r in result.records if not r.is_false}
+        assert executed <= trace_obs.processes
+
+    @pytest.mark.parametrize("seed", [0, 23])
+    def test_records_only_matches_full_run(self, seed):
+        net, _, graph, stim = self._pipeline(seed)
+        schedule = list_schedule(graph, 2, "alap")
+        full = run_static_order(net, schedule, self.FRAMES, stim)
+        timing = run_static_order(
+            net, schedule, self.FRAMES, stim, records_only=True)
+        assert timing.records == full.records
