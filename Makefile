@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-smoke bench-json lint
+.PHONY: test bench bench-smoke bench-json cov lint
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
@@ -15,6 +15,17 @@ lint:
 		$(PY) -m ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed — skipping lint (pip install ruff)"; \
+	fi
+
+# Line coverage of the runtime package (the executor hot paths this repo
+# keeps optimising) with a hard floor.  Skips gracefully when pytest-cov is
+# not in the environment; CI installs it.
+cov:
+	@if $(PY) -c "import pytest_cov" 2>/dev/null; then \
+		$(PY) -m pytest tests -q \
+			--cov=repro.runtime --cov-report=term-missing --cov-fail-under=85; \
+	else \
+		echo "pytest-cov not installed — skipping coverage (pip install pytest-cov)"; \
 	fi
 
 # The paper-experiment benchmark suite with pytest-benchmark timing tables.

@@ -204,6 +204,25 @@ def _case_fms_sim_timing_100(fast: bool):
     )
 
 
+def _case_fms_data_phase_100(fast: bool):
+    """The data-phase fast path in its leanest full-pipeline form:
+    timing + kernels with no record retention and no action trace —
+    what observable-only sweeps (determinism matrices, scenario
+    backends) pay per run."""
+    net = build_fms_network()
+    graph = derive_task_graph(net, fms_wcets())
+    schedule = find_feasible_schedule(graph, 1)
+    frames = 10 if fast else 100
+    return (
+        lambda: run_static_order(
+            net, schedule, frames,
+            collect_records=False, collect_trace=False,
+        ),
+        {"experiment": "E4/E9", "frames": frames, "jobs": len(graph),
+         "mode": "collect_records=False collect_trace=False"},
+    )
+
+
 CASES: List[Case] = [
     ("e1_fig1_derivation", _case_e1_fig1_derivation),
     ("e2_fig4_schedule", _case_e2_fig4_schedule),
@@ -220,6 +239,7 @@ CASES: List[Case] = [
     ("fms_sim_100", _case_fms_sim_100),
     ("fms_sim_jitter", _case_fms_sim_jitter),
     ("fms_sim_timing_100", _case_fms_sim_timing_100),
+    ("fms_data_phase_100", _case_fms_data_phase_100),
 ]
 
 

@@ -100,6 +100,16 @@ def main() -> None:
     assert result.observable() == reference.observable(), "determinism violated!"
     print("runtime outputs identical to the zero-delay reference — Prop. 2.1 holds")
 
+    # Data-phase events stream kernel spans and channel writes to the same
+    # observer: per-process execution statistics with exact rational times.
+    print("kernel spans per process:")
+    for name, spans in metrics.kernel_span_stats().items():
+        print(
+            f"  {name:10s} {spans.jobs} jobs, busy {spans.total_busy} ms, "
+            f"max {spans.max_span} ms, mean {spans.mean_span} ms"
+        )
+    print(f"channel writes: {metrics.channel_write_counts()}")
+
     # -- 6. timing-only re-run (records_only skips the kernels) -------------
     timing = run_static_order(net, schedule, n_frames=3, records_only=True)
     assert timing.records == result.records

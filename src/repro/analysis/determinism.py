@@ -109,10 +109,12 @@ def check_determinism(
     horizon ``n_frames * H``.
 
     Each variant runs through the executor's observer-based core with
-    ``collect_records=False``: the matrix only compares data-phase
-    observables, so no :class:`~repro.runtime.executor.JobRecord` is ever
-    materialised — the timing recurrence stays in pure integer ticks and
-    the sweep skips every tick→Fraction record conversion.
+    ``collect_records=False`` and ``collect_trace=False``: the matrix only
+    compares data-phase observables (channel logs and external outputs), so
+    neither :class:`~repro.runtime.executor.JobRecord` objects nor action
+    traces are ever materialised — the timing recurrence stays in pure
+    integer ticks and the sweep skips every per-record and per-action
+    allocation.
     """
     graph = derive_task_graph(network, wcet)
     horizon = graph.hyperperiod * n_frames
@@ -139,7 +141,8 @@ def check_determinism(
             ]
             for label, exec_time in variants:
                 result = executor.run(
-                    n_frames, stimulus, exec_time, collect_records=False
+                    n_frames, stimulus, exec_time,
+                    collect_records=False, collect_trace=False,
                 )
                 obs = result.observable()
                 div = first_divergence(ref_obs, obs)

@@ -55,8 +55,13 @@ NO_DATA = _NoData()
 
 
 def is_no_data(value: Any) -> bool:
-    """True when *value* is the non-availability indicator."""
-    return isinstance(value, _NoData)
+    """True when *value* is the non-availability indicator.
+
+    An identity check suffices — ``_NoData.__new__`` (and its
+    ``__reduce__``, for unpickling) guarantee the singleton — and it keeps
+    this call cheap inside kernel bodies on the simulator's hot path.
+    """
+    return value is NO_DATA
 
 
 class ChannelKind(enum.Enum):

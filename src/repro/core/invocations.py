@@ -54,6 +54,7 @@ class Stimulus:
             name: [as_nonnegative_time(t, "arrival time") for t in times]
             for name, times in (sporadic_arrivals or {}).items()
         }
+        self._samples_views: Dict[str, SampleMap] = {}
 
     def validate(self, network: Network) -> None:
         """Check the stimulus against a network definition.
@@ -100,7 +101,25 @@ class Stimulus:
         return list(self.sporadic_arrivals.get(process, []))
 
     def samples_for(self, channel: str) -> SampleMap:
+        """A fresh copy of the samples of one external input channel."""
         return dict(self.input_samples.get(channel, {}))
+
+    def samples_view(self, channel: str) -> SampleMap:
+        """A memoised **read-only view** of one channel's samples.
+
+        The executors build one sample mapping per process binding — the
+        zero-delay and uniprocessor references even per job instance — so
+        the per-call copy of :meth:`samples_for` is pure allocation churn on
+        hot paths.  This returns one shared dict per channel, built on
+        first access; callers must not mutate it (job contexts only ever
+        ``get`` from it).
+        """
+        view = self._samples_views.get(channel)
+        if view is None:
+            view = self._samples_views[channel] = dict(
+                self.input_samples.get(channel, {})
+            )
+        return view
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -157,7 +157,7 @@ class ZeroDelayExecutor:
             variables=variables[proc.name],
             inputs={n: channel_states[n] for n in proc.inputs},
             outputs={n: channel_states[n] for n in proc.outputs},
-            external_inputs={n: stimulus.samples_for(n) for n in proc.external_inputs},
+            external_inputs={n: stimulus.samples_view(n) for n in proc.external_inputs},
             external_outputs={n: ext_out[n] for n in proc.external_outputs},
             trace=trace,
         )

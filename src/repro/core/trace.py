@@ -182,3 +182,79 @@ class Trace:
         if limit is not None and len(self.actions) > limit:
             lines.append(f"... ({len(self.actions) - limit} more actions)")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Lazy traces: record compactly on the hot path, materialise on demand.
+# ----------------------------------------------------------------------
+
+#: Compact encoding of the hot-path actions: one single-character code per
+#: action class, followed by the dataclass fields in declaration order.
+#: The field tuples are cross-checked against the dataclasses at import
+#: time (below), so the encoders in :mod:`repro.core.process` and the
+#: runtime executor cannot silently drift from the action definitions.
+COMPACT_CODES = {
+    "R": (ChannelRead, ("process", "channel", "value")),
+    "W": (ChannelWrite, ("process", "channel", "value")),
+    "r": (ExternalRead, ("process", "channel", "sample_index", "value")),
+    "w": (ExternalWrite, ("process", "channel", "sample_index", "value")),
+    "A": (Assign, ("process", "variable", "value")),
+    "S": (JobStart, ("process", "k")),
+    "E": (JobEnd, ("process", "k")),
+    "T": (Wait, ("time",)),
+}
+
+for _cls, _names in COMPACT_CODES.values():
+    _actual = tuple(f.name for f in _cls.__dataclass_fields__.values())
+    if _actual != _names:  # pragma: no cover - import-time drift guard
+        raise AssertionError(
+            f"{_cls.__name__}'s fields changed ({_actual} != {_names}) — "
+            "update COMPACT_CODES and every compact encoder before shipping"
+        )
+
+
+class LazyTrace(Trace):
+    """A trace recorded as compact tuples, materialised on first access.
+
+    The simulator's data phase emits on the order of tens of actions per
+    job instance; allocating one frozen dataclass per action dominates the
+    phase even though most callers never read ``result.trace``.  A lazy
+    trace lets producers append ``(code, *fields)`` tuples to :attr:`raw`
+    (see :data:`COMPACT_CODES`) and builds the real :class:`Action`
+    objects only when a consumer first touches :attr:`actions` — exact
+    same sequence, paid for only when someone looks.
+
+    Equality works across the eager/lazy divide: a materialised
+    ``LazyTrace`` compares equal to a plain :class:`Trace` holding the
+    same actions, which is what the differential test oracles assert.
+    """
+
+    def __init__(self, raw: Optional[list] = None) -> None:
+        self.raw: List[tuple] = raw if raw is not None else []
+        self._actions: Optional[List[Action]] = None
+
+    @property
+    def actions(self) -> List[Action]:  # type: ignore[override]
+        acts = self._actions
+        if acts is None:
+            codes = COMPACT_CODES
+            new = object.__new__
+            oset = object.__setattr__
+            acts = []
+            append = acts.append
+            for rec in self.raw:
+                cls, names = codes[rec[0]]
+                act = new(cls)
+                oset(act, "__dict__", dict(zip(names, rec[1:])))
+                append(act)
+            self._actions = acts
+        return acts
+
+    def __len__(self) -> int:
+        # Cheap even before materialisation (used by guards and tests).
+        return len(self.raw) if self._actions is None else len(self._actions)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Trace):
+            return self.actions == other.actions
+        return NotImplemented

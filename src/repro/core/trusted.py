@@ -13,6 +13,7 @@ constructor (e.g. a future ``slots=True``).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import fields
 from typing import Any, Callable, Dict, Tuple
 
@@ -49,4 +50,44 @@ def check_trusted_constructor(
             f"constructor — did {cls.__name__} gain slots=True or "
             "field-altering logic? Update the trusted constructor before "
             "shipping"
+        )
+
+
+def check_trusted_rebind(
+    cls: type,
+    expected_params: Tuple[str, ...],
+    base_kwargs: Dict[str, Any],
+    rebound_kwargs: Dict[str, Any],
+    rebind: Callable[..., Any],
+) -> None:
+    """Fail the import if rebinding cannot stand in for fresh construction.
+
+    The simulation hot loop reuses one mutable context object per process and
+    *rebinds* only the per-instance fields instead of reallocating
+    (:meth:`repro.core.process.JobContext._rebind`).  That is sound only
+    while every ``__init__`` parameter that is **not** rebound stays
+    run-constant per process.  Two import-time checks keep it honest:
+
+    * the ``__init__`` parameter list must equal *expected_params* — adding
+      a new per-instance parameter without teaching ``_rebind`` about it
+      fails here loudly instead of silently leaking stale state;
+    * constructing with *base_kwargs* and rebinding the keys of
+      *rebound_kwargs* must reproduce, attribute for attribute, a fresh
+      construction with the rebound values.
+    """
+    actual = tuple(inspect.signature(cls.__init__).parameters)[1:]  # drop self
+    if actual != expected_params:
+        raise AssertionError(
+            f"{cls.__name__}.__init__ parameters changed ({actual} != "
+            f"{expected_params}) — update {cls.__name__}._rebind and this "
+            "guard, or the hot loops would reuse contexts with stale fields"
+        )
+    reused = cls(**base_kwargs)
+    rebind(reused, **rebound_kwargs)
+    fresh = cls(**{**base_kwargs, **rebound_kwargs})
+    if vars(reused) != vars(fresh):  # pragma: no cover - future drift guard
+        raise AssertionError(
+            f"{cls.__name__}._rebind no longer reproduces fresh construction "
+            f"({vars(reused)} != {vars(fresh)}) — update the rebind method "
+            "before shipping"
         )

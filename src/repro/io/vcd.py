@@ -6,7 +6,10 @@ simulated run as an IEEE-1364 VCD file with:
 * one wire per processor (``M0, M1, ...``), 1 while the processor is busy;
 * one wire per process (``p_<name>``), 1 while any of its jobs runs;
 * a ``deadline_miss`` wire pulsing one tick at each violated deadline;
-* a ``runtime_overhead`` wire covering the frame-arrival overhead windows.
+* a ``runtime_overhead`` wire covering the frame-arrival overhead windows;
+* one wire per internal channel (``c_<name>``), pulsing one tick at each
+  write — fed by the executor's data-phase ``on_channel_write`` events, so
+  the wires appear whenever the observed run executed its data phase.
 
 The serialiser consumes a :class:`~repro.runtime.observers.TraceObserver` —
 the waveform-shaped event sink of the executor's observer protocol — so a
@@ -99,6 +102,9 @@ def trace_to_vcd(
     process_ids = {p: declare(f"p_{p}") for p in sorted(trace.processes)}
     miss_id = declare("deadline_miss")
     overhead_id = declare("runtime_overhead")
+    channel_ids = {
+        c: declare(f"c_{c}") for c in sorted(trace.channel_write_times)
+    }
 
     for m, spans in trace.processor_intervals.items():
         intervals[proc_ids[m]].extend(
@@ -113,6 +119,11 @@ def trace_to_vcd(
         intervals[miss_id].append((tick, tick + 1))
     for start, end in trace.overheads:
         intervals[overhead_id].append((_ticks(start, unit), _ticks(end, unit)))
+    for c, times in trace.channel_write_times.items():
+        ident = channel_ids[c]
+        for t in times:
+            tick = _ticks(t, unit)
+            intervals[ident].append((tick, tick + 1))
 
     # Per-tick value changes, derived from the merged busy intervals.
     changes: List[Tuple[int, str, int]] = []

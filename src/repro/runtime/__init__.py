@@ -10,9 +10,11 @@ from .executor import (
 )
 from .gantt import GanttObserver, gantt_from_observer, runtime_gantt, schedule_gantt
 from .metrics import (
+    KernelSpanStats,
     MissSummary,
     frame_makespans,
     jobs_of_process,
+    kernel_span_stats,
     miss_summary,
     processor_utilization,
     response_times,
@@ -51,9 +53,11 @@ __all__ = [
     "RunMeta",
     "TraceObserver",
     "replay",
+    "KernelSpanStats",
     "MissSummary",
     "frame_makespans",
     "jobs_of_process",
+    "kernel_span_stats",
     "miss_summary",
     "processor_utilization",
     "response_times",

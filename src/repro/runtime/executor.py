@@ -45,6 +45,7 @@ determinism matrix runs (it only compares data-phase observables).
 
 from __future__ import annotations
 
+import gc
 import random
 from dataclasses import dataclass, field
 from itertools import chain
@@ -55,16 +56,23 @@ from ..core.channels import ChannelState, ExternalOutputState
 from ..core.ticks import TickDomain, fraction_from_ratio
 from ..core.invocations import Stimulus
 from ..core.network import Network
-from ..core.process import JobContext
+from ..core.process import JobContext, KernelBehavior
 from ..core.timebase import Time, TimeLike, as_positive_time, as_time
-from ..core.trace import JobEnd, JobStart, Trace
+from ..core.trace import LazyTrace, Trace
 from ..core.trusted import check_trusted_constructor
 from ..taskgraph.graph import TaskGraph
 from ..taskgraph.jobs import Job
 from ..scheduling.schedule import StaticSchedule
-from .observers import ExecutionObserver, RunMeta
+from .observers import _DATA_HOOKS, _overrides, ExecutionObserver, RunMeta
 from .overheads import OverheadModel
 from .static_order import ArrivalBinding, FramePlan
+
+# Hot-loop aliases for the trusted ``__dict__``-installing constructions
+# (records in the timing phase, job markers in the data phase); the literal
+# field shapes are cross-checked at import time here and in
+# :mod:`repro.core.process`.
+_obj_new = object.__new__
+_obj_setattr = object.__setattr__
 
 ExecutionTimeSpec = Union[
     None,
@@ -157,8 +165,8 @@ class JobRecord:
         ``JobRecord`` fails loudly there instead of silently reverting to
         a slow path or building incomplete records.
         """
-        rec = object.__new__(cls)
-        rec.__dict__.update({
+        rec = _obj_new(cls)
+        _obj_setattr(rec, "__dict__", {
             "process": process,
             "frame": frame,
             "k_frame": k_frame,
@@ -220,6 +228,12 @@ class RuntimeResult:
     #: phase never ran, so the empty channel/output observables mean "not
     #: computed", not "no activity" — ``observable()`` refuses to compare.
     data_collected: bool = True
+    #: False when the run was made with ``collect_trace=False`` (or
+    #: ``records_only=True``, where no data phase produced actions): the
+    #: empty ``trace`` then means "not retained", not "no actions", and
+    #: :func:`~repro.runtime.observers.replay` refuses to re-emit
+    #: data-phase events from it.
+    trace_collected: bool = True
 
     def _require_records(self) -> None:
         if not self.records_collected:
@@ -228,6 +242,26 @@ class RuntimeResult:
                 "records were not retained; re-run with collect_records=True "
                 "or aggregate via observers during the run"
             )
+
+    def action_trace(self) -> Trace:
+        """The data phase's action :class:`~repro.core.trace.Trace`.
+
+        Guarded accessor for the ``trace`` field: refuses to hand out an
+        empty trace that means "suppressed"/"never computed" rather than
+        "no actions happened".
+        """
+        if not self.data_collected:
+            raise RuntimeModelError(
+                "this result was produced with records_only=True — the data "
+                "phase never ran, so there is no action trace; re-run "
+                "without records_only"
+            )
+        if not self.trace_collected:
+            raise RuntimeModelError(
+                "this result was produced with collect_trace=False — the "
+                "action trace was suppressed; re-run with collect_trace=True"
+            )
+        return self.trace
 
     def observable(self) -> Dict[str, Any]:
         """Canonical determinism observable (same shape as zero-delay runs)."""
@@ -268,10 +302,13 @@ class RuntimeResult:
 
 
 #: One true job instance handed from the timing phase to the data phase:
-#: ``(start_tick, frame, job_index, global_k, release_tick)``.  Sorting these
-#: tuples orders instances by ``(start, frame, <J index)`` — the execution
-#: order of the policy — because ``(frame, job_index)`` is unique.
-_Instance = Tuple[int, int, int, int, int]
+#: ``(start_tick, frame, job_index, global_k, release_tick, end_tick)``.
+#: Sorting these tuples orders instances by ``(start, frame, <J index)`` —
+#: the execution order of the policy — because ``(frame, job_index)`` is
+#: unique; the trailing fields never influence the order.  ``end_tick``
+#: rides along so data-phase observers get the kernel span without the
+#: data phase re-deriving it.
+_Instance = Tuple[int, int, int, int, int, int]
 
 
 @dataclass
@@ -323,6 +360,7 @@ class MultiprocessorExecutor:
         observers: Sequence[ExecutionObserver] = (),
         records_only: bool = False,
         collect_records: bool = True,
+        collect_trace: bool = True,
     ) -> RuntimeResult:
         """Simulate ``n_frames`` frames of the static-order policy.
 
@@ -330,7 +368,9 @@ class MultiprocessorExecutor:
         ----------
         observers:
             :class:`~repro.runtime.observers.ExecutionObserver` instances
-            receiving run/overhead/record events as they are resolved.
+            receiving run/overhead/record events as they are resolved, and —
+            when the data phase runs — the per-kernel span and channel
+            write events.
         records_only:
             Skip the data phase (no kernels, no channel states): the result
             carries identical :class:`JobRecord` timing but empty
@@ -342,6 +382,13 @@ class MultiprocessorExecutor:
             data phase still runs.  For observable-only consumers like
             the determinism matrix, and for streaming observers over
             long runs that must not accumulate per-instance data.
+        collect_trace:
+            When ``False``, the data phase suppresses the per-action
+            :class:`~repro.core.trace.Trace` (``result.trace`` stays
+            empty; channel logs, external outputs and live observer events
+            are unaffected).  For observable-only and streaming consumers
+            that never read the action log — it is the single largest
+            allocation stream of a full run.
         """
         if n_frames < 1:
             raise RuntimeModelError("n_frames must be >= 1")
@@ -359,18 +406,34 @@ class MultiprocessorExecutor:
             for ob in observers:
                 ob.on_run_start(meta)
 
-        records, instances, overhead_intervals, frac_memo = self._timing_phase(
-            setup, observers, collect_records, collect_instances=not records_only
-        )
-
-        if records_only:
-            channel_logs: Dict[str, List[Any]] = {}
-            external_outputs: Dict[str, List[Tuple[int, Any]]] = {}
-            trace = Trace()
-        else:
-            channel_logs, external_outputs, trace = self._data_phase(
-                sorted(instances), stimulus, setup.dom, frac_memo
+        # Nearly everything the phases allocate (records, trace actions,
+        # channel logs, memoised Fractions) is retained until the result is
+        # assembled, so generational GC passes during the phases only
+        # re-scan live objects — at 100-frame scale they cost more than a
+        # third of the run.  Suspend collection for the duration (restored
+        # even on error; left untouched when the caller already disabled
+        # GC); cyclic garbage from user kernels is reclaimed at the next
+        # post-run collection.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            records, instances, overhead_intervals, frac_memo = self._timing_phase(
+                setup, observers, collect_records, collect_instances=not records_only
             )
+
+            if records_only:
+                channel_logs: Dict[str, List[Any]] = {}
+                external_outputs: Dict[str, List[Tuple[int, Any]]] = {}
+                trace = Trace()
+            else:
+                channel_logs, external_outputs, trace = self._data_phase(
+                    sorted(instances), stimulus, setup.dom, frac_memo,
+                    observers, collect_trace,
+                )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         result = RuntimeResult(
             network_name=self.network.name,
@@ -384,6 +447,7 @@ class MultiprocessorExecutor:
             overhead_intervals=overhead_intervals,
             records_collected=collect_records,
             data_collected=not records_only,
+            trace_collected=collect_trace and not records_only,
         )
         for ob in observers:
             ob.on_run_end(result)
@@ -522,7 +586,10 @@ class MultiprocessorExecutor:
         # caller will not run one (records_only), keeping long timing-only
         # sweeps O(1) in per-instance memory beyond the records they asked for.
         inst_append = instances.append if collect_instances else None
-        make_record = JobRecord._from_fields
+        new = _obj_new
+        set_dict = _obj_setattr
+        record_cls = JobRecord
+        memo_get = frac_memo.get
         notify_overhead = [ob.on_overhead for ob in observers]
         # Only observers that actually override on_record (in a subclass or
         # as an instance attribute) count as record consumers — the no-op
@@ -530,8 +597,7 @@ class MultiprocessorExecutor:
         # collect_records=False fast path.
         notify_record = [
             ob.on_record for ob in observers
-            if getattr(ob.on_record, "__func__", None)
-            is not ExecutionObserver.on_record
+            if _overrides(ob, "on_record", ExecutionObserver.on_record)
         ]
         # Records are *built* whenever someone consumes them (the result
         # list or an observer) but *retained* only when collect_records —
@@ -582,44 +648,51 @@ class MultiprocessorExecutor:
                 end_row[i] = end
 
                 if inst_append is not None and not is_false:
-                    inst_append((start, frame, i, global_k, release_t))
+                    inst_append((start, frame, i, global_k, release_t, end))
                 if not build_records:
                     continue
 
-                release_f = frac_memo.get(release_t)
+                release_f = memo_get(release_t)
                 if release_f is None:
                     release_f = frac_memo[release_t] = from_ticks(release_t)
-                start_f = frac_memo.get(start)
+                start_f = memo_get(start)
                 if start_f is None:
                     start_f = frac_memo[start] = from_ticks(start)
                 if end == start:
                     end_f = start_f
                 else:
-                    end_f = frac_memo.get(end)
+                    end_f = memo_get(end)
                     if end_f is None:
                         end_f = frac_memo[end] = from_ticks(end)
                 deadline_t = release_t + pdl_t[i]
-                deadline_f = frac_memo.get(deadline_t)
+                deadline_f = memo_get(deadline_t)
                 if deadline_f is None:
                     deadline_f = frac_memo[deadline_t] = from_ticks(deadline_t)
 
-                rec = make_record(
-                    process_of[i],
-                    frame,
-                    k_of[i],
-                    global_k,
-                    proc,
-                    release_f,
-                    start_f,
-                    end_f,
-                    deadline_f,
-                    is_false,
-                    is_server_of[i],
-                )
+                # Inline trusted construction: the per-record call into
+                # _from_fields is itself measurable at 100-frame scale.
+                # The field *tuple* is guarded at import below; the literal
+                # keys here are pinned by the record-field drift test in
+                # tests/test_observers.py (TestJobRecordConstructor).
+                rec = new(record_cls)
+                set_dict(rec, "__dict__", {
+                    "process": process_of[i],
+                    "frame": frame,
+                    "k_frame": k_of[i],
+                    "global_k": global_k,
+                    "processor": proc,
+                    "release": release_f,
+                    "start": start_f,
+                    "end": end_f,
+                    "deadline": deadline_f,
+                    "is_false": is_false,
+                    "is_server": is_server_of[i],
+                })
                 if rec_append is not None:
                     rec_append(rec)
-                for emit in notify_record:
-                    emit(rec)
+                if notify_record:
+                    for emit in notify_record:
+                        emit(rec)
         return records, instances, overhead_intervals, frac_memo
 
     # ------------------------------------------------------------------
@@ -704,59 +777,141 @@ class MultiprocessorExecutor:
         stimulus: Stimulus,
         dom: TickDomain,
         frac_memo: Dict[int, Time],
+        observers: Sequence[ExecutionObserver] = (),
+        collect_trace: bool = True,
     ) -> Tuple[Dict[str, List[Any]], Dict[str, List[Tuple[int, Any]]], Trace]:
+        """Run the kernels of all true instances in policy order.
+
+        The loop is the per-instance fast path of a full simulation:
+
+        * one mutable :class:`JobContext` per **process** (not per
+          instance), rebound (``k``/``now``) through the trusted
+          :meth:`JobContext._rebind` before each dispatch — the variable
+          store, channel states and sample maps it closes over are
+          run-constant per process;
+        * dispatch is batched per ``(process, frame)`` run: the context,
+          kernel entry point and rebind method are re-fetched only when the
+          instance stream switches process, so bursts and back-to-back
+          frames of one process pay a single lookup;
+        * the action trace (``JobStart``/``JobEnd`` markers; the per-action
+          log inside :class:`JobContext`) is built only when
+          *collect_trace*;
+        * data-phase observer events (kernel spans, channel writes) are
+          emitted only for observers that override the hooks — with none
+          attached the loop does no Fraction conversions beyond the
+          releases.
+        """
+        network = self.network
         channel_states: Dict[str, ChannelState] = {
-            name: spec.new_state() for name, spec in self.network.channels.items()
+            name: spec.new_state() for name, spec in network.channels.items()
         }
         variables: Dict[str, Dict[str, Any]] = {
             name: proc.fresh_variables()
-            for name, proc in self.network.processes.items()
+            for name, proc in network.processes.items()
         }
         ext_out: Dict[str, ExternalOutputState] = {
             name: ExternalOutputState(spec)
-            for name, spec in self.network.external_outputs.items()
+            for name, spec in network.external_outputs.items()
         }
-        trace = Trace()
+        # The trace is recorded compactly and materialised only if a
+        # consumer reads ``result.trace`` — most sweeps never do, and the
+        # per-action dataclass allocation would otherwise dominate the
+        # phase (see core/trace.LazyTrace).
+        trace = LazyTrace() if collect_trace else None
+        trace_append = trace.raw.append if trace is not None else None
         from_ticks = dom.from_ticks
+        memo_get = frac_memo.get
         process_of = [j.process for j in self.graph.jobs]
-        # The channel/variable binding of a process is run-constant: the
-        # same state objects back every instance, so the per-context dicts
-        # are built once per process, not once per job instance.
-        bindings: Dict[str, Tuple[Any, ...]] = {
-            name: (
-                proc,
-                variables[name],
-                {n: channel_states[n] for n in proc.inputs},
-                {n: channel_states[n] for n in proc.outputs},
-                {n: stimulus.samples_for(n) for n in proc.external_inputs},
-                {n: ext_out[n] for n in proc.external_outputs},
-            )
-            for name, proc in self.network.processes.items()
-        }
-        for _start, _frame, job_idx, global_k, release_t in order:
-            release = frac_memo.get(release_t)
-            if release is None:
-                release = frac_memo[release_t] = from_ticks(release_t)
-            name = process_of[job_idx]
-            proc, vs, ins, outs, ext_ins, ext_outs = bindings[name]
+
+        notify_start = [
+            ob.on_job_data_start for ob in observers
+            if _overrides(ob, "on_job_data_start", _DATA_HOOKS[0][1])
+        ]
+        notify_end = [
+            ob.on_job_data_end for ob in observers
+            if _overrides(ob, "on_job_data_end", _DATA_HOOKS[1][1])
+        ]
+        notify_write = [
+            ob.on_channel_write for ob in observers
+            if _overrides(ob, "on_channel_write", _DATA_HOOKS[2][1])
+        ]
+        emit_spans = bool(notify_start or notify_end or notify_write)
+        # Channel writes are observed through the JobContext write hook; the
+        # executing job's identity and start instant are threaded through a
+        # mutable cell shared by all contexts, so the hot path installs no
+        # per-instance closures.
+        current: List[Any] = [None, None]  # [process name, start Fraction]
+        if notify_write:
+            def _write_hook(channel: str, value: Any) -> None:
+                name, at = current
+                for emit in notify_write:
+                    emit(name, channel, value, at)
+        else:
+            _write_hook = None
+
+        # One reusable context and one resolved kernel entry point per
+        # process.  Dispatching straight to KernelBehavior's kernel callable
+        # skips a delegation frame per instance; other Behavior subclasses
+        # keep their run_job entry point.
+        bindings: Dict[str, Tuple[JobContext, Callable[[JobContext], None]]] = {}
+        for name, proc in network.processes.items():
             ctx = JobContext(
                 process=name,
-                k=global_k,
-                now=release,
-                variables=vs,
-                inputs=ins,
-                outputs=outs,
-                external_inputs=ext_ins,
-                external_outputs=ext_outs,
+                k=0,
+                now=Time(0),
+                variables=variables[name],
+                inputs={n: channel_states[n] for n in proc.inputs},
+                outputs={n: channel_states[n] for n in proc.outputs},
+                external_inputs={
+                    n: stimulus.samples_view(n) for n in proc.external_inputs
+                },
+                external_outputs={n: ext_out[n] for n in proc.external_outputs},
                 trace=trace,
             )
-            trace.append(JobStart(name, global_k))
-            proc.behavior.run_job(ctx)
-            trace.append(JobEnd(name, global_k))
+            ctx._on_write = _write_hook
+            behavior = proc.behavior
+            dispatch = (
+                behavior._kernel
+                if behavior.__class__ is KernelBehavior
+                else behavior.run_job
+            )
+            bindings[name] = (ctx, dispatch)
+
+        prev_name = None
+        ctx = dispatch = rebind = None
+        for start_t, frame, job_idx, global_k, release_t, end_t in order:
+            name = process_of[job_idx]
+            if name != prev_name:
+                ctx, dispatch = bindings[name]
+                rebind = ctx._rebind
+                prev_name = name
+            release = memo_get(release_t)
+            if release is None:
+                release = frac_memo[release_t] = from_ticks(release_t)
+            rebind(global_k, release)
+            if emit_spans:
+                start_f = memo_get(start_t)
+                if start_f is None:
+                    start_f = frac_memo[start_t] = from_ticks(start_t)
+                current[0] = name
+                current[1] = start_f
+                for emit in notify_start:
+                    emit(name, global_k, frame, start_f)
+            if trace_append is not None:
+                trace_append(("S", name, global_k))
+            dispatch(ctx)
+            if trace_append is not None:
+                trace_append(("E", name, global_k))
+            if notify_end:
+                end_f = memo_get(end_t)
+                if end_f is None:
+                    end_f = frac_memo[end_t] = from_ticks(end_t)
+                for emit in notify_end:
+                    emit(name, global_k, frame, end_f)
         return (
             {n: list(s.write_log) for n, s in channel_states.items()},
             {n: s.as_sequence() for n, s in ext_out.items()},
-            trace,
+            trace if trace is not None else Trace(),
         )
 
 
@@ -771,6 +926,7 @@ def run_static_order(
     observers: Sequence[ExecutionObserver] = (),
     records_only: bool = False,
     collect_records: bool = True,
+    collect_trace: bool = True,
 ) -> RuntimeResult:
     """One-call convenience wrapper around :class:`MultiprocessorExecutor`."""
     executor = MultiprocessorExecutor(network, schedule, overheads)
@@ -781,4 +937,5 @@ def run_static_order(
         observers=observers,
         records_only=records_only,
         collect_records=collect_records,
+        collect_trace=collect_trace,
     )

@@ -17,7 +17,21 @@ from typing import Dict, List
 
 from ..core.timebase import Time
 from .executor import JobRecord, RuntimeResult
-from .observers import MetricsObserver, replay
+from .observers import ExecutionObserver, MetricsObserver, replay
+
+
+class _TimingMetricsObserver(MetricsObserver):
+    """MetricsObserver with the data hooks restored to the base no-ops.
+
+    The record-derived metrics below need only the timing event stream;
+    presenting un-overridden data hooks lets :func:`replay` skip the trace
+    materialisation and per-action walk entirely (and keeps these helpers
+    working on results whose trace was suppressed).
+    """
+
+    on_job_data_start = ExecutionObserver.on_job_data_start
+    on_job_data_end = ExecutionObserver.on_job_data_end
+    on_channel_write = ExecutionObserver.on_channel_write
 
 
 @dataclass(frozen=True)
@@ -36,7 +50,40 @@ class MissSummary:
         return self.missed_jobs > 0
 
 
+@dataclass(frozen=True)
+class KernelSpanStats:
+    """Per-process kernel-span statistics from the data-phase events.
+
+    A *kernel span* is the resolved ``[start, end)`` execution interval of
+    one true job instance, delimited by the ``on_job_data_start`` /
+    ``on_job_data_end`` events of the executor's data phase.  All times are
+    exact rationals.
+    """
+
+    jobs: int
+    total_busy: Time
+    max_span: Time
+    mean_span: Time
+
+
+def kernel_span_stats(result: RuntimeResult) -> Dict[str, KernelSpanStats]:
+    """Per-process kernel-span statistics of a finished run.
+
+    Replays the stored run through a
+    :class:`~repro.runtime.observers.MetricsObserver`; requires the run to
+    have collected both records and the action trace (the replay source of
+    the data-phase events).
+    """
+    return _data_metrics_of(result).kernel_span_stats()
+
+
 def _metrics_of(result: RuntimeResult) -> MetricsObserver:
+    obs = _TimingMetricsObserver()
+    replay(result, obs)
+    return obs
+
+
+def _data_metrics_of(result: RuntimeResult) -> MetricsObserver:
     obs = MetricsObserver()
     replay(result, obs)
     return obs

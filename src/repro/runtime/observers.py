@@ -20,31 +20,46 @@ Event order and domain:
   :func:`replay` re-emits a finished run in the same shape except that all
   overhead windows precede all records — observers must not rely on the
   interleaving, only on the per-stream order.
+* **Data-phase events** follow all timing events: per executed job
+  instance, in the deterministic ``(start, frame, <J index)`` execution
+  order of the data phase, ``on_job_data_start`` then one
+  ``on_channel_write`` per internal channel write the kernel makes (in
+  write order) then ``on_job_data_end``.  False jobs and external output
+  samples emit no data events.  :func:`replay` reconstructs the identical
+  stream from the stored trace, so live and post-hoc consumers see the
+  same sequence.
 * Every time stamp an observer sees is an **exact rational**
   (:class:`fractions.Fraction`): events are emitted at the tick→Fraction
   conversion boundary of the executor, so observers never handle raw ticks
-  and never see rounded values.
+  and never see rounded values.  Kernel spans carry the instance's resolved
+  ``[start, end)`` interval; channel writes carry the writing job's start
+  instant (kernels execute atomically at their start, Section IV).
 
 ``run(records_only=True)`` skips the data phase (no ``JobContext``, no
-kernel dispatch, empty channel observables) for timing-only consumers.
-``run(collect_records=False)`` keeps ``result.records`` empty: observers
-still receive every ``on_record`` event, so streaming consumers (metrics
-over a very long run) aggregate without the result accumulating
-per-instance data, and with no observers attached records are never even
-built — the determinism matrix's observable-only fast path.
+kernel dispatch, empty channel observables, no data events) for
+timing-only consumers.  ``run(collect_records=False)`` keeps
+``result.records`` empty: observers still receive every ``on_record``
+event, so streaming consumers (metrics over a very long run) aggregate
+without the result accumulating per-instance data, and with no observers
+attached records are never even built — the determinism matrix's
+observable-only fast path.  ``run(collect_trace=False)`` suppresses the
+:class:`~repro.core.trace.Trace` action log (``result.trace`` stays
+empty); live data-phase events still fire, but such a result cannot
+re-emit them through :func:`replay`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from ..core.timebase import Time, ZERO
+from ..core.trace import ChannelWrite, JobEnd, JobStart
 from ..errors import RuntimeModelError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .executor import JobRecord, RuntimeResult
-    from .metrics import MissSummary
+    from .metrics import KernelSpanStats, MissSummary
 
 __all__ = [
     "ExecutionObserver",
@@ -78,8 +93,38 @@ class ExecutionObserver:
     def on_record(self, record: "JobRecord") -> None:
         """One resolved job instance (including false server jobs)."""
 
+    def on_job_data_start(
+        self, process: str, k: int, frame: int, start: Time
+    ) -> None:
+        """Kernel span opens: job ``process[k]`` starts executing at *start*."""
+
+    def on_job_data_end(
+        self, process: str, k: int, frame: int, end: Time
+    ) -> None:
+        """Kernel span closes: job ``process[k]`` finished, end time *end*."""
+
+    def on_channel_write(
+        self, process: str, channel: str, value: Any, time: Time
+    ) -> None:
+        """Internal channel write ``x!c`` by the job executing at *time*."""
+
     def on_run_end(self, result: "RuntimeResult") -> None:
         """The assembled result, after timing (and data, unless skipped)."""
+
+
+#: The inherited no-op data-phase hooks, used (like ``on_record`` in the
+#: executor) to detect which observers actually consume data events — the
+#: base-class no-ops must not force event construction on the fast path.
+_DATA_HOOKS = (
+    ("on_job_data_start", ExecutionObserver.on_job_data_start),
+    ("on_job_data_end", ExecutionObserver.on_job_data_end),
+    ("on_channel_write", ExecutionObserver.on_channel_write),
+)
+
+
+def _overrides(observer: ExecutionObserver, name: str, base) -> bool:
+    """True when *observer* overrides hook *name* (subclass or instance attr)."""
+    return getattr(getattr(observer, name), "__func__", None) is not base
 
 
 def replay(result: "RuntimeResult", *observers: ExecutionObserver) -> None:
@@ -90,12 +135,29 @@ def replay(result: "RuntimeResult", *observers: ExecutionObserver) -> None:
     with ``collect_records=False`` cannot be replayed — their empty record
     list would misreport every count as zero — so they are rejected here;
     attach the observers during the run instead.
+
+    Data-phase events (``on_job_data_start/end``, ``on_channel_write``) are
+    reconstructed from the stored :class:`~repro.core.trace.Trace` — its
+    ``JobStart``/``ChannelWrite``/``JobEnd`` actions carry the exact live
+    emission order — joined with the records for the span timestamps.  A
+    ``records_only`` result replays no data events (the data phase never
+    ran, so none were emitted live either).  A result whose trace was
+    *suppressed* (``collect_trace=False``) also replays none — the
+    timing-event stream (and every record-derived metric) stays fully
+    usable, while data-derived aggregates refuse to report from the
+    eventless replay (see
+    :meth:`MetricsObserver.kernel_span_stats`); attach data consumers to
+    ``run()`` to aggregate such runs live.
     """
     if not result.records_collected:
         raise RuntimeModelError(
             "cannot replay a result produced with collect_records=False — "
             "job records were not retained; attach observers to run() instead"
         )
+    data_observers = [
+        ob for ob in observers
+        if any(_overrides(ob, name, base) for name, base in _DATA_HOOKS)
+    ] if result.trace_collected else []
     meta = RunMeta(
         network=result.network_name,
         processors=result.processors,
@@ -110,6 +172,23 @@ def replay(result: "RuntimeResult", *observers: ExecutionObserver) -> None:
     for rec in result.records:
         for ob in observers:
             ob.on_record(rec)
+    if data_observers and result.data_collected:
+        record_of = {
+            (r.process, r.global_k): r for r in result.records if not r.is_false
+        }
+        rec = None
+        for act in result.trace:
+            cls = act.__class__
+            if cls is JobStart:
+                rec = record_of[(act.process, act.k)]
+                for ob in data_observers:
+                    ob.on_job_data_start(act.process, act.k, rec.frame, rec.start)
+            elif cls is ChannelWrite:
+                for ob in data_observers:
+                    ob.on_channel_write(act.process, act.channel, act.value, rec.start)
+            elif cls is JobEnd:
+                for ob in data_observers:
+                    ob.on_job_data_end(act.process, act.k, rec.frame, rec.end)
     for ob in observers:
         ob.on_run_end(result)
 
@@ -159,6 +238,12 @@ class MetricsObserver(ExecutionObserver):
         self._busy: List[Time] = []
         self._frame_spans: List[Time] = []
         self._responses: Dict[str, Time] = {}
+        self._span_open: Dict[Tuple[str, int], Time] = {}
+        self._span_count: Dict[str, int] = {}
+        self._span_total: Dict[str, Time] = {}
+        self._span_max: Dict[str, Time] = {}
+        self._channel_writes: Dict[str, int] = {}
+        self._data_events_unavailable = False
 
     def on_run_start(self, meta: RunMeta) -> None:
         # Full reset: one observer instance can be reused across runs
@@ -173,6 +258,12 @@ class MetricsObserver(ExecutionObserver):
         self._busy = [ZERO] * meta.processors
         self._frame_spans = [ZERO] * meta.frames
         self._responses = {}
+        self._span_open = {}
+        self._span_count = {}
+        self._span_total = {}
+        self._span_max = {}
+        self._channel_writes = {}
+        self._data_events_unavailable = False
 
     def on_record(self, record: "JobRecord") -> None:
         self.total_jobs += 1
@@ -198,6 +289,39 @@ class MetricsObserver(ExecutionObserver):
         span = end - base
         if span > self._frame_spans[record.frame]:
             self._frame_spans[record.frame] = span
+
+    # -- data-phase events ----------------------------------------------
+    def on_job_data_start(
+        self, process: str, k: int, frame: int, start: Time
+    ) -> None:
+        self._span_open[(process, k)] = start
+
+    def on_job_data_end(self, process: str, k: int, frame: int, end: Time) -> None:
+        start = self._span_open.pop((process, k))
+        span = end - start
+        self._span_count[process] = self._span_count.get(process, 0) + 1
+        self._span_total[process] = self._span_total.get(process, ZERO) + span
+        if span > self._span_max.get(process, ZERO):
+            self._span_max[process] = span
+
+    def on_channel_write(
+        self, process: str, channel: str, value: Any, time: Time
+    ) -> None:
+        self._channel_writes[channel] = self._channel_writes.get(channel, 0) + 1
+
+    def on_run_end(self, result: "RuntimeResult") -> None:
+        # A replay of a trace-suppressed result emits no data events even
+        # though the data phase ran; flag it so the data-derived accessors
+        # refuse to misreport every span/write count as absent.  (A live
+        # run with collect_trace=False still streams all data events, and
+        # either way the flag is only raised when none arrived.)
+        if (
+            result.data_collected
+            and not result.trace_collected
+            and not self._span_count
+            and not self._channel_writes
+        ):
+            self._data_events_unavailable = True
 
     # -- consumers ------------------------------------------------------
     def _require_run(self) -> None:
@@ -238,14 +362,51 @@ class MetricsObserver(ExecutionObserver):
         self._require_run()
         return list(self._frame_spans)
 
+    def _require_data_events(self) -> None:
+        if self._data_events_unavailable:
+            raise RuntimeModelError(
+                "this observer replayed a result produced with "
+                "collect_trace=False — the data-phase events were not "
+                "retained, so span/write aggregates would misreport as "
+                "empty; attach the observer to run() instead"
+            )
+
+    def kernel_span_stats(self) -> Dict[str, "KernelSpanStats"]:
+        """Per-process kernel-span statistics from the data-phase events.
+
+        Empty when the run emitted no data events (``records_only=True``
+        runs have no data phase).  Raises when this observer replayed a
+        trace-suppressed result, whose data events cannot be reconstructed.
+        """
+        from .metrics import KernelSpanStats
+
+        self._require_run()
+        self._require_data_events()
+        return {
+            name: KernelSpanStats(
+                jobs=count,
+                total_busy=self._span_total[name],
+                max_span=self._span_max[name],
+                mean_span=self._span_total[name] / count,
+            )
+            for name, count in sorted(self._span_count.items())
+        }
+
+    def channel_write_counts(self) -> Dict[str, int]:
+        """Number of internal channel writes observed, per channel."""
+        self._require_run()
+        self._require_data_events()
+        return dict(self._channel_writes)
+
 
 class TraceObserver(ExecutionObserver):
     """Waveform-shaped view of a run: busy intervals and pulse times.
 
     Collects, in exact rational time, per-processor and per-process busy
-    intervals, deadline-miss pulse instants and runtime-overhead windows —
-    everything a waveform backend (e.g. the VCD serialiser in
-    :mod:`repro.io.vcd`) needs, without retaining ``JobRecord`` objects.
+    intervals, deadline-miss pulse instants, runtime-overhead windows and —
+    when the data phase runs — per-channel write pulse instants: everything
+    a waveform backend (e.g. the VCD serialiser in :mod:`repro.io.vcd`)
+    needs, without retaining ``JobRecord`` objects.
     """
 
     def __init__(self) -> None:
@@ -255,6 +416,7 @@ class TraceObserver(ExecutionObserver):
         self.process_intervals: Dict[str, List[Tuple[Time, Time]]] = {}
         self.miss_times: List[Time] = []
         self.overheads: List[Tuple[Time, Time]] = []
+        self.channel_write_times: Dict[str, List[Time]] = {}
 
     def on_run_start(self, meta: RunMeta) -> None:
         # Full reset so a reused observer holds exactly one run's waveform.
@@ -264,6 +426,7 @@ class TraceObserver(ExecutionObserver):
         self.process_intervals = {}
         self.miss_times = []
         self.overheads = []
+        self.channel_write_times = {}
 
     def on_overhead(self, frame: int, start: Time, end: Time) -> None:
         self.overheads.append((start, end))
@@ -279,3 +442,8 @@ class TraceObserver(ExecutionObserver):
         self.process_intervals.setdefault(record.process, []).append(span)
         if record.end > record.deadline:
             self.miss_times.append(record.deadline)
+
+    def on_channel_write(
+        self, process: str, channel: str, value: Any, time: Time
+    ) -> None:
+        self.channel_write_times.setdefault(channel, []).append(time)

@@ -422,12 +422,23 @@ def reference_run_static_order(
     )
 
 
-def _reference_data_phase(
+def reference_data_phase(
     network: Network,
-    order: List[Tuple[Time, int, int]],
-    record_at: Dict[Tuple[int, int], JobRecord],
-    stimulus: Stimulus,
+    order: Sequence[Tuple[str, int, Time]],
+    stimulus: Optional[Stimulus] = None,
 ):
+    """The seed's naive data phase: one fresh ``JobContext`` per instance.
+
+    *order* is the execution order of the true job instances as
+    ``(process, global_k, release)`` tuples.  Every instance allocates a
+    fresh context over freshly-built binding dicts, with fresh
+    ``samples_for`` copies and an eager action :class:`Trace` — the exact
+    unbatched allocation pattern the optimised
+    ``MultiprocessorExecutor._data_phase`` replaced.  Returns
+    ``(channel_logs, external_outputs, trace)``; the differential suite
+    asserts these are bit-identical to the fast path's.
+    """
+    stimulus = stimulus or Stimulus()
     channel_states: Dict[str, ChannelState] = {
         name: spec.new_state() for name, spec in network.channels.items()
     }
@@ -439,14 +450,13 @@ def _reference_data_phase(
         for name, spec in network.external_outputs.items()
     }
     trace = Trace()
-    for _start, frame, job_idx in order:
-        rec = record_at[(frame, job_idx)]
-        proc = network.processes[rec.process]
+    for pname, global_k, release in order:
+        proc = network.processes[pname]
         ctx = JobContext(
-            process=rec.process,
-            k=rec.global_k,
-            now=rec.release,
-            variables=variables[rec.process],
+            process=pname,
+            k=global_k,
+            now=release,
+            variables=variables[pname],
             inputs={n: channel_states[n] for n in proc.inputs},
             outputs={n: channel_states[n] for n in proc.outputs},
             external_inputs={
@@ -455,11 +465,29 @@ def _reference_data_phase(
             external_outputs={n: ext_out[n] for n in proc.external_outputs},
             trace=trace,
         )
-        trace.append(JobStart(rec.process, rec.global_k))
+        trace.append(JobStart(pname, global_k))
         proc.behavior.run_job(ctx)
-        trace.append(JobEnd(rec.process, rec.global_k))
+        trace.append(JobEnd(pname, global_k))
     return (
         {n: list(s.write_log) for n, s in channel_states.items()},
         {n: s.as_sequence() for n, s in ext_out.items()},
         trace,
+    )
+
+
+def _reference_data_phase(
+    network: Network,
+    order: List[Tuple[Time, int, int]],
+    record_at: Dict[Tuple[int, int], JobRecord],
+    stimulus: Stimulus,
+):
+    return reference_data_phase(
+        network,
+        [
+            (record_at[(frame, job_idx)].process,
+             record_at[(frame, job_idx)].global_k,
+             record_at[(frame, job_idx)].release)
+            for _start, frame, job_idx in order
+        ],
+        stimulus,
     )
