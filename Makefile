@@ -18,12 +18,14 @@ lint:
 	fi
 
 # Line coverage of the runtime package (the executor hot paths this repo
-# keeps optimising) with a hard floor.  Skips gracefully when pytest-cov is
-# not in the environment; CI installs it.
+# keeps optimising) and the experiment layer (the public scenario API)
+# with a hard floor.  Skips gracefully when pytest-cov is not in the
+# environment; CI installs it.
 cov:
 	@if $(PY) -c "import pytest_cov" 2>/dev/null; then \
 		$(PY) -m pytest tests -q \
-			--cov=repro.runtime --cov-report=term-missing --cov-fail-under=85; \
+			--cov=repro.runtime --cov=repro.experiment \
+			--cov-report=term-missing --cov-fail-under=85; \
 	else \
 		echo "pytest-cov not installed — skipping coverage (pip install pytest-cov)"; \
 	fi

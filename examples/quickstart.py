@@ -1,31 +1,25 @@
 #!/usr/bin/env python3
-"""Quickstart: author an FPPN, derive its task graph, schedule it, run it.
+"""Quickstart: describe an FPPN experiment once, then ask for any stage.
 
-This walks the full pipeline of the paper on a small two-rate pipeline:
+The scenario-first API wraps the paper's whole pipeline in two objects:
 
-1. define processes, channels and functional priorities (Definition 2.1);
-2. execute the zero-delay reference semantics (Section II-B);
-3. derive the task graph over one hyperperiod (Section III-A);
-4. list-schedule it on a multiprocessor (Section III-B);
-5. simulate the online static-order policy and check that the outputs are
-   identical to the reference and that no deadline is missed (Section IV).
+* a ``Scenario`` — a frozen description of one run (network factory,
+  WCETs, processors, execution-time model, overheads, stimulus, frames);
+* an ``Experiment`` — a facade that lazily computes and caches each stage:
+  zero-delay reference (Section II-B), task-graph derivation (III-A),
+  list scheduling (III-B), online static-order execution (IV) and the
+  mechanical determinism check (Prop. 2.1).
+
+The loose stage functions (``derive_task_graph``,
+``find_feasible_schedule``, ``run_static_order``, ...) still exist and are
+what the facade calls underneath — use whichever altitude fits.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    ChannelKind,
-    Network,
-    derive_task_graph,
-    find_feasible_schedule,
-    is_no_data,
-    miss_summary,
-    run_static_order,
-    run_zero_delay,
-    schedule_gantt,
-    task_graph_load,
-)
+from repro import Experiment, Scenario, is_no_data, miss_summary, schedule_gantt
 from repro.runtime import MetricsObserver
+from repro.taskgraph import task_graph_load
 
 
 def sample_source(ctx):
@@ -54,8 +48,10 @@ def logger(ctx):
     ctx.write_output(last, "log")
 
 
-def main() -> None:
-    # -- 1. the model ----------------------------------------------------
+def build_network():
+    """Author the FPPN: processes, channels, functional priorities."""
+    from repro import ChannelKind, Network
+
     net = Network("quickstart")
     net.add_periodic("source", period=100, kernel=sample_source)
     net.add_periodic("smoother", period=50, kernel=smoother)
@@ -65,15 +61,28 @@ def main() -> None:
     net.add_priority_chain("source", "smoother", "logger")
     net.add_external_output("logger", "log")
     net.validate()
-    print(f"network: {net}")
+    return net
 
-    # -- 2. reference semantics ------------------------------------------
-    reference = run_zero_delay(net, horizon=600)
+
+def main() -> None:
+    # -- 1. the scenario: the entire experiment as one value ---------------
+    scenario = Scenario(
+        workload=build_network,  # any zero-arg factory, or a registered name
+        wcet={"source": 10, "smoother": 15, "logger": 5},
+        processors=1,
+        n_frames=3,
+        label="quickstart",
+    )
+    exp = Experiment(scenario)
+    print(f"scenario: {scenario.describe()}")
+
+    # -- 2. reference semantics (zero-delay, Section II-B) -----------------
+    reference = exp.reference()
     print(f"zero-delay reference executed {reference.job_count} jobs")
     print(f"logged samples: {reference.output_values('log')}")
 
-    # -- 3. task graph ----------------------------------------------------
-    graph = derive_task_graph(net, wcet={"source": 10, "smoother": 15, "logger": 5})
+    # -- 3. task graph (Section III-A) — derived once, cached --------------
+    graph = exp.task_graph()
     load = task_graph_load(graph)
     print(
         f"task graph: {len(graph)} jobs / {graph.edge_count} edges per "
@@ -81,16 +90,16 @@ def main() -> None:
         f"=> >= {load.min_processors} processor(s)"
     )
 
-    # -- 4. compile-time schedule ------------------------------------------
-    schedule = find_feasible_schedule(graph, processors=load.min_processors)
+    # -- 4. compile-time schedule (Section III-B) --------------------------
+    schedule = exp.schedule()
     print("static schedule (one frame):")
     print(schedule_gantt(schedule))
 
-    # -- 5. online static-order execution ----------------------------------
-    # Metrics stream out of the executor through an observer: the same
-    # aggregation works live (here) or by replaying a stored result.
+    # -- 5. online static-order execution (Section IV) ---------------------
+    # Observers attach to the run; late-attached observers replay the
+    # cached result instead of re-simulating.
     metrics = MetricsObserver()
-    result = run_static_order(net, schedule, n_frames=3, observers=[metrics])
+    result = exp.run(observers=[metrics])
     summary = metrics.miss_summary()
     print(
         f"runtime: {summary.executed_jobs} jobs over {result.frames} frames, "
@@ -100,20 +109,24 @@ def main() -> None:
     assert result.observable() == reference.observable(), "determinism violated!"
     print("runtime outputs identical to the zero-delay reference — Prop. 2.1 holds")
 
-    # Data-phase events stream kernel spans and channel writes to the same
-    # observer: per-process execution statistics with exact rational times.
     print("kernel spans per process:")
     for name, spans in metrics.kernel_span_stats().items():
         print(
             f"  {name:10s} {spans.jobs} jobs, busy {spans.total_busy} ms, "
             f"max {spans.max_span} ms, mean {spans.mean_span} ms"
         )
-    print(f"channel writes: {metrics.channel_write_counts()}")
 
-    # -- 6. timing-only re-run (records_only skips the kernels) -------------
-    timing = run_static_order(net, schedule, n_frames=3, records_only=True)
-    assert timing.records == result.records
-    print("records-only re-run reproduced identical job timing, no kernels run")
+    # -- 6. scenario variations are one .replace() away --------------------
+    # A records-only variant skips the kernels entirely but produces
+    # bit-identical job timing; derivation and scheduling stay cached.
+    timing_exp = Experiment(scenario.replace(records_only=True), cache=exp.cache)
+    assert timing_exp.run().records == result.records
+    print("records-only variant reproduced identical job timing, no kernels run")
+
+    # -- 7. the mechanical determinism matrix ------------------------------
+    report = exp.check_determinism(processor_counts=(1, 2), jitter_seeds=(0,))
+    assert report.deterministic
+    print(report.summary())
 
 
 if __name__ == "__main__":

@@ -23,26 +23,51 @@ The library covers the full pipeline of the paper:
 * **applications** — the paper's Fig. 1 example, the FFT streaming use
   case and the FMS avionics case study (:mod:`repro.apps`);
 * **analysis** — mechanical determinism checking and paper-style reports
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`);
+* **experiments** — the scenario-first API (:mod:`repro.experiment`):
+  :class:`Scenario` describes one run as a frozen, serialisable value,
+  :class:`Experiment` lazily computes and caches the pipeline stages, and
+  :class:`ScenarioMatrix` + :func:`run_sweep` run STOMP-style cartesian
+  sweeps that derive and schedule once per distinct compile-time cell.
 
-Quickstart::
+Quickstart — describe the run once, then ask for any stage::
 
-    from repro import (
-        Network, ChannelKind, derive_task_graph, find_feasible_schedule,
-        run_static_order, run_zero_delay,
-    )
+    from repro import ChannelKind, Experiment, Network, Scenario
 
-    net = Network("demo")
-    net.add_periodic("producer", period=100, kernel=lambda ctx: ctx.write("c", ctx.k))
-    net.add_periodic("consumer", period=100, kernel=lambda ctx: ctx.read("c"))
-    net.connect("producer", "consumer", "c", kind=ChannelKind.FIFO)
-    net.add_priority("producer", "consumer")
-    net.validate()
+    def build():
+        net = Network("demo")
+        net.add_periodic("producer", period=100,
+                         kernel=lambda ctx: ctx.write("c", ctx.k))
+        net.add_periodic("consumer", period=100,
+                         kernel=lambda ctx: ctx.read("c"))
+        net.connect("producer", "consumer", "c", kind=ChannelKind.FIFO)
+        net.add_priority("producer", "consumer")
+        net.validate()
+        return net
 
-    graph = derive_task_graph(net, wcet={"producer": 10, "consumer": 10})
-    schedule = find_feasible_schedule(graph, processors=1)
-    result = run_static_order(net, schedule, n_frames=5)
-    assert not result.misses()
+    exp = Experiment(Scenario(
+        workload=build,                     # or a registered name: "fms"
+        wcet={"producer": 10, "consumer": 10},
+        processors=1,
+        n_frames=5,
+    ))
+    exp.task_graph()                        # derivation, computed once
+    exp.schedule()                          # feasible static schedule
+    assert not exp.run().misses()           # online static-order execution
+    assert exp.check_determinism().deterministic
+
+Sweeps vary any scenario fields over a matrix, reusing stages::
+
+    from repro import ScenarioMatrix, run_sweep
+    from repro.apps import fms_scenario
+
+    matrix = ScenarioMatrix(fms_scenario(), {"jitter_seed": [0, 1, 2]})
+    print(run_sweep(matrix).table())        # 1 derivation, 1 schedule, 3 runs
+
+The loose pipeline functions (:func:`derive_task_graph`,
+:func:`find_feasible_schedule`, :func:`run_static_order`,
+:func:`run_zero_delay`, :func:`check_determinism`) remain first-class for
+callers that want the stages by hand.
 """
 
 from .errors import (
@@ -103,6 +128,15 @@ from .runtime import (
     schedule_gantt,
 )
 from .analysis import DeterminismReport, check_determinism
+from .experiment import (
+    Experiment,
+    PipelineCache,
+    Scenario,
+    ScenarioMatrix,
+    SweepResult,
+    register_workload,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -156,5 +190,12 @@ __all__ = [
     "schedule_gantt",
     "DeterminismReport",
     "check_determinism",
+    "Experiment",
+    "PipelineCache",
+    "Scenario",
+    "ScenarioMatrix",
+    "SweepResult",
+    "register_workload",
+    "run_sweep",
     "__version__",
 ]

@@ -1,4 +1,10 @@
-"""Application networks: the paper's case studies plus random workloads."""
+"""Application networks: the paper's case studies plus random workloads.
+
+Importing this package registers the case-study workloads ("fig1", "fft",
+"fms", "fms-40s") with the experiment layer's workload registry, and each
+case-study module exposes a ``scenario()`` factory returning a ready-to-run
+:class:`~repro.experiment.Scenario` (re-exported here with distinct names).
+"""
 
 from .example_fig1 import (
     FIG1_WCET_MS,
@@ -6,6 +12,7 @@ from .example_fig1 import (
     fig1_stimulus,
     fig1_wcets,
 )
+from .example_fig1 import scenario as fig1_scenario
 from .fft import (
     DEFAULT_PERIOD_MS,
     FFT_POINTS,
@@ -15,29 +22,38 @@ from .fft import (
     fft_wcets,
     reference_fft,
 )
+from .fft import scenario as fft_scenario
 from .fms import (
+    FMS_HYPERPERIOD_40S_MS,
+    FMS_HYPERPERIOD_MS,
     FMS_WCETS_MS,
     build_fms_network,
     fms_scheduling_priorities,
     fms_stimulus,
     fms_wcets,
 )
+from .fms import scenario as fms_scenario
 from .workloads import random_network, random_wcets
 
 __all__ = [
     "FIG1_WCET_MS",
     "build_fig1_network",
+    "fig1_scenario",
     "fig1_stimulus",
     "fig1_wcets",
     "DEFAULT_PERIOD_MS",
     "FFT_POINTS",
     "FFT_STAGES",
     "build_fft_network",
+    "fft_scenario",
     "fft_stimulus",
     "fft_wcets",
     "reference_fft",
+    "FMS_HYPERPERIOD_40S_MS",
+    "FMS_HYPERPERIOD_MS",
     "FMS_WCETS_MS",
     "build_fms_network",
+    "fms_scenario",
     "fms_scheduling_priorities",
     "fms_stimulus",
     "fms_wcets",

@@ -28,13 +28,14 @@ fits the frame on two processors.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.channels import ChannelKind, NO_DATA, is_no_data
 from ..core.invocations import Stimulus
 from ..core.network import Network
 from ..core.process import JobContext
 from ..core.timebase import TimeLike
+from ..experiment.scenario import Scenario, register_workload
 
 #: The uniform WCET used for Fig. 3 ("assuming Ci = 25ms").
 FIG1_WCET_MS = 25
@@ -164,6 +165,30 @@ def fig1_wcets(value: TimeLike = FIG1_WCET_MS) -> Dict[str, TimeLike]:
     }
 
 
+def scenario(
+    n_frames: int = 4,
+    processors: int = 2,
+    **overrides: Any,
+) -> Scenario:
+    """The Fig. 1 example as a ready-to-run :class:`Scenario`.
+
+    Defaults reproduce the paper's setting: uniform 25 ms WCETs and the
+    Fig. 4 two-processor schedule, driven by the deterministic
+    :func:`fig1_stimulus`.  Any scenario field can be overridden by
+    keyword; a non-default ``n_frames`` resizes the stimulus with it.
+    """
+    base: Dict[str, Any] = dict(
+        workload="fig1",
+        wcet=fig1_wcets(),
+        processors=processors,
+        n_frames=n_frames,
+        stimulus=fig1_stimulus(n_frames),
+        label="fig1",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
 def fig1_stimulus(
     n_frames: int,
     coef_arrivals: Optional[List[TimeLike]] = None,
@@ -186,3 +211,6 @@ def fig1_stimulus(
         },
         sporadic_arrivals={"CoefB": coef_arrivals},
     )
+
+
+register_workload("fig1", build_fig1_network)

@@ -30,13 +30,14 @@ shrink the relative overhead (benchmark E7).
 from __future__ import annotations
 
 import cmath
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..core.channels import ChannelKind, is_no_data
 from ..core.invocations import Stimulus
 from ..core.network import Network
 from ..core.process import JobContext
 from ..core.timebase import Time, TimeLike, as_positive_time
+from ..experiment.scenario import Scenario, register_workload
 
 #: Number of FFT points and stage geometry of Fig. 5.
 FFT_POINTS = 4
@@ -200,6 +201,35 @@ def fft_stimulus(vectors: Sequence[Sequence[complex]]) -> Stimulus:
     return Stimulus(input_samples={"fft_in": normalized})
 
 
+def scenario(
+    n_frames: int = 8,
+    processors: int = 2,
+    **overrides: Any,
+) -> Scenario:
+    """The Fig. 5 FFT streaming use case as a ready-to-run :class:`Scenario`.
+
+    Defaults reproduce Section V-A: load 0.93 on two processors with the
+    MPPA-like frame-arrival overheads, streaming a deterministic ramp of
+    4-point complex vectors (one per frame).  Override any field by
+    keyword (e.g. ``overheads=OverheadModel.none()`` for the ideal
+    platform).
+    """
+    from ..runtime.overheads import OverheadModel
+
+    vectors = [[k, k + 1j, -k, 0.5 * k] for k in range(n_frames)]
+    base: Dict[str, Any] = dict(
+        workload="fft",
+        wcet=fft_wcets(),
+        processors=processors,
+        n_frames=n_frames,
+        stimulus=fft_stimulus(vectors),
+        overheads=OverheadModel.mppa_like(),
+        label="fft",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
 def reference_fft(vec: Sequence[complex]) -> Tuple[complex, ...]:
     """Direct O(n^2) DFT used as an independent oracle in tests."""
     n = len(vec)
@@ -210,3 +240,6 @@ def reference_fft(vec: Sequence[complex]) -> Tuple[complex, ...]:
             acc += complex(v) * cmath.exp(-2j * cmath.pi * q * t / n)
         out.append(acc)
     return tuple(out)
+
+
+register_workload("fft", build_fft_network)

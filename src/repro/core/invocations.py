@@ -19,6 +19,7 @@ sporadic traces (used by the FMS case study and the property-based tests).
 from __future__ import annotations
 
 import random
+import weakref
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..errors import EventError
@@ -55,6 +56,7 @@ class Stimulus:
             for name, times in (sporadic_arrivals or {}).items()
         }
         self._samples_views: Dict[str, SampleMap] = {}
+        self._validated_networks: "weakref.WeakSet[Network]" = weakref.WeakSet()
 
     def validate(self, network: Network) -> None:
         """Check the stimulus against a network definition.
@@ -63,7 +65,15 @@ class Stimulus:
         * every arrival trace satisfies its generator's sporadic constraint;
         * every sporadic process of the network has a trace (possibly empty —
           missing entries are treated as empty, so this only normalises).
+
+        A successful validation is memoised per network (weakly), so sweeps
+        re-running one stimulus against one network many times pay the
+        arrival-constraint scan once; stimuli are treated as immutable after
+        first use (the executors already rely on that via
+        :meth:`samples_view`).
         """
+        if network in self._validated_networks:
+            return
         for name in self.input_samples:
             if name not in network.external_inputs:
                 raise EventError(f"stimulus references unknown external input {name!r}")
@@ -78,6 +88,7 @@ class Stimulus:
                     "are defined by the network, not the stimulus"
                 )
             gen.validate_trace(times)
+        self._validated_networks.add(network)
 
     def truncated(self, horizon: TimeLike) -> "Stimulus":
         """A copy whose sporadic arrivals are restricted to ``t < horizon``.
@@ -120,6 +131,22 @@ class Stimulus:
                 self.input_samples.get(channel, {})
             )
         return view
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality over samples and arrival traces.
+
+        Two stimuli are equal when they describe the same external data —
+        what scenario comparison and JSON round-trip tests need; the
+        memoised views are derived state and do not participate.
+        """
+        if not isinstance(other, Stimulus):
+            return NotImplemented
+        return (
+            self.input_samples == other.input_samples
+            and self.sporadic_arrivals == other.sporadic_arrivals
+        )
+
+    __hash__ = None  # mutable sample maps: structurally equal, unhashable
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -34,7 +34,7 @@ from .invocations import Stimulus
 from .network import Network
 from .process import JobContext
 from .timebase import Time, TimeLike, as_positive_time
-from .trace import JobEnd, JobStart, Trace, Wait
+from .trace import LazyTrace, Trace
 
 
 @dataclass
@@ -103,7 +103,11 @@ class ZeroDelayExecutor:
         stimulus = stimulus or Stimulus()
         sequence = self.invocation_sequence(h, stimulus)
 
-        trace = Trace()
+        # Compact recording: waits and job markers append ``(code, ...)``
+        # tuples, the contexts do the same for channel/variable actions, and
+        # Action objects materialise only if someone reads ``result.trace``
+        # — reference runs inside sweeps never do (see core/trace.LazyTrace).
+        trace = LazyTrace()
         channel_states: Dict[str, ChannelState] = {
             name: spec.new_state() for name, spec in self.network.channels.items()
         }
@@ -116,8 +120,9 @@ class ZeroDelayExecutor:
         }
         job_count = 0
 
+        raw_append = trace.raw.append
         for t, invocations in sequence:
-            trace.append(Wait(t))
+            raw_append(("T", t))
             for inv in self._order_jobs(invocations):
                 self._run_job(inv, t, channel_states, variables, ext_out, stimulus, trace)
                 job_count += 1
@@ -147,7 +152,7 @@ class ZeroDelayExecutor:
         variables: Dict[str, Dict[str, Any]],
         ext_out: Mapping[str, ExternalOutputState],
         stimulus: Stimulus,
-        trace: Trace,
+        trace: LazyTrace,
     ) -> None:
         proc = self.network.processes[inv.process]
         ctx = JobContext(
@@ -161,7 +166,8 @@ class ZeroDelayExecutor:
             external_outputs={n: ext_out[n] for n in proc.external_outputs},
             trace=trace,
         )
-        trace.append(JobStart(proc.name, inv.index))
+        raw_append = trace.raw.append
+        raw_append(("S", proc.name, inv.index))
         try:
             proc.behavior.run_job(ctx)
         except SemanticsError:
@@ -170,7 +176,7 @@ class ZeroDelayExecutor:
             raise SemanticsError(
                 f"job {proc.name}[{inv.index}] at t={now} raised {exc!r}"
             ) from exc
-        trace.append(JobEnd(proc.name, inv.index))
+        raw_append(("E", proc.name, inv.index))
 
 
 def run_zero_delay(

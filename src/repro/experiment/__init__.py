@@ -1,0 +1,56 @@
+"""Scenario-first experiment API: describe a run once, sweep it at scale.
+
+This package is the scenario-scale entry point to the paper's pipeline:
+
+* :class:`Scenario` — a frozen, serialisable description of one run
+  (workload, WCETs, processors, execution-time model, overheads,
+  stimulus, frame count, executor flags);
+* :class:`Experiment` — a lazy facade computing and caching the pipeline
+  stages (:meth:`~Experiment.task_graph`, :meth:`~Experiment.schedule`,
+  :meth:`~Experiment.run`, :meth:`~Experiment.check_determinism`,
+  :meth:`~Experiment.report`) with observers attachable at any stage;
+* :class:`ScenarioMatrix` + :func:`run_sweep` — STOMP-style cartesian
+  sweeps over scenario fields with stage-aware derivation/schedule reuse
+  and lean observer-streaming execution.
+
+JSON interchange for scenarios and sweep results lives in
+:mod:`repro.io.json_io` (``scenario_to_dict`` / ``sweep_result_to_dict``
+and inverses).
+"""
+
+from .scenario import (
+    Scenario,
+    available_workloads,
+    register_workload,
+    resolve_workload,
+)
+from .experiment import Experiment, PipelineCache
+from .sweep import (
+    DATA_METRICS,
+    DEFAULT_METRICS,
+    ScenarioMatrix,
+    SweepCell,
+    SweepResult,
+    SweepRow,
+    SweepStats,
+    TIMING_METRICS,
+    run_sweep,
+)
+
+__all__ = [
+    "Scenario",
+    "available_workloads",
+    "register_workload",
+    "resolve_workload",
+    "Experiment",
+    "PipelineCache",
+    "DATA_METRICS",
+    "DEFAULT_METRICS",
+    "ScenarioMatrix",
+    "SweepCell",
+    "SweepResult",
+    "SweepRow",
+    "SweepStats",
+    "TIMING_METRICS",
+    "run_sweep",
+]

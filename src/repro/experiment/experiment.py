@@ -1,0 +1,248 @@
+"""Experiment: a lazy, caching facade over the paper's full pipeline.
+
+One :class:`Experiment` wraps one :class:`~repro.experiment.scenario.
+Scenario` and exposes the pipeline stages as memoised accessors::
+
+    exp = Experiment(scenario)
+    exp.network()        # workload factory, built once
+    exp.task_graph()     # Section III-A derivation
+    exp.schedule()       # Section III-B list scheduling (portfolio)
+    exp.run()            # Section IV online static-order execution
+    exp.reference()      # Section II-B zero-delay reference semantics
+    exp.check_determinism()   # Prop. 2.1 / 4.1 matrix
+    exp.report()         # paper-style text report
+
+Each stage is computed on first access and cached; observers
+(:class:`~repro.runtime.observers.ExecutionObserver`) can be attached to
+:meth:`Experiment.run`, and a cached run is *replayed* into late-attached
+observers rather than recomputed whenever the stored result allows it.
+
+Experiments can share a :class:`PipelineCache`: the sweep runner
+(:mod:`repro.experiment.sweep`) hands every cell the same cache, so
+scenarios that differ only in runtime axes (jitter seed, overheads, frame
+count, stimulus) reuse one derivation and one schedule.  The cache counts
+its stage computations — that count is the contract the sweep tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from ..analysis.determinism import DeterminismReport, check_determinism
+from ..analysis.report import ExperimentReport
+from ..core.network import Network
+from ..core.semantics import ExecutionResult, run_zero_delay
+from ..errors import RuntimeModelError
+from ..runtime.executor import RuntimeResult, run_static_order
+from ..runtime.observers import (
+    _DATA_HOOKS,
+    _overrides,
+    ExecutionObserver,
+    MetricsObserver,
+    replay,
+)
+from ..scheduling.optimizer import DEFAULT_PORTFOLIO, find_feasible_schedule
+from ..scheduling.schedule import StaticSchedule
+from ..taskgraph.derivation import derive_task_graph
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.load import task_graph_load
+from .scenario import Scenario
+
+__all__ = ["Experiment", "PipelineCache"]
+
+
+class PipelineCache:
+    """Stage artifacts shared across experiments, keyed by scenario stage keys.
+
+    Networks, task graphs and schedules are cached by
+    :meth:`Scenario.workload_key` / :meth:`Scenario.derivation_key` /
+    :meth:`Scenario.schedule_key` respectively.  The ``*_computed``
+    counters record how many times each stage actually ran — the sweep
+    tests assert exactly one derivation and one scheduling pass per
+    distinct key, which is the whole point of sharing the cache.
+    """
+
+    def __init__(self) -> None:
+        self._networks: Dict[Any, Network] = {}
+        self._graphs: Dict[Any, TaskGraph] = {}
+        self._schedules: Dict[Any, StaticSchedule] = {}
+        self.networks_built = 0
+        self.derivations_computed = 0
+        self.schedules_computed = 0
+
+    def network(self, scenario: Scenario) -> Network:
+        key = scenario.workload_key()
+        net = self._networks.get(key)
+        if net is None:
+            net = self._networks[key] = scenario.build_network()
+            self.networks_built += 1
+        return net
+
+    def task_graph(self, scenario: Scenario) -> TaskGraph:
+        key = scenario.derivation_key()
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = derive_task_graph(
+                self.network(scenario),
+                scenario.wcet_spec(),
+                horizon=scenario.horizon,
+            )
+            self._graphs[key] = graph
+            self.derivations_computed += 1
+        return graph
+
+    def schedule(self, scenario: Scenario) -> StaticSchedule:
+        key = scenario.schedule_key()
+        schedule = self._schedules.get(key)
+        if schedule is None:
+            schedule = find_feasible_schedule(
+                self.task_graph(scenario),
+                scenario.processors,
+                scenario.heuristics or DEFAULT_PORTFOLIO,
+            )
+            self._schedules[key] = schedule
+            self.schedules_computed += 1
+        return schedule
+
+
+class Experiment:
+    """Lazy pipeline facade for one scenario (optionally cache-sharing)."""
+
+    def __init__(
+        self, scenario: Scenario, cache: Optional[PipelineCache] = None
+    ) -> None:
+        if not isinstance(scenario, Scenario):
+            raise RuntimeModelError("Experiment takes a Scenario")
+        self.scenario = scenario
+        self.cache = cache if cache is not None else PipelineCache()
+        self._result: Optional[RuntimeResult] = None
+        self._reference: Optional[ExecutionResult] = None
+        self._metrics: Optional[MetricsObserver] = None
+
+    # -- pipeline stages ------------------------------------------------
+    def network(self) -> Network:
+        """The workload's network (built once per cache)."""
+        return self.cache.network(self.scenario)
+
+    def task_graph(self) -> TaskGraph:
+        """The derived task graph (Section III-A, cached)."""
+        return self.cache.task_graph(self.scenario)
+
+    def schedule(self) -> StaticSchedule:
+        """A feasible static schedule (Section III-B, cached)."""
+        return self.cache.schedule(self.scenario)
+
+    def run(
+        self,
+        *,
+        observers: Sequence[ExecutionObserver] = (),
+        force: bool = False,
+    ) -> RuntimeResult:
+        """Simulate the online static-order policy (Section IV, cached).
+
+        The first call executes the scenario and caches the result; later
+        calls return the cache.  *observers* attach live on the first (or a
+        ``force=True``) execution; on a cached result they are fed through
+        :func:`~repro.runtime.observers.replay` instead — falling back to a
+        fresh execution when the stored result cannot be replayed (records
+        or trace suppressed by the scenario's fast-mode flags).
+        """
+        if self._result is not None and not force:
+            if observers:
+                if not self._replayable_for(observers):
+                    return self._execute(observers)
+                try:
+                    replay(self._result, *observers)
+                except RuntimeModelError:
+                    return self._execute(observers)
+            return self._result
+        return self._execute(observers)
+
+    def _replayable_for(self, observers: Sequence[ExecutionObserver]) -> bool:
+        """Can the cached result feed *observers* everything they consume?
+
+        ``replay`` raises for record-suppressed results but silently skips
+        data-phase events when the trace was suppressed — a data-consuming
+        observer would then aggregate nothing; such observers get a fresh
+        execution instead.
+        """
+        result = self._result
+        if result.trace_collected or not result.data_collected:
+            return True
+        return not any(
+            _overrides(ob, name, base)
+            for ob in observers
+            for name, base in _DATA_HOOKS
+        )
+
+    def _execute(self, observers: Sequence[ExecutionObserver]) -> RuntimeResult:
+        s = self.scenario
+        self._result = run_static_order(
+            self.network(),
+            self.schedule(),
+            s.n_frames,
+            s.stimulus,
+            s.execution_model(),
+            s.overheads,
+            observers=observers,
+            records_only=s.records_only,
+            collect_records=s.collect_records,
+            collect_trace=s.collect_trace,
+        )
+        return self._result
+
+    def metrics(self) -> MetricsObserver:
+        """A :class:`MetricsObserver` that has seen this experiment's run."""
+        if self._metrics is None:
+            m = MetricsObserver()
+            self.run(observers=[m])
+            self._metrics = m
+        return self._metrics
+
+    def reference(self) -> ExecutionResult:
+        """The zero-delay reference over the same horizon (cached)."""
+        if self._reference is None:
+            horizon = self.task_graph().hyperperiod * self.scenario.n_frames
+            self._reference = run_zero_delay(
+                self.network(), horizon, self.scenario.stimulus
+            )
+        return self._reference
+
+    def check_determinism(self, **overrides: Any) -> DeterminismReport:
+        """Run the Prop. 2.1 determinism matrix for this scenario.
+
+        The scenario supplies network, WCETs, frames, stimulus and
+        overheads; matrix parameters (``processor_counts``, ``heuristics``,
+        ``jitter_seeds``) default to the checker's own and can be overridden
+        by keyword.
+        """
+        overrides.setdefault("overheads", self.scenario.overheads)
+        return check_determinism(
+            self.network(),
+            self.scenario.wcet_spec(),
+            self.scenario.n_frames,
+            self.scenario.stimulus,
+            **overrides,
+        )
+
+    # -- reporting ------------------------------------------------------
+    def report(self) -> ExperimentReport:
+        """Paper-style summary of every stage this experiment ran."""
+        s = self.scenario
+        graph = self.task_graph()
+        load = task_graph_load(graph)
+        metrics = self.metrics()
+        summary = metrics.miss_summary()
+        rep = ExperimentReport(
+            experiment=s.label or s.describe(), artifact="scenario"
+        )
+        rep.add("jobs / frame", "-", len(graph))
+        rep.add("precedence edges", "-", graph.edge_count)
+        rep.add("hyperperiod [ms]", "-", graph.hyperperiod)
+        rep.add("load", "-", f"{float(load.load):.3f}")
+        rep.add("processors", f">= {load.min_processors}", s.processors)
+        rep.add("frames simulated", "-", s.n_frames)
+        rep.add("jobs executed", "-", summary.executed_jobs)
+        rep.add("deadline misses", "-", summary.missed_jobs)
+        rep.add("makespan [ms]", "-", metrics.makespan)
+        return rep

@@ -1,0 +1,328 @@
+"""Scenario: a frozen, serialisable description of one experiment run.
+
+The paper's pipeline — FPPN → task-graph derivation → list scheduling →
+online static-order execution → determinism check — takes half a dozen
+inputs (network, WCETs, processor count, execution-time model, overheads,
+stimulus, frame count, executor flags) that every app, test and benchmark
+used to thread by hand.  A :class:`Scenario` captures all of them in one
+immutable value object:
+
+* **comparable** — scenarios are plain frozen dataclasses, so sweep cells
+  and regression fixtures can be compared with ``==``;
+* **serialisable** — :func:`repro.io.json_io.scenario_to_dict` round-trips
+  every field (rational times as ``"num/den"`` strings) for scenarios whose
+  workload is a *registered name* rather than a bare callable;
+* **stage-keyed** — :meth:`Scenario.derivation_key` and
+  :meth:`Scenario.schedule_key` identify which pipeline stages two
+  scenarios share, which is what lets the sweep runner
+  (:mod:`repro.experiment.sweep`) derive and schedule once per distinct
+  ``(workload, wcet, horizon[, processors, heuristics])`` combination and
+  reuse the artifacts across every runtime-only variation (jitter seeds,
+  overheads, frame counts, stimuli).
+
+Workloads are named through a registry: the application modules in
+:mod:`repro.apps` register ``"fig1"``, ``"fft"``, ``"fms"`` and
+``"fms-40s"`` at import, and :func:`resolve_workload` imports them lazily
+on first use, so deserialised scenarios find their factories without the
+experiment layer depending on the apps layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from ..core.invocations import Stimulus
+from ..core.network import Network
+from ..core.timebase import Time, TimeLike, as_positive_time, as_time
+from ..errors import ModelError
+from ..runtime.executor import ExecutionTimeSpec, jittered_execution
+from ..runtime.overheads import OverheadModel
+
+__all__ = [
+    "Scenario",
+    "available_workloads",
+    "register_workload",
+    "resolve_workload",
+]
+
+WorkloadSpec = Union[str, Callable[[], Network]]
+
+# ---------------------------------------------------------------------------
+# workload registry
+# ---------------------------------------------------------------------------
+_WORKLOADS: Dict[str, Callable[[], Network]] = {}
+_apps_loaded = False
+
+
+def register_workload(name: str, factory: Callable[[], Network]) -> None:
+    """Register a named network factory for use in scenarios.
+
+    Registered names are what makes a scenario JSON-serialisable; the
+    factory must be a zero-argument callable returning a validated
+    :class:`~repro.core.network.Network`.  Re-registering a name replaces
+    the previous factory (apps re-imported under test runners do this).
+    """
+    if not isinstance(name, str) or not name:
+        raise ModelError("workload name must be a non-empty string")
+    if not callable(factory):
+        raise ModelError(f"workload factory for {name!r} must be callable")
+    _WORKLOADS[name] = factory
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Sorted names of all registered workloads (apps are loaded first)."""
+    _ensure_apps_loaded()
+    return tuple(sorted(_WORKLOADS))
+
+
+def _ensure_apps_loaded() -> None:
+    # The paper's case studies register themselves at import.  Importing
+    # them lazily (and only when a *name* needs resolving) keeps the
+    # experiment layer free of an apps dependency while letting
+    # deserialised scenarios find "fig1"/"fft"/"fms" without ceremony.
+    # A dedicated flag, not a registry-emptiness check: user registrations
+    # made before the first lookup must not suppress the built-in names.
+    global _apps_loaded
+    if not _apps_loaded:
+        _apps_loaded = True
+        from .. import apps  # noqa: F401  (import for registration side effect)
+
+
+def resolve_workload(spec: WorkloadSpec) -> Callable[[], Network]:
+    """The network factory behind *spec* (a registered name or a callable)."""
+    if callable(spec):
+        return spec
+    _ensure_apps_loaded()
+    factory = _WORKLOADS.get(spec)
+    if factory is None:
+        raise ModelError(
+            f"unknown workload {spec!r} — registered: "
+            f"{', '.join(sorted(_WORKLOADS)) or '(none)'}; use "
+            "register_workload() or pass a network factory callable"
+        )
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# normalisation helpers
+# ---------------------------------------------------------------------------
+def _is_normalized_pairs(value: Any) -> bool:
+    """True for the canonical tuple-of-(name, value)-pairs form.
+
+    Normalisers must be idempotent: :meth:`Scenario.replace` (and
+    ``dataclasses.replace`` generally) re-runs ``__post_init__`` on
+    already-normalised field values.
+    """
+    return isinstance(value, tuple) and all(
+        isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], str)
+        for item in value
+    )
+
+
+def _normalize_wcet(wcet: Any) -> Any:
+    """Canonical immutable form: Time scalar, or sorted (name, value) pairs."""
+    if _is_normalized_pairs(wcet):
+        return wcet
+    if isinstance(wcet, Mapping):
+        return tuple(
+            sorted(
+                (name, value if callable(value) else as_time(value))
+                for name, value in wcet.items()
+            )
+        )
+    if callable(wcet):
+        raise ModelError(
+            "a bare callable is not a valid wcet — use a mapping "
+            "{process: callable} for per-job WCET models"
+        )
+    return as_time(wcet)
+
+
+def _normalize_table(
+    table: Optional[Mapping[str, TimeLike]], what: str
+) -> Optional[Tuple[Tuple[str, Time], ...]]:
+    if table is None or _is_normalized_pairs(table):
+        return table
+    if not isinstance(table, Mapping):
+        raise ModelError(f"{what} must be a mapping of process name -> time")
+    return tuple(sorted((name, as_time(v)) for name, v in table.items()))
+
+
+@lru_cache(maxsize=64)
+def _jitter_model(seed: int, low: float):
+    """One shared jitter sampler per ``(seed, low_fraction)``.
+
+    :func:`~repro.runtime.executor.jittered_execution` samples depend only
+    on ``(seed, process, k, frame)`` and are memoised inside the sampler,
+    so sharing one sampler across runs is semantically invisible — and it
+    lets sweep cells that vary overheads/frames under the *same* seed hit
+    the per-instance memo instead of re-hashing every sample key.
+    """
+    return jittered_execution(seed, low)
+
+
+# ---------------------------------------------------------------------------
+# the scenario itself
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """Frozen description of one full pipeline run.
+
+    Parameters
+    ----------
+    workload:
+        A registered workload name (serialisable — see
+        :func:`register_workload`) or a zero-argument network factory.
+    wcet:
+        Uniform WCET, or mapping ``process -> time | (process, k) -> time``
+        (exactly what :func:`~repro.taskgraph.derivation.derive_task_graph`
+        accepts).  Normalised to an immutable canonical form.
+    processors:
+        Processor count handed to the list scheduler.
+    n_frames:
+        Number of hyperperiod frames the runtime simulates.
+    horizon:
+        Optional explicit frame length for derivation (defaults to the
+        hyperperiod).
+    heuristics:
+        SP-heuristic portfolio for
+        :func:`~repro.scheduling.optimizer.find_feasible_schedule`;
+        ``None`` selects the default portfolio.
+    execution_time:
+        Optional per-process actual-execution-time table (exact rationals).
+        Mutually exclusive with *jitter_seed*.
+    jitter_seed / jitter_low:
+        When *jitter_seed* is set, execution times are drawn from
+        :func:`~repro.runtime.executor.jittered_execution` in
+        ``[jitter_low * C, C]``.
+    overheads:
+        The Section V-A frame-arrival/per-job overhead model.
+    stimulus:
+        External inputs (samples + sporadic arrivals); ``None`` means no
+        external data — sporadic processes never fire.
+    records_only / collect_records / collect_trace:
+        The executor's fast-mode flags, stored so a scenario pins its
+        observation level as part of the experiment description.
+    label:
+        Free-form tag carried through results and sweep tables.
+    """
+
+    workload: WorkloadSpec
+    wcet: Any
+    processors: int = 1
+    n_frames: int = 1
+    horizon: Optional[TimeLike] = None
+    heuristics: Optional[Tuple[str, ...]] = None
+    execution_time: Optional[Mapping[str, TimeLike]] = None
+    jitter_seed: Optional[int] = None
+    jitter_low: float = 0.5
+    overheads: OverheadModel = field(default_factory=OverheadModel.none)
+    stimulus: Optional[Stimulus] = None
+    records_only: bool = False
+    collect_records: bool = True
+    collect_trace: bool = True
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not (callable(self.workload) or isinstance(self.workload, str)):
+            raise ModelError(
+                "workload must be a registered name or a network factory"
+            )
+        if self.processors < 1:
+            raise ModelError("processors must be >= 1")
+        if self.n_frames < 1:
+            raise ModelError("n_frames must be >= 1")
+        if self.execution_time is not None and self.jitter_seed is not None:
+            raise ModelError(
+                "execution_time and jitter_seed are mutually exclusive — "
+                "a scenario has exactly one execution-time model"
+            )
+        if not 0 < self.jitter_low <= 1:
+            raise ModelError("jitter_low must be in (0, 1]")
+        if not isinstance(self.overheads, OverheadModel):
+            raise ModelError("overheads must be an OverheadModel")
+        if self.stimulus is not None and not isinstance(self.stimulus, Stimulus):
+            raise ModelError("stimulus must be a Stimulus (or None)")
+        set_ = object.__setattr__  # frozen: normalise through the back door
+        set_(self, "wcet", _normalize_wcet(self.wcet))
+        set_(self, "execution_time",
+             _normalize_table(self.execution_time, "execution_time"))
+        if self.heuristics is not None:
+            set_(self, "heuristics", tuple(self.heuristics))
+        if self.horizon is not None:
+            set_(self, "horizon", as_positive_time(self.horizon, "horizon"))
+        set_(self, "jitter_low", float(self.jitter_low))
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would include the stimulus, which is
+        # structurally compared but unhashable (mutable sample maps).  Hash
+        # every other field: scenarios equal under __eq__ hash equal, and
+        # stimulus-only collisions are resolved by the equality check.
+        return hash((
+            self.workload, self.wcet, self.processors, self.n_frames,
+            self.horizon, self.heuristics, self.execution_time,
+            self.jitter_seed, self.jitter_low, self.overheads,
+            self.records_only, self.collect_records, self.collect_trace,
+            self.label,
+        ))
+
+    # -- derived views --------------------------------------------------
+    def replace(self, **changes: Any) -> "Scenario":
+        """A copy with *changes* applied (axis substitution in sweeps)."""
+        return dataclasses.replace(self, **changes)
+
+    def build_network(self) -> Network:
+        """Construct a fresh network from the workload factory."""
+        return resolve_workload(self.workload)()
+
+    def wcet_spec(self) -> Any:
+        """The wcet in the shape ``derive_task_graph`` accepts."""
+        if isinstance(self.wcet, tuple):
+            return dict(self.wcet)
+        return self.wcet
+
+    def execution_model(self) -> ExecutionTimeSpec:
+        """The executor's ``execution_time`` argument for this scenario."""
+        if self.jitter_seed is not None:
+            return _jitter_model(self.jitter_seed, self.jitter_low)
+        if self.execution_time is not None:
+            return dict(self.execution_time)
+        return None
+
+    # -- stage keys -----------------------------------------------------
+    def workload_key(self) -> Any:
+        """Hashable identity of the workload (name, or callable identity)."""
+        return self.workload
+
+    def derivation_key(self) -> Tuple[Any, ...]:
+        """Scenarios with equal keys share one task-graph derivation."""
+        return (self.workload_key(), self.wcet, self.horizon)
+
+    def schedule_key(self) -> Tuple[Any, ...]:
+        """Scenarios with equal keys share one static schedule."""
+        return self.derivation_key() + (
+            self.processors,
+            self.heuristics,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (sweep tables, reports)."""
+        workload = (
+            self.workload if isinstance(self.workload, str)
+            else getattr(self.workload, "__name__", "<factory>")
+        )
+        bits = [
+            f"workload={workload}",
+            f"M={self.processors}",
+            f"frames={self.n_frames}",
+        ]
+        if self.jitter_seed is not None:
+            bits.append(f"jitter#{self.jitter_seed}")
+        if not self.overheads.is_zero:
+            bits.append("overheads")
+        if self.label:
+            bits.append(self.label)
+        return " ".join(bits)

@@ -1,0 +1,362 @@
+"""STOMP-style scenario sweeps: cartesian matrices of experiment runs.
+
+A :class:`ScenarioMatrix` is a base :class:`~repro.experiment.scenario.
+Scenario` plus named *axes* — scenario fields paired with the values to
+sweep (``processors`` × ``jitter_seed`` × ``overheads`` × ``n_frames`` ×
+``workload`` × ...).  :func:`run_sweep` executes every cell of the
+cartesian product and returns a :class:`SweepResult` table of streaming
+:class:`~repro.runtime.observers.MetricsObserver` aggregates.
+
+Two properties make sweeps cheap at scenario scale:
+
+* **Stage-aware reuse** — all cells share one
+  :class:`~repro.experiment.experiment.PipelineCache`, so scenarios that
+  differ only in *runtime* axes (jitter seeds, overheads, frame counts,
+  stimuli, executor flags) share a single task-graph derivation and a
+  single scheduling pass per distinct
+  ``(workload, wcet, horizon, processors, heuristics)`` key.  The
+  :class:`SweepStats` counters surface exactly how many stage computations
+  the sweep paid.
+* **Lean execution** — each cell runs with ``collect_records=False`` and
+  ``collect_trace=False`` (metrics stream out of observer events, nothing
+  is retained per instance), and when the requested metrics are timing
+  derived only, the data phase is skipped entirely
+  (``records_only=True`` — no kernels, no channel states).
+
+Rows are deterministic: the same matrix produces bit-identical rows on
+every run (exact rational metrics; jitter models are seed-keyed), which is
+what makes sweep tables comparable across machines and commits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from itertools import product
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.timebase import ZERO
+from ..errors import ModelError, RuntimeModelError
+from ..runtime.executor import RuntimeResult
+from ..runtime.overheads import OverheadModel
+from ..runtime.observers import (
+    _DATA_HOOKS,
+    _overrides,
+    ExecutionObserver,
+    MetricsObserver,
+)
+from .experiment import Experiment, PipelineCache
+from .scenario import Scenario
+
+__all__ = [
+    "DATA_METRICS",
+    "DEFAULT_METRICS",
+    "ScenarioMatrix",
+    "SweepCell",
+    "SweepResult",
+    "SweepRow",
+    "SweepStats",
+    "TIMING_METRICS",
+    "run_sweep",
+]
+
+#: Metrics computable from timing events alone (``on_record`` stream) —
+#: a sweep requesting only these skips the data phase entirely.
+TIMING_METRICS: Tuple[str, ...] = (
+    "total_jobs",
+    "executed_jobs",
+    "false_jobs",
+    "missed_jobs",
+    "worst_lateness",
+    "makespan",
+    "frame_makespan_max",
+    "peak_utilization",
+)
+
+#: Metrics that need the data phase's kernel-span / channel-write events.
+DATA_METRICS: Tuple[str, ...] = ("kernel_busy", "channel_writes")
+
+DEFAULT_METRICS: Tuple[str, ...] = TIMING_METRICS + DATA_METRICS
+
+_SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(Scenario))
+
+
+def _extract_metric(m: MetricsObserver, name: str) -> Any:
+    if name == "total_jobs":
+        return m.total_jobs
+    if name == "executed_jobs":
+        return m.executed_jobs
+    if name == "false_jobs":
+        return m.false_jobs
+    if name == "missed_jobs":
+        return m.missed_jobs
+    if name == "worst_lateness":
+        return m.worst_lateness
+    if name == "makespan":
+        return m.makespan
+    if name == "frame_makespan_max":
+        return max(m.frame_makespans(), default=ZERO)
+    if name == "peak_utilization":
+        return max(m.processor_utilization(), default=0.0)
+    if name == "kernel_busy":
+        return sum(
+            (s.total_busy for s in m.kernel_span_stats().values()), ZERO
+        )
+    if name == "channel_writes":
+        return sum(m.channel_write_counts().values())
+    raise ModelError(
+        f"unknown sweep metric {name!r} — known: "
+        f"{', '.join(DEFAULT_METRICS)}"
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the matrix: its index, axis coordinates and scenario."""
+
+    index: int
+    coords: Tuple[Tuple[str, Any], ...]
+    scenario: Scenario
+
+
+class ScenarioMatrix:
+    """Cartesian product of axis substitutions over a base scenario.
+
+    *axes* maps scenario field names to non-empty value sequences; cells
+    enumerate the product in row-major order (last axis varies fastest),
+    with axis order as given.
+
+    Axis values substitute field values **verbatim** — in particular, the
+    base scenario's stimulus is *not* resized when ``n_frames`` is an
+    axis.  Build the base with a stimulus covering the largest frame
+    count swept (the app ``scenario()`` factories take ``n_frames``);
+    cells simulating beyond the stimulus horizon see no external data in
+    the uncovered frames, which is well-defined FPPN behaviour but rarely
+    what a frames-scaling sweep means to measure.  For per-cell stimuli,
+    put the stimuli themselves on an axis (``"stimulus": [...]``).
+    """
+
+    def __init__(
+        self, base: Scenario, axes: Mapping[str, Sequence[Any]]
+    ) -> None:
+        if not isinstance(base, Scenario):
+            raise ModelError("ScenarioMatrix takes a base Scenario")
+        self.base = base
+        self.axes: Dict[str, Tuple[Any, ...]] = {}
+        for name, values in axes.items():
+            if name not in _SCENARIO_FIELDS:
+                raise ModelError(
+                    f"unknown scenario field {name!r} — axes must name "
+                    "Scenario fields"
+                )
+            values = tuple(values)
+            if not values:
+                raise ModelError(f"axis {name!r} has no values")
+            self.axes[name] = values
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def cells(self) -> Iterator[SweepCell]:
+        """Every cell of the product, as (index, coords, scenario)."""
+        names = list(self.axes)
+        if not names:
+            yield SweepCell(0, (), self.base)
+            return
+        for index, combo in enumerate(product(*self.axes.values())):
+            coords = tuple(zip(names, combo))
+            yield SweepCell(index, coords, self.base.replace(**dict(coords)))
+
+    def scenarios(self) -> List[Scenario]:
+        """All cell scenarios, in cell order."""
+        return [cell.scenario for cell in self.cells()]
+
+
+@dataclass
+class SweepRow:
+    """One sweep-table row: the cell's axis values plus its metrics."""
+
+    cell: Dict[str, Any]
+    metrics: Dict[str, Any]
+    #: Retained only with ``run_sweep(..., keep_results=True)``; excluded
+    #: from equality so lean and retaining sweeps compare by content.
+    result: Optional[RuntimeResult] = field(default=None, compare=False)
+
+
+@dataclass
+class SweepStats:
+    """What the sweep actually computed (the stage-reuse contract)."""
+
+    cells: int = 0
+    runs: int = 0
+    networks_built: int = 0
+    derivations_computed: int = 0
+    schedules_computed: int = 0
+
+
+@dataclass
+class SweepResult:
+    """The sweep's table: axes, requested metrics, rows and stage stats."""
+
+    axes: Dict[str, Tuple[Any, ...]]
+    metrics: Tuple[str, ...]
+    rows: List[SweepRow]
+    stats: SweepStats
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one metric (or axis) column, in cell order."""
+        if name in self.metrics:
+            return [row.metrics[name] for row in self.rows]
+        if name in self.axes:
+            return [row.cell[name] for row in self.rows]
+        raise ModelError(f"unknown sweep column {name!r}")
+
+    def table(self) -> str:
+        """Aligned text rendering of the sweep table."""
+        headers = list(self.axes) + list(self.metrics)
+        grid = [headers]
+        for row in self.rows:
+            grid.append(
+                [_cell_str(row.cell[a]) for a in self.axes]
+                + [_cell_str(row.metrics[m]) for m in self.metrics]
+            )
+        widths = [max(len(r[i]) for r in grid) for i in range(len(headers))]
+        lines = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in grid
+        ]
+        lines.insert(1, "  ".join("-" * w for w in widths).rstrip())
+        return "\n".join(lines)
+
+
+def _cell_str(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, OverheadModel):
+        return (
+            f"ov({value.first_frame_arrival}/"
+            f"{value.steady_frame_arrival}/{value.per_job})"
+        )
+    return str(value)
+
+
+def run_sweep(
+    matrix: ScenarioMatrix,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    *,
+    lean: bool = True,
+    keep_results: bool = False,
+    observer_factory: Optional[
+        Callable[[SweepCell], Sequence[ExecutionObserver]]
+    ] = None,
+    cache: Optional[PipelineCache] = None,
+) -> SweepResult:
+    """Execute every cell of *matrix* and tabulate the requested *metrics*.
+
+    Parameters
+    ----------
+    metrics:
+        Row columns, drawn from :data:`TIMING_METRICS` and
+        :data:`DATA_METRICS`.  When no data metric is requested the cells
+        run ``records_only`` (the data phase — kernels, channel states —
+        is skipped entirely).
+    lean:
+        Run cells with ``collect_records=False`` / ``collect_trace=False``
+        (observer-streaming only; nothing retained per instance).  Set
+        ``False`` to honour each scenario's own executor flags.
+    keep_results:
+        Retain every cell's full :class:`RuntimeResult` on its row
+        (implies ``lean=False`` semantics for that retention).
+    observer_factory:
+        Optional per-cell extra observers, attached live to that cell's
+        run (e.g. exporters or dashboards fed by the same event streams).
+    cache:
+        Stage cache to (re)use; by default every sweep gets a fresh one.
+        Pass a shared cache to chain sweeps over the same workloads.
+    """
+    metrics = tuple(metrics)
+    if not metrics:
+        raise ModelError("run_sweep needs at least one metric")
+    for name in metrics:
+        if name not in DEFAULT_METRICS:
+            raise ModelError(
+                f"unknown sweep metric {name!r} — known: "
+                f"{', '.join(DEFAULT_METRICS)}"
+            )
+    want_data = any(name in DATA_METRICS for name in metrics)
+
+    cache = cache if cache is not None else PipelineCache()
+    rows: List[SweepRow] = []
+    stats = SweepStats(cells=len(matrix))
+    # Stats report what *this* sweep paid: with a shared (pre-warmed)
+    # cache the counters are cumulative, so snapshot them and store deltas.
+    nets0 = cache.networks_built
+    derivs0 = cache.derivations_computed
+    scheds0 = cache.schedules_computed
+    for cell in matrix.cells():
+        scenario = cell.scenario
+        if scenario.records_only and want_data:
+            raise RuntimeModelError(
+                f"cell {dict(cell.coords)!r} is records_only but the sweep "
+                f"requests data metrics "
+                f"({', '.join(n for n in metrics if n in DATA_METRICS)}) — "
+                "drop them or clear records_only"
+            )
+        # Per-record aggregates the table does not ask for are switched
+        # off: on_record fires per job instance, and each aggregate is
+        # exact-rational arithmetic.  (Responses are not a sweep metric.)
+        observer = MetricsObserver(
+            track_responses=False,
+            track_utilization="peak_utilization" in metrics,
+            track_frame_spans="frame_makespan_max" in metrics,
+        )
+        observers: List[ExecutionObserver] = [observer]
+        if observer_factory is not None:
+            observers.extend(observer_factory(cell))
+        # Extra observers that consume data-phase events keep the data
+        # phase alive even when the table's metrics alone would allow
+        # records_only — they attach live and must see their events.
+        cell_wants_data = want_data or any(
+            _overrides(ob, name, base)
+            for ob in observers[1:]
+            for name, base in _DATA_HOOKS
+        )
+        if keep_results:
+            run_scenario = scenario
+        elif lean:
+            run_scenario = scenario.replace(
+                records_only=scenario.records_only or not cell_wants_data,
+                collect_records=False,
+                collect_trace=False,
+            )
+        else:
+            run_scenario = scenario
+        experiment = Experiment(run_scenario, cache=cache)
+        result = experiment.run(observers=observers)
+        stats.runs += 1
+        rows.append(
+            SweepRow(
+                cell=dict(cell.coords),
+                metrics={n: _extract_metric(observer, n) for n in metrics},
+                result=result if keep_results else None,
+            )
+        )
+    stats.networks_built = cache.networks_built - nets0
+    stats.derivations_computed = cache.derivations_computed - derivs0
+    stats.schedules_computed = cache.schedules_computed - scheds0
+    return SweepResult(
+        axes=dict(matrix.axes), metrics=metrics, rows=rows, stats=stats
+    )

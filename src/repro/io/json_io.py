@@ -11,7 +11,15 @@ stored next to experiment results:
   channels, priorities, external channels).  Behaviours are code, so
   deserialisation takes a *kernel registry* mapping process names to
   kernels — unknown names get no-op kernels, which is sufficient for every
-  scheduling-side use.
+  scheduling-side use;
+* **scenarios** (:class:`repro.experiment.Scenario`) round-trip losslessly
+  when their workload is a registered name: stimuli are serialised
+  structurally with a small tagged value encoding (rationals, complex
+  numbers, tuples) so even the FFT workload's complex sample vectors
+  survive the trip;
+* **sweep results** (:class:`repro.experiment.SweepResult`) serialise
+  their axes, rows and stage-reuse statistics, so sweep tables can be
+  diffed across commits and machines.
 """
 
 from __future__ import annotations
@@ -21,13 +29,17 @@ from fractions import Fraction
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..core.channels import ChannelKind
+from ..core.invocations import Stimulus
 from ..core.network import Network
 from ..core.process import JobContext
 from ..core.timebase import Time, as_time
 from ..errors import FPPNError
+from ..runtime.overheads import OverheadModel
 from ..taskgraph.graph import TaskGraph
 from ..taskgraph.jobs import Job
 from ..scheduling.schedule import ScheduledJob, StaticSchedule
+from ..experiment.scenario import Scenario
+from ..experiment.sweep import SweepResult, SweepRow, SweepStats
 
 FORMAT_VERSION = 1
 
@@ -231,6 +243,273 @@ def network_from_dict(
     for row in data.get("external_outputs", []):
         net.add_external_output(row["owner"], row["name"])
     return net
+
+
+# ---------------------------------------------------------------------------
+# tagged values (stimulus samples, sweep cells): JSON-representable forms of
+# the Python values experiments actually carry — rationals, complex numbers,
+# tuples.  Scalars pass through; anything else is rejected loudly instead of
+# being silently stringified.
+# ---------------------------------------------------------------------------
+def value_to_jsonable(value: Any) -> Any:
+    """Encode a Python value into the tagged JSON form (inverse below)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, Fraction):  # includes Time
+        return {"$frac": f"{value.numerator}/{value.denominator}"}
+    if isinstance(value, float):
+        return value
+    if isinstance(value, complex):
+        return {"$complex": [value.real, value.imag]}
+    if isinstance(value, tuple):
+        return {"$tuple": [value_to_jsonable(v) for v in value]}
+    if isinstance(value, list):
+        return [value_to_jsonable(v) for v in value]
+    if isinstance(value, OverheadModel):
+        return {
+            "$overheads": [
+                _time_out(value.first_frame_arrival),
+                _time_out(value.steady_frame_arrival),
+                _time_out(value.per_job),
+            ]
+        }
+    if isinstance(value, Mapping):
+        return {
+            "$map": [
+                [value_to_jsonable(k), value_to_jsonable(v)]
+                for k, v in value.items()
+            ]
+        }
+    raise FormatError(
+        f"value {value!r} of type {type(value).__name__} is not "
+        "JSON-serialisable — supported: scalars, Fraction, complex, "
+        "tuple/list, mappings, OverheadModel"
+    )
+
+
+def value_from_jsonable(data: Any) -> Any:
+    """Inverse of :func:`value_to_jsonable`."""
+    if isinstance(data, list):
+        return [value_from_jsonable(v) for v in data]
+    if isinstance(data, dict):
+        if len(data) == 1:
+            (tag, payload), = data.items()
+            if tag == "$frac":
+                return _time_in(payload, "tagged rational")
+            if tag == "$complex":
+                return complex(payload[0], payload[1])
+            if tag == "$tuple":
+                return tuple(value_from_jsonable(v) for v in payload)
+            if tag == "$overheads":
+                return OverheadModel(
+                    _time_in(payload[0], "overheads.first_frame_arrival"),
+                    _time_in(payload[1], "overheads.steady_frame_arrival"),
+                    _time_in(payload[2], "overheads.per_job"),
+                )
+            if tag == "$map":
+                return {
+                    value_from_jsonable(k): value_from_jsonable(v)
+                    for k, v in payload
+                }
+        raise FormatError(f"unrecognised tagged value {data!r}")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# stimuli (structural: sample maps + sporadic arrival traces)
+# ---------------------------------------------------------------------------
+def stimulus_to_dict(stimulus: Stimulus) -> Dict[str, Any]:
+    """Lossless dict form of a stimulus (tagged values, rational times)."""
+    return {
+        "input_samples": {
+            name: value_to_jsonable(samples)
+            for name, samples in sorted(stimulus.input_samples.items())
+        },
+        "sporadic_arrivals": {
+            name: [_time_out(t) for t in times]
+            for name, times in sorted(stimulus.sporadic_arrivals.items())
+        },
+    }
+
+
+def stimulus_from_dict(data: Mapping[str, Any]) -> Stimulus:
+    """Inverse of :func:`stimulus_to_dict`."""
+    return Stimulus(
+        input_samples={
+            name: value_from_jsonable(samples)
+            for name, samples in data.get("input_samples", {}).items()
+        },
+        sporadic_arrivals={
+            name: [_time_in(t, f"arrival of {name!r}") for t in times]
+            for name, times in data.get("sporadic_arrivals", {}).items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Lossless dict form of a scenario.
+
+    Requires a *registered* workload name (bare factory callables are
+    code, not data) and a callable-free WCET map.
+    """
+    if not isinstance(scenario.workload, str):
+        raise FormatError(
+            "only scenarios with a registered workload name serialise — "
+            "register the factory with repro.experiment.register_workload"
+        )
+    wcet = scenario.wcet
+    if isinstance(wcet, tuple):
+        for name, value in wcet:
+            if callable(value):
+                raise FormatError(
+                    f"wcet of {name!r} is a callable — per-job WCET models "
+                    "do not serialise"
+                )
+        wcet_out: Any = {name: _time_out(value) for name, value in wcet}
+    else:
+        wcet_out = _time_out(wcet)
+    return {
+        "format": "fppn-scenario",
+        "version": FORMAT_VERSION,
+        "workload": scenario.workload,
+        "wcet": wcet_out,
+        "processors": scenario.processors,
+        "n_frames": scenario.n_frames,
+        "horizon": _time_out(scenario.horizon),
+        "heuristics": (
+            None if scenario.heuristics is None else list(scenario.heuristics)
+        ),
+        "execution_time": (
+            None if scenario.execution_time is None
+            else {name: _time_out(v) for name, v in scenario.execution_time}
+        ),
+        "jitter_seed": scenario.jitter_seed,
+        "jitter_low": scenario.jitter_low,
+        "overheads": value_to_jsonable(scenario.overheads),
+        "stimulus": (
+            None if scenario.stimulus is None
+            else stimulus_to_dict(scenario.stimulus)
+        ),
+        "records_only": scenario.records_only,
+        "collect_records": scenario.collect_records,
+        "collect_trace": scenario.collect_trace,
+        "label": scenario.label,
+    }
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
+    """Inverse of :func:`scenario_to_dict`."""
+    _check_header(data, "fppn-scenario")
+    wcet = data["wcet"]
+    if isinstance(wcet, Mapping):
+        wcet = {
+            name: _time_in(v, f"wcet of {name!r}") for name, v in wcet.items()
+        }
+    else:
+        wcet = _time_in(wcet, "wcet")
+    execution_time = data.get("execution_time")
+    if execution_time is not None:
+        execution_time = {
+            name: _time_in(v, f"execution time of {name!r}")
+            for name, v in execution_time.items()
+        }
+    horizon = data.get("horizon")
+    stimulus = data.get("stimulus")
+    heuristics = data.get("heuristics")
+    return Scenario(
+        workload=data["workload"],
+        wcet=wcet,
+        processors=int(data["processors"]),
+        n_frames=int(data["n_frames"]),
+        horizon=None if horizon is None else _time_in(horizon, "horizon"),
+        heuristics=None if heuristics is None else tuple(heuristics),
+        execution_time=execution_time,
+        jitter_seed=data.get("jitter_seed"),
+        jitter_low=float(data.get("jitter_low", 0.5)),
+        overheads=value_from_jsonable(data["overheads"]),
+        stimulus=None if stimulus is None else stimulus_from_dict(stimulus),
+        records_only=bool(data.get("records_only", False)),
+        collect_records=bool(data.get("collect_records", True)),
+        collect_trace=bool(data.get("collect_trace", True)),
+        label=data.get("label"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sweep results
+# ---------------------------------------------------------------------------
+def sweep_result_to_dict(result: SweepResult) -> Dict[str, Any]:
+    """Dict form of a sweep table (axes, rows, stage-reuse stats).
+
+    Cell axis values and metric values use the tagged value encoding, so
+    rational metrics (makespans, latenesses) survive losslessly.  Retained
+    :class:`RuntimeResult` objects (``keep_results=True`` sweeps) are not
+    serialised — rows carry data, not simulations.
+    """
+    return {
+        "format": "fppn-sweep",
+        "version": FORMAT_VERSION,
+        "axes": {
+            name: [value_to_jsonable(v) for v in values]
+            for name, values in result.axes.items()
+        },
+        "metrics": list(result.metrics),
+        "rows": [
+            {
+                "cell": {
+                    name: value_to_jsonable(v) for name, v in row.cell.items()
+                },
+                "metrics": {
+                    name: value_to_jsonable(v)
+                    for name, v in row.metrics.items()
+                },
+            }
+            for row in result.rows
+        ],
+        "stats": {
+            "cells": result.stats.cells,
+            "runs": result.stats.runs,
+            "networks_built": result.stats.networks_built,
+            "derivations_computed": result.stats.derivations_computed,
+            "schedules_computed": result.stats.schedules_computed,
+        },
+    }
+
+
+def sweep_result_from_dict(data: Mapping[str, Any]) -> SweepResult:
+    """Inverse of :func:`sweep_result_to_dict`."""
+    _check_header(data, "fppn-sweep")
+    stats_in = data.get("stats", {})
+    return SweepResult(
+        axes={
+            name: tuple(value_from_jsonable(v) for v in values)
+            for name, values in data.get("axes", {}).items()
+        },
+        metrics=tuple(data.get("metrics", [])),
+        rows=[
+            SweepRow(
+                cell={
+                    name: value_from_jsonable(v)
+                    for name, v in row.get("cell", {}).items()
+                },
+                metrics={
+                    name: value_from_jsonable(v)
+                    for name, v in row.get("metrics", {}).items()
+                },
+            )
+            for row in data.get("rows", [])
+        ],
+        stats=SweepStats(
+            cells=int(stats_in.get("cells", 0)),
+            runs=int(stats_in.get("runs", 0)),
+            networks_built=int(stats_in.get("networks_built", 0)),
+            derivations_computed=int(stats_in.get("derivations_computed", 0)),
+            schedules_computed=int(stats_in.get("schedules_computed", 0)),
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -225,9 +225,24 @@ class MetricsObserver(ExecutionObserver):
     makespan and per-frame makespans from the event stream alone — no stored
     record list — so long determinism/overload sweeps can aggregate without
     retaining per-instance data.
+
+    Every aggregate costs exact-rational arithmetic *per record*, so the
+    optional ones can be switched off at construction: scenario sweeps
+    request only the metrics their table needs, and ``on_record`` fires
+    hundreds of times per frame.  Disabled aggregates refuse to report
+    (their accessors raise) instead of returning silent zeros.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        track_responses: bool = True,
+        track_utilization: bool = True,
+        track_frame_spans: bool = True,
+    ) -> None:
+        self._track_responses = track_responses
+        self._track_utilization = track_utilization
+        self._track_frame_spans = track_frame_spans
         self.meta: Optional[RunMeta] = None
         self.total_jobs = 0
         self.executed_jobs = 0
@@ -237,6 +252,7 @@ class MetricsObserver(ExecutionObserver):
         self.makespan: Time = ZERO
         self._busy: List[Time] = []
         self._frame_spans: List[Time] = []
+        self._frame_bases: List[Time] = []
         self._responses: Dict[str, Time] = {}
         self._span_open: Dict[Tuple[str, int], Time] = {}
         self._span_count: Dict[str, int] = {}
@@ -257,6 +273,13 @@ class MetricsObserver(ExecutionObserver):
         self.makespan = ZERO
         self._busy = [ZERO] * meta.processors
         self._frame_spans = [ZERO] * meta.frames
+        # Frame start instants, precomputed once: on_record fires per job
+        # instance, and the ``hyperperiod * frame`` product is a Fraction
+        # multiplication the hot path should not repeat 800 times a frame.
+        self._frame_bases = (
+            [meta.hyperperiod * f for f in range(meta.frames)]
+            if self._track_frame_spans else []
+        )
         self._responses = {}
         self._span_open = {}
         self._span_count = {}
@@ -281,14 +304,17 @@ class MetricsObserver(ExecutionObserver):
             lateness = end - record.deadline
             if lateness > self.worst_lateness:
                 self.worst_lateness = lateness
-        self._busy[record.processor] += end - record.start
-        response = end - record.release
-        if response > self._responses.get(record.process, ZERO):
-            self._responses[record.process] = response
-        base = self.meta.hyperperiod * record.frame
-        span = end - base
-        if span > self._frame_spans[record.frame]:
-            self._frame_spans[record.frame] = span
+        if self._track_utilization:
+            self._busy[record.processor] += end - record.start
+        if self._track_responses:
+            response = end - record.release
+            if response > self._responses.get(record.process, ZERO):
+                self._responses[record.process] = response
+        if self._track_frame_spans:
+            frame = record.frame
+            span = end - self._frame_bases[frame]
+            if span > self._frame_spans[frame]:
+                self._frame_spans[frame] = span
 
     # -- data-phase events ----------------------------------------------
     def on_job_data_start(
@@ -346,20 +372,31 @@ class MetricsObserver(ExecutionObserver):
             ),
         )
 
+    def _require_tracked(self, enabled: bool, what: str) -> None:
+        if not enabled:
+            raise RuntimeModelError(
+                f"this MetricsObserver was constructed with {what}=False — "
+                "the aggregate was not computed; construct the observer "
+                "with it enabled"
+            )
+
     def response_times(self) -> Dict[str, Time]:
         """Worst-case observed response time per process."""
         self._require_run()
+        self._require_tracked(self._track_responses, "track_responses")
         return dict(self._responses)
 
     def processor_utilization(self) -> List[float]:
         """Busy fraction per processor over the simulated horizon."""
         self._require_run()
+        self._require_tracked(self._track_utilization, "track_utilization")
         horizon = self.meta.hyperperiod * self.meta.frames
         return [float(b / horizon) for b in self._busy]
 
     def frame_makespans(self) -> List[Time]:
         """Per-frame completion time relative to the frame start."""
         self._require_run()
+        self._require_tracked(self._track_frame_spans, "track_frame_spans")
         return list(self._frame_spans)
 
     def _require_data_events(self) -> None:

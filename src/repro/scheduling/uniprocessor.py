@@ -37,7 +37,7 @@ from ..core.network import Network
 from ..core.process import JobContext
 from ..core.semantics import ExecutionResult
 from ..core.timebase import Time, TimeLike, as_positive_time
-from ..core.trace import JobEnd, JobStart, Trace, Wait
+from ..core.trace import LazyTrace
 
 
 def rate_monotonic_priorities(network: Network) -> Dict[str, int]:
@@ -119,7 +119,11 @@ class UniprocessorFixedPriority:
         stimulus = stimulus or Stimulus()
         releases = self.release_sequence(h, stimulus)
 
-        trace = Trace()
+        # Compact recording, exactly like the zero-delay reference: the
+        # trace stays a tuple log until someone reads ``result.trace`` —
+        # equivalence sweeps compare observables and never pay for Actions.
+        trace = LazyTrace()
+        raw_append = trace.raw.append
         channel_states: Dict[str, ChannelState] = {
             name: spec.new_state() for name, spec in self.network.channels.items()
         }
@@ -136,7 +140,7 @@ class UniprocessorFixedPriority:
         last_time: Optional[Time] = None
         for t, _prio, pname, k in releases:
             if last_time != t:
-                trace.append(Wait(t))
+                raw_append(("T", t))
                 last_time = t
             proc = self.network.processes[pname]
             ctx = JobContext(
@@ -152,9 +156,9 @@ class UniprocessorFixedPriority:
                 external_outputs={n: ext_out[n] for n in proc.external_outputs},
                 trace=trace,
             )
-            trace.append(JobStart(pname, k))
+            raw_append(("S", pname, k))
             proc.behavior.run_job(ctx)
-            trace.append(JobEnd(pname, k))
+            raw_append(("E", pname, k))
             job_count += 1
 
         return ExecutionResult(

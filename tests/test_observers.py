@@ -24,6 +24,7 @@ from repro.apps import (
     fms_wcets,
 )
 from repro.core.timebase import Time
+from repro.errors import RuntimeModelError
 from repro.io import trace_to_vcd, runtime_result_to_vcd
 from repro.runtime import (
     ExecutionObserver,
@@ -125,6 +126,26 @@ class TestMetricsObserver:
         assert obs.total_jobs == len(result.records)
         assert obs.executed_jobs == len(result.executed())
         assert obs.false_jobs == len(result.false_jobs())
+
+    def test_disabled_aggregates_refuse_instead_of_reporting_zeros(self):
+        # Streaming sweeps switch off the per-record aggregates their
+        # table does not request; the accessors must then raise rather
+        # than misreport empty data.
+        obs = MetricsObserver(
+            track_responses=False,
+            track_utilization=False,
+            track_frame_spans=False,
+        )
+        result = fig1_run([obs])
+        assert obs.miss_summary() == miss_summary(result)  # always tracked
+        assert obs.makespan == result.makespan()
+        for accessor in (
+            obs.response_times,
+            obs.processor_utilization,
+            obs.frame_makespans,
+        ):
+            with pytest.raises(RuntimeModelError):
+                accessor()
 
 
 class TestTraceAndGantt:
