@@ -37,7 +37,9 @@ bench:
 # CI smoke lane: run every experiment benchmark in fast mode (timing
 # disabled, assertions on) plus the perf-trajectory runner in --fast mode,
 # so the hot tick-domain paths stay continuously exercised and any error
-# fails the lane.
+# fails the lane.  The runner's fms_sweep_2x3_workers2 case spawns real
+# worker processes (run_sweep(workers=2)), so the multiprocess sweep
+# backend is exercised on every push alongside tests/test_sweep_parallel.py.
 bench-smoke:
 	$(PY) -m pytest benchmarks -q -m experiment --benchmark-disable
 	$(PY) benchmarks/run_bench.py --fast

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
 import sys
 import time
@@ -269,6 +270,48 @@ def _case_fms_sweep_3x3(fast: bool):
     }
 
 
+#: The multi-schedule-key FMS sweep for the parallel backend: processor
+#: counts x jitter seeds.  Two processor counts mean two schedule-key
+#: groups, the parallel dispatch unit — ``workers=2`` hands one group to
+#: each spawned worker; the serial twin runs the identical matrix in
+#: process (rows are bit-identical, pinned by tests/test_sweep_parallel).
+#: On a single-CPU host the parallel lane measures pure dispatch overhead
+#: (spawn + reimport + wire format); with >= 2 cores the cell phase
+#: overlaps and the case shows the speedup.
+_PAR_SWEEP_AXES = {
+    "processors": [1, 2],
+    "jitter_seed": [0, 1, 2],
+}
+_PAR_SWEEP_METRICS = (
+    "executed_jobs", "missed_jobs", "worst_lateness", "makespan",
+)
+
+
+def _parallel_sweep_case(workers: int):
+    def build(fast: bool):
+        frames = 2 if fast else 25
+        matrix = ScenarioMatrix(
+            fms_scenario(n_frames=frames), dict(_PAR_SWEEP_AXES)
+        )
+
+        def sweep():
+            result = run_sweep(
+                matrix, metrics=_PAR_SWEEP_METRICS, workers=workers
+            )
+            assert result.stats.parallel_fallback is None
+            assert result.stats.workers == min(
+                workers, len(_PAR_SWEEP_AXES["processors"])
+            )
+            return result
+
+        return sweep, {
+            "experiment": "sweep", "frames": frames, "cells": len(matrix),
+            "workers": workers,
+        }
+
+    return build
+
+
 def _case_fms_sweep_3x3_naive(fast: bool):
     frames = 2 if fast else 10
     net = build_fms_network()
@@ -314,6 +357,8 @@ CASES: List[Case] = [
     ("fms_data_phase_100", _case_fms_data_phase_100),
     ("fms_sweep_3x3", _case_fms_sweep_3x3),
     ("fms_sweep_3x3_naive", _case_fms_sweep_3x3_naive),
+    ("fms_sweep_2x3_serial", _parallel_sweep_case(workers=1)),
+    ("fms_sweep_2x3_workers2", _parallel_sweep_case(workers=2)),
 ]
 
 
@@ -355,6 +400,9 @@ def main(argv=None) -> int:
         "label": args.label,
         "fast": args.fast,
         "python": platform.python_version(),
+        # Parallel-sweep cases only overlap their groups when this is > 1;
+        # on a single CPU they measure pure dispatch overhead.
+        "cpus": os.cpu_count(),
         "cases": results,
     }
     out = args.output

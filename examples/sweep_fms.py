@@ -11,7 +11,10 @@ each cell then runs in the executor's lean observer-streaming mode.
 
 Sweep tables are deterministic (exact rational metrics, seed-keyed jitter)
 and JSON-serialisable (``repro.io.sweep_result_to_dict``), so they can be
-diffed across commits.
+diffed across commits.  The second sweep below fans its cells out across
+worker processes (``run_sweep(workers=2)``): one spawned worker per
+schedule-key group, rows bit-identical to the serial path.  Spawn rule:
+keep the call under ``if __name__ == "__main__":``.
 
 Run:  python examples/sweep_fms.py
 """
@@ -57,6 +60,28 @@ def main() -> None:
     )
     assert s.derivations_computed == 1 and s.schedules_computed == 1
     print("runtime-only axes -> one derivation, one scheduling pass: OK")
+
+    # A processors axis splits the matrix into one schedule-key group per
+    # processor count — the unit the multiprocess backend dispatches.
+    par_matrix = ScenarioMatrix(
+        base, {"processors": [1, 2], "jitter_seed": [0, 7]}
+    )
+    par = run_sweep(
+        par_matrix,
+        metrics=("executed_jobs", "missed_jobs", "makespan"),
+        workers=2,
+    )
+    serial = run_sweep(
+        par_matrix,
+        metrics=("executed_jobs", "missed_jobs", "makespan"),
+    )
+    ps = par.stats
+    print(
+        f"\nparallel sweep: {ps.runs} runs on {ps.workers} workers, "
+        f"{ps.schedules_computed} schedule-key group(s), "
+        f"rows bit-identical to serial: {par.rows == serial.rows}"
+    )
+    assert par.rows == serial.rows
 
 
 if __name__ == "__main__":

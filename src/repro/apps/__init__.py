@@ -35,6 +35,18 @@ from .fms import (
 from .fms import scenario as fms_scenario
 from .workloads import random_network, random_wcets
 
+# The registrations a *fresh* interpreter gets from importing this
+# package — exactly what a spawned sweep worker can resolve by name.
+# `Scenario.dispatch_blocker` compares against these factories by
+# identity, so names registered (or overridden) only in the parent
+# process are refused dispatch instead of failing inside a worker.
+from ..experiment.scenario import _WORKLOADS as _registry
+
+BUILTIN_WORKLOADS = {
+    name: _registry[name] for name in ("fig1", "fft", "fms", "fms-40s")
+}
+del _registry
+
 __all__ = [
     "FIG1_WCET_MS",
     "build_fig1_network",

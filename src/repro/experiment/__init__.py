@@ -11,11 +11,15 @@ This package is the scenario-scale entry point to the paper's pipeline:
   :meth:`~Experiment.report`) with observers attachable at any stage;
 * :class:`ScenarioMatrix` + :func:`run_sweep` — STOMP-style cartesian
   sweeps over scenario fields with stage-aware derivation/schedule reuse
-  and lean observer-streaming execution.
+  and lean observer-streaming execution; ``run_sweep(workers=N)`` fans
+  the cells out across spawned worker processes, one task per
+  schedule-key group (:mod:`repro.experiment.parallel`), with rows
+  bit-identical to a serial run.
 
 JSON interchange for scenarios and sweep results lives in
 :mod:`repro.io.json_io` (``scenario_to_dict`` / ``sweep_result_to_dict``
-and inverses).
+and inverses); the same tagged encoding is the parallel backend's wire
+format.
 """
 
 from .scenario import (
@@ -25,6 +29,7 @@ from .scenario import (
     resolve_workload,
 )
 from .experiment import Experiment, PipelineCache
+from .parallel import schedule_key_groups, serial_fallback_reason
 from .sweep import (
     DATA_METRICS,
     DEFAULT_METRICS,
@@ -53,4 +58,6 @@ __all__ = [
     "SweepStats",
     "TIMING_METRICS",
     "run_sweep",
+    "schedule_key_groups",
+    "serial_fallback_reason",
 ]

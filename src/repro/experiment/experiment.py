@@ -177,6 +177,10 @@ class Experiment:
 
     def _execute(self, observers: Sequence[ExecutionObserver]) -> RuntimeResult:
         s = self.scenario
+        # A fresh execution replaces the cached result, so a previously
+        # built metrics observer would keep reporting the discarded run:
+        # invalidate it here (the only place the result is replaced).
+        self._metrics = None
         self._result = run_static_order(
             self.network(),
             self.schedule(),

@@ -1,0 +1,320 @@
+"""Multiprocess sweep backend: one worker task per schedule-key group.
+
+:func:`repro.experiment.sweep.run_sweep` with ``workers > 1`` lands here.
+The matrix's cells are partitioned by
+:meth:`~repro.experiment.scenario.Scenario.schedule_key` — the unit of
+stage reuse — and each group is dispatched as one task to a pool of
+spawned worker processes.  Every worker task builds its own
+:class:`~repro.experiment.experiment.PipelineCache`, so a group still
+pays exactly one task-graph derivation and one scheduling pass no matter
+how many runtime-only cells (jitter seeds, overheads, frame counts,
+stimuli) it contains; the per-task cache counters come back with the rows
+and are summed into the sweep's :class:`~repro.experiment.sweep.
+SweepStats`.
+
+Everything that crosses the process boundary is *data*, carried by the
+exact JSON wire format of :mod:`repro.io.json_io`:
+
+* outbound, each cell's scenario goes through ``scenario_to_dict`` (the
+  tagged value encoding keeps Fractions, complex samples and tuples
+  exact — FFT stimuli survive);
+* inbound, each row's metric values go through ``value_to_jsonable`` /
+  ``value_from_jsonable``, so rational metrics (makespans, latenesses,
+  utilizations) come back as the same exact :class:`~fractions.Fraction`
+  values the serial path computes.
+
+Combined with the shared per-cell execution helper
+(:func:`repro.experiment.sweep._run_cell` — the only code path that
+configures and runs a cell, serial or parallel) this makes parallel rows
+**bit-identical** to a serial ``run_sweep`` of the same matrix, which the
+test suite pins the same way the tick-domain and data-phase ports were
+pinned.
+
+Not every sweep can be dispatched.  :func:`serial_fallback_reason`
+documents the rules: sweeps attaching live per-cell observers
+(``observer_factory``) or retaining full results (``keep_results``) need
+in-process objects; scenarios embedding code the child cannot
+reconstruct (bare factory callables, per-job WCET callables, workload
+names registered — or overridden — only in the parent process, which a
+freshly-imported worker would not resolve) are refused per cell; a
+caller-shared cache cannot be shared across processes; and a single
+schedule-key group has nothing to fan out.  ``run_sweep`` records the
+reason in ``SweepStats.parallel_fallback`` and runs serially.
+
+The spawn start method is used unconditionally: it is the only method
+that is safe and available everywhere (fork inherits arbitrary parent
+state).  Workers re-import :mod:`repro` through the parent's ``sys.path``
+and working directory, which multiprocessing's spawn preparation data
+carries into every child.
+Spawn's usual rule applies: a *script* calling ``run_sweep(workers=N)``
+at import time must guard the call with ``if __name__ == "__main__":``
+(the children re-import the main module), exactly as with any direct
+:mod:`multiprocessing` use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..runtime.observers import ExecutionObserver
+from .experiment import PipelineCache
+from .sweep import (
+    ScenarioMatrix,
+    SweepCell,
+    SweepResult,
+    SweepRow,
+    SweepStats,
+    _check_cell_modes,
+    _run_cell,
+)
+
+__all__ = [
+    "run_sweep_parallel",
+    "schedule_key_groups",
+    "serial_fallback_reason",
+]
+
+
+def _group_cells(cells: Sequence[SweepCell]) -> List[List[SweepCell]]:
+    groups: Dict[Any, List[SweepCell]] = {}
+    for cell in cells:
+        groups.setdefault(cell.scenario.schedule_key(), []).append(cell)
+    return list(groups.values())
+
+
+def schedule_key_groups(matrix: ScenarioMatrix) -> List[List[SweepCell]]:
+    """The matrix's cells grouped by schedule key, in first-seen order.
+
+    One group is the unit of dispatch *and* of stage reuse: all its cells
+    share one derivation and one schedule, so a worker owning the whole
+    group pays each exactly once from its private cache.
+    """
+    return _group_cells(list(matrix.cells()))
+
+
+def _serial_fallback_reason(
+    cells: Sequence[SweepCell],
+    *,
+    keep_results: bool = False,
+    observer_factory: Optional[
+        Callable[[SweepCell], Sequence[ExecutionObserver]]
+    ] = None,
+    cache: Optional[PipelineCache] = None,
+) -> Optional[str]:
+    if observer_factory is not None:
+        return (
+            "observer_factory attaches live in-process observers, which "
+            "cannot be shipped to worker processes"
+        )
+    if keep_results:
+        return (
+            "keep_results retains full RuntimeResult objects, which are "
+            "not serialised across the process boundary"
+        )
+    if cache is not None:
+        return (
+            "a caller-shared PipelineCache cannot be shared with worker "
+            "processes — drop it to fan out"
+        )
+    # The *cells* are what gets dispatched, so they are the authority —
+    # the base scenario may carry code an axis substitutes away (a
+    # workload axis over registered names), or vice versa.
+    for cell in cells:
+        blocker = cell.scenario.dispatch_blocker()
+        if blocker is not None:
+            return f"scenario is not dispatchable: {blocker}"
+    if len(_group_cells(cells)) < 2:
+        return (
+            "matrix has a single schedule-key group — nothing to fan out "
+            "(parallelism is per distinct schedule key)"
+        )
+    return None
+
+
+def serial_fallback_reason(
+    matrix: ScenarioMatrix,
+    *,
+    keep_results: bool = False,
+    observer_factory: Optional[
+        Callable[[SweepCell], Sequence[ExecutionObserver]]
+    ] = None,
+    cache: Optional[PipelineCache] = None,
+) -> Optional[str]:
+    """Why this sweep must run serially, or ``None`` if it can fan out.
+
+    The returned string is stored verbatim in
+    ``SweepStats.parallel_fallback`` so a ``workers > 1`` caller can see
+    which rule demoted the sweep.
+    """
+    return _serial_fallback_reason(
+        list(matrix.cells()),
+        keep_results=keep_results,
+        observer_factory=observer_factory,
+        cache=cache,
+    )
+
+
+# ---------------------------------------------------------------------------
+# wire format (parent <-> worker), all JSON text
+# ---------------------------------------------------------------------------
+def _encode_group(
+    group: Sequence[SweepCell], metrics: Tuple[str, ...], lean: bool
+) -> str:
+    from ..io.json_io import scenario_to_dict
+
+    # Cells of one group usually share the base scenario's stimulus
+    # *object* (axis substitution replaces other fields), and stimuli
+    # dominate the payload (the FMS pilot-command stimulus is ~250 KB at
+    # 25 frames).  Pool identical stimuli by object identity: each is
+    # wired and decoded once per group, and the worker rebinds one shared
+    # Stimulus across its cells — which also restores the serial path's
+    # per-object `samples_view` memo sharing.
+    pool: List[Any] = []
+    pool_index: Dict[int, int] = {}
+    cells = []
+    for cell in group:
+        stimulus = cell.scenario.stimulus
+        if stimulus is None:
+            data = scenario_to_dict(cell.scenario)
+        else:
+            index = pool_index.get(id(stimulus))
+            if index is None:
+                data = scenario_to_dict(cell.scenario)
+                index = pool_index[id(stimulus)] = len(pool)
+                pool.append(data["stimulus"])
+            else:
+                # Already pooled: encode the scenario without re-encoding
+                # the (potentially large) stimulus a second time.
+                data = scenario_to_dict(cell.scenario.replace(stimulus=None))
+            data["stimulus"] = index
+        cells.append({"index": cell.index, "scenario": data})
+    return json.dumps({
+        "metrics": list(metrics),
+        "lean": lean,
+        "stimulus_pool": pool,
+        "cells": cells,
+    })
+
+
+def _worker_run_group(payload: str) -> str:
+    """Run one schedule-key group in a worker process (spawn target).
+
+    Decodes the scenarios, executes every cell through the same
+    :func:`~repro.experiment.sweep._run_cell` path the serial sweep uses
+    (with a fresh private :class:`PipelineCache`), and returns the rows'
+    metric values plus the cache counters, all as tagged-JSON text.
+    """
+    from ..io.json_io import (
+        scenario_from_dict,
+        stimulus_from_dict,
+        value_to_jsonable,
+    )
+    from .sweep import DATA_METRICS
+
+    data = json.loads(payload)
+    metrics = tuple(data["metrics"])
+    lean = bool(data["lean"])
+    stimuli = [stimulus_from_dict(s) for s in data.get("stimulus_pool", ())]
+    want_data = any(name in DATA_METRICS for name in metrics)
+    cache = PipelineCache()
+    rows = []
+    for item in data["cells"]:
+        scenario_data = dict(item["scenario"])
+        stimulus_ref = scenario_data.get("stimulus")
+        if stimulus_ref is not None:
+            scenario_data["stimulus"] = None
+        scenario = scenario_from_dict(scenario_data)
+        if stimulus_ref is not None:
+            scenario = scenario.replace(stimulus=stimuli[stimulus_ref])
+        cell = SweepCell(index=int(item["index"]), coords=(), scenario=scenario)
+        cell_metrics, _ = _run_cell(
+            cell, metrics, want_data,
+            lean=lean, keep_results=False, cache=cache,
+        )
+        rows.append({
+            "index": cell.index,
+            "metrics": {
+                name: value_to_jsonable(value)
+                for name, value in cell_metrics.items()
+            },
+        })
+    return json.dumps({
+        "rows": rows,
+        "stats": {
+            "runs": len(rows),
+            "networks_built": cache.networks_built,
+            "derivations_computed": cache.derivations_computed,
+            "schedules_computed": cache.schedules_computed,
+        },
+    })
+
+
+def run_sweep_parallel(
+    matrix: ScenarioMatrix,
+    metrics: Tuple[str, ...],
+    want_data: bool,
+    *,
+    lean: bool,
+    workers: int,
+    cells: Optional[Sequence[SweepCell]] = None,
+) -> SweepResult:
+    """Fan the matrix's schedule-key groups out across worker processes.
+
+    ``run_sweep`` calls this only after :func:`serial_fallback_reason`
+    returned ``None`` (passing the cells it already enumerated); callers
+    should go through ``run_sweep(workers=N)`` rather than here.
+    """
+    import multiprocessing
+
+    if workers < 2:
+        raise ModelError("run_sweep_parallel needs workers >= 2")
+    # Cell-mode conflicts (records_only base vs data metrics) are checked
+    # up front so they raise identically to the serial path, before any
+    # process is spawned.
+    if cells is None:
+        cells = list(matrix.cells())
+    for cell in cells:
+        _check_cell_modes(cell, metrics, want_data)
+    groups = _group_cells(cells)
+    payloads = [_encode_group(group, metrics, lean) for group in groups]
+    n_workers = min(workers, len(groups))
+
+    # Spawned children inherit the parent's sys.path and working
+    # directory through multiprocessing's spawn preparation data, so
+    # repro is importable in the workers however the parent found it
+    # (PYTHONPATH, installed distribution, or sys.path manipulation) —
+    # no process-global environment mutation needed here.
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=n_workers) as pool:
+        replies = pool.map(_worker_run_group, payloads, chunksize=1)
+
+    from ..io.json_io import value_from_jsonable
+
+    stats = SweepStats(
+        cells=len(matrix), workers=n_workers, parallel_fallback=None
+    )
+    metrics_by_index: Dict[int, Dict[str, Any]] = {}
+    for reply in replies:
+        data = json.loads(reply)
+        for row in data["rows"]:
+            metrics_by_index[int(row["index"])] = {
+                name: value_from_jsonable(value)
+                for name, value in row["metrics"].items()
+            }
+        worker_stats = data["stats"]
+        stats.runs += int(worker_stats["runs"])
+        stats.networks_built += int(worker_stats["networks_built"])
+        stats.derivations_computed += int(
+            worker_stats["derivations_computed"]
+        )
+        stats.schedules_computed += int(worker_stats["schedules_computed"])
+    # Rows come back grouped by schedule key; the table is in cell order.
+    rows = [
+        SweepRow(cell=dict(cell.coords), metrics=metrics_by_index[cell.index])
+        for cell in cells
+    ]
+    return SweepResult(
+        axes=dict(matrix.axes), metrics=metrics, rows=rows, stats=stats
+    )

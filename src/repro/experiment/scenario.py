@@ -78,6 +78,10 @@ def available_workloads() -> Tuple[str, ...]:
     return tuple(sorted(_WORKLOADS))
 
 
+def _import_apps() -> None:
+    from .. import apps  # noqa: F401  (import for registration side effect)
+
+
 def _ensure_apps_loaded() -> None:
     # The paper's case studies register themselves at import.  Importing
     # them lazily (and only when a *name* needs resolving) keeps the
@@ -85,10 +89,13 @@ def _ensure_apps_loaded() -> None:
     # deserialised scenarios find "fig1"/"fft"/"fms" without ceremony.
     # A dedicated flag, not a registry-emptiness check: user registrations
     # made before the first lookup must not suppress the built-in names.
+    # The flag is set only *after* the import succeeds: a failed apps
+    # import must surface its real cause (and be retried on the next
+    # lookup), not leave every later name resolving to "unknown workload".
     global _apps_loaded
     if not _apps_loaded:
+        _import_apps()
         _apps_loaded = True
-        from .. import apps  # noqa: F401  (import for registration side effect)
 
 
 def resolve_workload(spec: WorkloadSpec) -> Callable[[], Network]:
@@ -290,6 +297,48 @@ class Scenario:
             return _jitter_model(self.jitter_seed, self.jitter_low)
         if self.execution_time is not None:
             return dict(self.execution_time)
+        return None
+
+    def dispatch_blocker(self) -> Optional[str]:
+        """Why this scenario cannot be shipped to a worker process.
+
+        The multiprocess sweep backend (:mod:`repro.experiment.parallel`)
+        sends scenarios across the process boundary through the JSON wire
+        format (:func:`repro.io.json_io.scenario_to_dict`), which carries
+        data, not code.  Returns a human-readable reason when this
+        scenario embeds code a child process could not reconstruct, or
+        ``None`` when it is dispatchable.  This is the cheap pre-check the
+        dispatcher runs per cell; the JSON encoder remains the authority
+        and still refuses loudly if a new code-bearing field slips by.
+        """
+        if not isinstance(self.workload, str):
+            return (
+                "workload is a bare factory callable — only the built-in "
+                "app workloads resolve by name in a worker process"
+            )
+        # A worker re-imports repro from scratch, so the only names it can
+        # resolve are the ones the apps package registers at import.  A
+        # name registered (or overridden) only in this process would make
+        # the worker fail — or worse, silently build a different network.
+        _ensure_apps_loaded()
+        from ..apps import BUILTIN_WORKLOADS
+
+        if self.workload not in _WORKLOADS:
+            # Unknown everywhere: stay serial so the standard
+            # unknown-workload error surfaces in-process, not from a pool.
+            return f"workload {self.workload!r} is not registered"
+        if _WORKLOADS[self.workload] is not BUILTIN_WORKLOADS.get(
+            self.workload
+        ):
+            return (
+                f"workload {self.workload!r} is registered only in this "
+                "process — spawned workers re-import repro and resolve "
+                "only the built-in app workloads"
+            )
+        if isinstance(self.wcet, tuple) and any(
+            callable(value) for _, value in self.wcet
+        ):
+            return "wcet contains per-job callables, which do not serialise"
         return None
 
     # -- stage keys -----------------------------------------------------

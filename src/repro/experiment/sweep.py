@@ -25,7 +25,13 @@ Two properties make sweeps cheap at scenario scale:
 
 Rows are deterministic: the same matrix produces bit-identical rows on
 every run (exact rational metrics; jitter models are seed-keyed), which is
-what makes sweep tables comparable across machines and commits.
+what makes sweep tables comparable across machines and commits.  The
+``workers`` parameter fans the cells out across worker processes — one
+worker task per distinct :meth:`~repro.experiment.scenario.Scenario.
+schedule_key` group, each with its own cache, scenarios and rows crossing
+the process boundary through the exact JSON wire format — and the rows
+stay bit-identical to a serial run of the same matrix
+(:mod:`repro.experiment.parallel`).
 """
 
 from __future__ import annotations
@@ -107,7 +113,10 @@ def _extract_metric(m: MetricsObserver, name: str) -> Any:
     if name == "frame_makespan_max":
         return max(m.frame_makespans(), default=ZERO)
     if name == "peak_utilization":
-        return max(m.processor_utilization(), default=0.0)
+        # Exact rational, not float: sweep rows promise bit-identical,
+        # JSON-round-trippable metrics (the "$frac" tagged encoding), and
+        # busy/horizon are both exact.
+        return max(m.processor_utilization_exact(), default=ZERO)
     if name == "kernel_busy":
         return sum(
             (s.total_busy for s in m.kernel_span_stats().values()), ZERO
@@ -198,13 +207,25 @@ class SweepRow:
 
 @dataclass
 class SweepStats:
-    """What the sweep actually computed (the stage-reuse contract)."""
+    """What the sweep actually computed (the stage-reuse contract).
+
+    ``workers`` is the number of processes that executed cells (1 for the
+    serial path).  When ``run_sweep(workers=N)`` had to fall back to the
+    serial path, ``parallel_fallback`` documents why.  Parallel sweeps
+    merge the per-worker cache counters by summation, so the contract
+    becomes *per worker group*: every schedule-key group pays exactly one
+    derivation and one scheduling pass (worker caches cannot share
+    derivations across processes the way the serial path shares them
+    across schedule keys).
+    """
 
     cells: int = 0
     runs: int = 0
     networks_built: int = 0
     derivations_computed: int = 0
     schedules_computed: int = 0
+    workers: int = 1
+    parallel_fallback: Optional[str] = None
 
 
 @dataclass
@@ -253,6 +274,93 @@ def _cell_str(value: Any) -> str:
     return str(value)
 
 
+def _check_metrics(metrics: Sequence[str]) -> Tuple[Tuple[str, ...], bool]:
+    """Validated metric tuple plus whether any metric needs the data phase."""
+    metrics = tuple(metrics)
+    if not metrics:
+        raise ModelError("run_sweep needs at least one metric")
+    for name in metrics:
+        if name not in DEFAULT_METRICS:
+            raise ModelError(
+                f"unknown sweep metric {name!r} — known: "
+                f"{', '.join(DEFAULT_METRICS)}"
+            )
+    return metrics, any(name in DATA_METRICS for name in metrics)
+
+
+def _check_cell_modes(cell: SweepCell, metrics: Tuple[str, ...],
+                      want_data: bool) -> None:
+    if cell.scenario.records_only and want_data:
+        raise RuntimeModelError(
+            f"cell {dict(cell.coords)!r} is records_only but the sweep "
+            f"requests data metrics "
+            f"({', '.join(n for n in metrics if n in DATA_METRICS)}) — "
+            "drop them or clear records_only"
+        )
+
+
+def _run_cell(
+    cell: SweepCell,
+    metrics: Tuple[str, ...],
+    want_data: bool,
+    *,
+    lean: bool,
+    keep_results: bool,
+    cache: PipelineCache,
+    extra_observers: Sequence[ExecutionObserver] = (),
+) -> Tuple[Dict[str, Any], Optional[RuntimeResult]]:
+    """Execute one cell; the single code path serial and parallel share.
+
+    Returns the row's metric values plus the retained result (``None``
+    unless *keep_results*).  Keeping this the only place a cell is
+    configured and executed is what makes parallel rows bit-identical to
+    serial rows by construction.
+    """
+    scenario = cell.scenario
+    _check_cell_modes(cell, metrics, want_data)
+    # Per-record aggregates the table does not ask for are switched
+    # off: on_record fires per job instance, and each aggregate is
+    # exact-rational arithmetic.  (Responses are not a sweep metric.)
+    observer = MetricsObserver(
+        track_responses=False,
+        track_utilization="peak_utilization" in metrics,
+        track_frame_spans="frame_makespan_max" in metrics,
+    )
+    observers: List[ExecutionObserver] = [observer, *extra_observers]
+    # Extra observers that consume data-phase events keep the data
+    # phase alive even when the table's metrics alone would allow
+    # records_only — they attach live and must see their events.
+    cell_wants_data = want_data or any(
+        _overrides(ob, name, base)
+        for ob in observers[1:]
+        for name, base in _DATA_HOOKS
+    )
+    if keep_results:
+        # Retained rows must be usable post-hoc (replay, observables,
+        # record-derived metrics), so record collection is forced on even
+        # when the base scenario itself runs lean — retaining a
+        # record-suppressed result would hand back rows whose result
+        # cannot report anything.
+        run_scenario = (
+            scenario if scenario.collect_records
+            else scenario.replace(collect_records=True)
+        )
+    elif lean:
+        run_scenario = scenario.replace(
+            records_only=scenario.records_only or not cell_wants_data,
+            collect_records=False,
+            collect_trace=False,
+        )
+    else:
+        run_scenario = scenario
+    experiment = Experiment(run_scenario, cache=cache)
+    result = experiment.run(observers=observers)
+    return (
+        {n: _extract_metric(observer, n) for n in metrics},
+        result if keep_results else None,
+    )
+
+
 def run_sweep(
     matrix: ScenarioMatrix,
     metrics: Sequence[str] = DEFAULT_METRICS,
@@ -263,6 +371,7 @@ def run_sweep(
         Callable[[SweepCell], Sequence[ExecutionObserver]]
     ] = None,
     cache: Optional[PipelineCache] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Execute every cell of *matrix* and tabulate the requested *metrics*.
 
@@ -278,80 +387,68 @@ def run_sweep(
         (observer-streaming only; nothing retained per instance).  Set
         ``False`` to honour each scenario's own executor flags.
     keep_results:
-        Retain every cell's full :class:`RuntimeResult` on its row
-        (implies ``lean=False`` semantics for that retention).
+        Retain every cell's full :class:`RuntimeResult` on its row.
+        Record collection is forced on for the retained runs (a lean base
+        scenario would otherwise retain record-suppressed, unusable
+        results); the other executor flags stay as the scenario says.
     observer_factory:
         Optional per-cell extra observers, attached live to that cell's
         run (e.g. exporters or dashboards fed by the same event streams).
     cache:
         Stage cache to (re)use; by default every sweep gets a fresh one.
         Pass a shared cache to chain sweeps over the same workloads.
+    workers:
+        Maximum number of worker processes; the default 1 runs serially
+        in-process.  ``workers > 1`` partitions the cells into
+        schedule-key groups and dispatches them to spawned workers
+        (:mod:`repro.experiment.parallel`), falling back to the serial
+        path — with the reason recorded in
+        :attr:`SweepStats.parallel_fallback` — when the sweep cannot be
+        dispatched (an ``observer_factory`` or ``keep_results`` sweep,
+        non-serialisable scenarios, a shared ``cache``, or a single
+        schedule-key group).
     """
-    metrics = tuple(metrics)
-    if not metrics:
-        raise ModelError("run_sweep needs at least one metric")
-    for name in metrics:
-        if name not in DEFAULT_METRICS:
-            raise ModelError(
-                f"unknown sweep metric {name!r} — known: "
-                f"{', '.join(DEFAULT_METRICS)}"
+    metrics, want_data = _check_metrics(metrics)
+    if workers < 1:
+        raise ModelError("workers must be >= 1")
+
+    fallback: Optional[str] = None
+    cells: Optional[List[SweepCell]] = None
+    if workers > 1:
+        from .parallel import _serial_fallback_reason, run_sweep_parallel
+
+        cells = list(matrix.cells())
+        fallback = _serial_fallback_reason(
+            cells,
+            keep_results=keep_results,
+            observer_factory=observer_factory,
+            cache=cache,
+        )
+        if fallback is None:
+            return run_sweep_parallel(
+                matrix, metrics, want_data,
+                lean=lean, workers=workers, cells=cells,
             )
-    want_data = any(name in DATA_METRICS for name in metrics)
 
     cache = cache if cache is not None else PipelineCache()
     rows: List[SweepRow] = []
-    stats = SweepStats(cells=len(matrix))
+    stats = SweepStats(cells=len(matrix), parallel_fallback=fallback)
     # Stats report what *this* sweep paid: with a shared (pre-warmed)
     # cache the counters are cumulative, so snapshot them and store deltas.
     nets0 = cache.networks_built
     derivs0 = cache.derivations_computed
     scheds0 = cache.schedules_computed
-    for cell in matrix.cells():
-        scenario = cell.scenario
-        if scenario.records_only and want_data:
-            raise RuntimeModelError(
-                f"cell {dict(cell.coords)!r} is records_only but the sweep "
-                f"requests data metrics "
-                f"({', '.join(n for n in metrics if n in DATA_METRICS)}) — "
-                "drop them or clear records_only"
-            )
-        # Per-record aggregates the table does not ask for are switched
-        # off: on_record fires per job instance, and each aggregate is
-        # exact-rational arithmetic.  (Responses are not a sweep metric.)
-        observer = MetricsObserver(
-            track_responses=False,
-            track_utilization="peak_utilization" in metrics,
-            track_frame_spans="frame_makespan_max" in metrics,
+    for cell in (cells if cells is not None else matrix.cells()):
+        extra = observer_factory(cell) if observer_factory is not None else ()
+        cell_metrics, result = _run_cell(
+            cell, metrics, want_data,
+            lean=lean, keep_results=keep_results, cache=cache,
+            extra_observers=extra,
         )
-        observers: List[ExecutionObserver] = [observer]
-        if observer_factory is not None:
-            observers.extend(observer_factory(cell))
-        # Extra observers that consume data-phase events keep the data
-        # phase alive even when the table's metrics alone would allow
-        # records_only — they attach live and must see their events.
-        cell_wants_data = want_data or any(
-            _overrides(ob, name, base)
-            for ob in observers[1:]
-            for name, base in _DATA_HOOKS
-        )
-        if keep_results:
-            run_scenario = scenario
-        elif lean:
-            run_scenario = scenario.replace(
-                records_only=scenario.records_only or not cell_wants_data,
-                collect_records=False,
-                collect_trace=False,
-            )
-        else:
-            run_scenario = scenario
-        experiment = Experiment(run_scenario, cache=cache)
-        result = experiment.run(observers=observers)
         stats.runs += 1
         rows.append(
             SweepRow(
-                cell=dict(cell.coords),
-                metrics={n: _extract_metric(observer, n) for n in metrics},
-                result=result if keep_results else None,
+                cell=dict(cell.coords), metrics=cell_metrics, result=result
             )
         )
     stats.networks_built = cache.networks_built - nets0

@@ -475,6 +475,8 @@ def sweep_result_to_dict(result: SweepResult) -> Dict[str, Any]:
             "networks_built": result.stats.networks_built,
             "derivations_computed": result.stats.derivations_computed,
             "schedules_computed": result.stats.schedules_computed,
+            "workers": result.stats.workers,
+            "parallel_fallback": result.stats.parallel_fallback,
         },
     }
 
@@ -508,6 +510,8 @@ def sweep_result_from_dict(data: Mapping[str, Any]) -> SweepResult:
             networks_built=int(stats_in.get("networks_built", 0)),
             derivations_computed=int(stats_in.get("derivations_computed", 0)),
             schedules_computed=int(stats_in.get("schedules_computed", 0)),
+            workers=int(stats_in.get("workers", 1)),
+            parallel_fallback=stats_in.get("parallel_fallback"),
         ),
     )
 

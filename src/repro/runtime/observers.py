@@ -388,10 +388,21 @@ class MetricsObserver(ExecutionObserver):
 
     def processor_utilization(self) -> List[float]:
         """Busy fraction per processor over the simulated horizon."""
+        return [float(u) for u in self.processor_utilization_exact()]
+
+    def processor_utilization_exact(self) -> List[Time]:
+        """Busy fraction per processor as exact rationals.
+
+        Busy times and the horizon are both exact, so the fractions are
+        too; the scenario sweeps report this form because their rows
+        promise bit-identical, exactly-rational metrics across machines
+        (:mod:`repro.experiment.sweep`).  :meth:`processor_utilization`
+        is the float convenience view of the same values.
+        """
         self._require_run()
         self._require_tracked(self._track_utilization, "track_utilization")
         horizon = self.meta.hyperperiod * self.meta.frames
-        return [float(b / horizon) for b in self._busy]
+        return [b / horizon for b in self._busy]
 
     def frame_makespans(self) -> List[Time]:
         """Per-frame completion time relative to the frame start."""

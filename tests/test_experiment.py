@@ -134,6 +134,25 @@ class TestScenario:
         )
         assert proc.returncode == 0, proc.stderr
 
+    def test_failed_apps_import_is_reported_and_retried(self, monkeypatch):
+        # Regression: the lazy apps loader used to set its done-flag
+        # *before* importing, so a failed import poisoned every later
+        # lookup with a bare "unknown workload" and was never retried.
+        from repro.experiment import scenario as scenario_mod
+
+        def boom():
+            raise ImportError("apps are broken today")
+
+        monkeypatch.setattr(scenario_mod, "_apps_loaded", False)
+        monkeypatch.setattr(scenario_mod, "_import_apps", boom)
+        with pytest.raises(ImportError, match="apps are broken today"):
+            resolve_workload("fms")
+        # The flag must not latch on failure: restoring the importer makes
+        # the very next lookup succeed.
+        assert scenario_mod._apps_loaded is False
+        monkeypatch.undo()
+        assert resolve_workload("fms") is not None
+
     def test_scenario_hashable_with_stimulus(self):
         a, b = fig1_scenario(n_frames=2), fig1_scenario(n_frames=2)
         assert hash(a) == hash(b)
@@ -291,6 +310,27 @@ class TestExperimentCaching:
         second = exp.run(force=True)
         assert second is not first
         assert second.records == first.records
+
+    def test_forced_rerun_invalidates_cached_metrics(self):
+        # Regression: run(force=True) replaced the cached result but kept
+        # serving a metrics observer fed by the discarded run.
+        exp = Experiment(fig1_scenario(n_frames=1))
+        stale = exp.metrics()
+        fresh_result = exp.run(force=True)
+        fresh = exp.metrics()
+        assert fresh is not stale
+        assert fresh.makespan == fresh_result.makespan()
+
+    def test_replay_fallback_rerun_invalidates_cached_metrics(self):
+        # The other path through _execute: a cached lean result cannot
+        # feed a late observer, so run() re-executes — the metrics cache
+        # must not keep pointing at the replaced run either.
+        exp = Experiment(fig1_scenario(n_frames=1, collect_records=False))
+        exp.run()
+        stale = exp.metrics()
+        m = MetricsObserver()
+        exp.run(observers=[m])  # replay refused -> fresh execution
+        assert exp.metrics() is not stale
 
     def test_report_renders(self):
         text = Experiment(fig1_scenario(n_frames=1)).report().render()

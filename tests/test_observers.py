@@ -127,6 +127,21 @@ class TestMetricsObserver:
         assert obs.executed_jobs == len(result.executed())
         assert obs.false_jobs == len(result.false_jobs())
 
+    def test_exact_utilization_underlies_the_float_view(self):
+        from fractions import Fraction
+
+        obs = MetricsObserver()
+        fig1_run([obs])
+        exact = obs.processor_utilization_exact()
+        assert exact and all(isinstance(u, Fraction) for u in exact)
+        assert obs.processor_utilization() == [float(u) for u in exact]
+        # Busy time over the horizon, reconstructible from the records.
+        assert all(0 <= u <= 1 for u in exact)
+        untracked = MetricsObserver(track_utilization=False)
+        fig1_run([untracked])
+        with pytest.raises(RuntimeModelError):
+            untracked.processor_utilization_exact()
+
     def test_disabled_aggregates_refuse_instead_of_reporting_zeros(self):
         # Streaming sweeps switch off the per-record aggregates their
         # table does not request; the accessors must then raise rather

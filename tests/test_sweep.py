@@ -213,6 +213,38 @@ class TestLeanExecution:
         assert row.result.records_collected
         assert row.result.observable()["outputs"]
 
+    def test_keep_results_forces_records_on_lean_base_scenarios(self):
+        # Regression: a base scenario that itself runs lean
+        # (collect_records=False) used to be retained verbatim, handing
+        # back rows whose result had no records and could not be
+        # replayed or post-processed.
+        result = run_sweep(
+            fig1_matrix({"jitter_seed": [0]}, collect_records=False),
+            keep_results=True,
+        )
+        (row,) = result.rows
+        assert row.result.records_collected
+        assert row.result.records
+        assert row.result.makespan() == row.metrics["makespan"]
+
+    def test_peak_utilization_is_an_exact_rational(self):
+        # The module docstring promises bit-identical rows with exact
+        # rational metrics; peak_utilization is computed as a Fraction
+        # (busy time / horizon, both exact), not a float.
+        result = run_sweep(
+            fig1_matrix({"jitter_seed": [0]}),
+            metrics=("peak_utilization",),
+        )
+        (row,) = result.rows
+        value = row.metrics["peak_utilization"]
+        assert isinstance(value, Fraction)
+        m = MetricsObserver()
+        Experiment(fig1_matrix({"jitter_seed": [0]}).base.replace(
+            jitter_seed=0
+        )).run(observers=[m])
+        assert value == max(m.processor_utilization_exact())
+        assert float(value) == max(m.processor_utilization())
+
     def test_metric_validation(self):
         matrix = fig1_matrix({"jitter_seed": [0]})
         with pytest.raises(ModelError):
