@@ -2,11 +2,17 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-smoke bench-json cov lint
+.PHONY: test test-faults bench bench-smoke bench-json cov lint
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
 	$(PY) -m pytest -x -q
+
+# Fault-tolerance lane: deterministic fault injection (kernel raises,
+# worker kills, timeouts, interrupts) plus the checkpoint-store resume
+# suite.  Spawns real worker processes; also part of the tier-1 run.
+test-faults:
+	$(PY) -m pytest tests/test_sweep_faults.py tests/test_sweep_store.py -q
 
 # Error-level lint (ruff.toml: syntax errors / undefined names only).
 # Skips gracefully when ruff is not in the environment; CI installs it.
@@ -18,9 +24,10 @@ lint:
 	fi
 
 # Line coverage of the runtime package (the executor hot paths this repo
-# keeps optimising) and the experiment layer (the public scenario API)
-# with a hard floor.  Skips gracefully when pytest-cov is not in the
-# environment; CI installs it.
+# keeps optimising) and the experiment layer (the public scenario API,
+# including experiment.store / experiment.faults / experiment.parallel —
+# the fault-tolerance surface) with a hard floor.  Skips gracefully when
+# pytest-cov is not in the environment; CI installs it.
 cov:
 	@if $(PY) -c "import pytest_cov" 2>/dev/null; then \
 		$(PY) -m pytest tests -q \

@@ -312,6 +312,33 @@ def _parallel_sweep_case(workers: int):
     return build
 
 
+def _case_fms_sweep_resume(fast: bool):
+    """Checkpoint-store resume: the matrix is prepopulated (untimed) into
+    a content-addressed store, then the timed sweep resolves every cell
+    as a store hit — measuring the read path (scenario hashing + row
+    decode) a resumed or chained sweep pays instead of the simulator."""
+    from repro.experiment import MemorySweepStore
+
+    frames = 2 if fast else 10
+    matrix = ScenarioMatrix(
+        fms_scenario(n_frames=frames),
+        {"jitter_seed": list(_SWEEP_SEEDS)},
+    )
+    store = MemorySweepStore()
+    run_sweep(matrix, metrics=_PAR_SWEEP_METRICS, store=store)
+
+    def resume():
+        result = run_sweep(matrix, metrics=_PAR_SWEEP_METRICS, store=store)
+        assert result.stats.store_hits == len(matrix)
+        assert result.stats.runs == 0
+        return result
+
+    return resume, {
+        "experiment": "sweep", "frames": frames, "cells": len(matrix),
+        "mode": "all-hit store resume",
+    }
+
+
 def _case_fms_sweep_3x3_naive(fast: bool):
     frames = 2 if fast else 10
     net = build_fms_network()
@@ -357,6 +384,7 @@ CASES: List[Case] = [
     ("fms_data_phase_100", _case_fms_data_phase_100),
     ("fms_sweep_3x3", _case_fms_sweep_3x3),
     ("fms_sweep_3x3_naive", _case_fms_sweep_3x3_naive),
+    ("fms_sweep_resume", _case_fms_sweep_resume),
     ("fms_sweep_2x3_serial", _parallel_sweep_case(workers=1)),
     ("fms_sweep_2x3_workers2", _parallel_sweep_case(workers=2)),
 ]

@@ -128,6 +128,44 @@ def main() -> None:
     assert report.deterministic
     print(report.summary())
 
+    # -- 8. sweeps survive failures and resume from checkpoints ------------
+    # A failing cell becomes a structured error row on a *partial* table
+    # (type, message, pipeline stage, retry count) instead of aborting the
+    # sweep; `on_error="raise"` restores abort-on-first-failure, parallel
+    # sweeps additionally retry crashed/timed-out worker groups.  With a
+    # store attached, healthy rows are persisted under each scenario's
+    # content hash, so re-running the matrix recomputes only what's
+    # missing or failed.  A FaultPlan injects deterministic failures —
+    # here a raising kernel in cell 1 — to make the recovery observable.
+    from repro import (
+        FaultPlan,
+        MemorySweepStore,
+        ScenarioMatrix,
+        register_workload,
+        run_sweep,
+    )
+
+    register_workload("quickstart", build_network)
+    matrix = ScenarioMatrix(
+        scenario.replace(workload="quickstart"),  # names are hashable
+        {"jitter_seed": [0, 1, 2]},
+    )
+    store = MemorySweepStore()  # SqliteSweepStore(path) for durable files
+    partial = run_sweep(
+        matrix, metrics=("executed_jobs", "makespan"),
+        store=store, faults=FaultPlan(raise_at=(1,)),
+    )
+    assert len(partial.rows) == 2 and partial.stats.failed_cells == 1
+    print("sweep survived an injected fault:")
+    print(partial.table())
+    resumed = run_sweep(matrix, metrics=("executed_jobs", "makespan"),
+                        store=store)
+    assert resumed.stats.store_hits == 2 and resumed.stats.runs == 1
+    print(
+        f"resume recomputed only the failed cell "
+        f"(hits {resumed.stats.store_hits}, runs {resumed.stats.runs})"
+    )
+
 
 if __name__ == "__main__":
     main()

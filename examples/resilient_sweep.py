@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Resilient sweeps: error capture, fault injection and checkpoint resume.
+
+A sweep cell that fails — a raising kernel, an infeasible schedule, a
+crashed worker — no longer aborts the table.  The failure is captured as
+a structured error row (`SweepResult.failed_rows`), every other cell
+still runs, and with a checkpoint store attached the healthy rows are
+persisted under each scenario's content hash, so re-running the same
+matrix recomputes *only* the failed/missing cells.
+
+This demo injects a deterministic fault with a ``FaultPlan`` (the same
+machinery the test suite uses to pin the recovery paths), shows the
+partial table, then resumes from the store.  ``MemorySweepStore`` keeps
+the demo self-contained; ``SqliteSweepStore("sweep.db")`` is the durable
+drop-in for real campaigns, and ``run_sweep(workers=N)`` applies the
+same semantics with supervised worker processes (crash respawn,
+per-group deadlines, bounded retry).
+
+Run:  python examples/resilient_sweep.py
+"""
+
+from repro import FaultPlan, MemorySweepStore, ScenarioMatrix, run_sweep
+from repro.apps import fig1_scenario
+
+METRICS = ("executed_jobs", "missed_jobs", "makespan")
+
+
+def main() -> None:
+    # The paper's Fig. 1 example over processors x jitter: 4 cells, two
+    # schedule-key groups.  Cell indices run row-major: cell 2 is
+    # (processors=3, jitter_seed=0).
+    matrix = ScenarioMatrix(
+        fig1_scenario(n_frames=1),
+        {"processors": [2, 3], "jitter_seed": [0, 1]},
+    )
+
+    # -- 1. a failing cell yields a partial table, not a traceback ---------
+    store = MemorySweepStore()
+    faults = FaultPlan(raise_at=(2,))  # deterministic stand-in for a bug
+    partial = run_sweep(matrix, metrics=METRICS, store=store, faults=faults)
+    print("-- sweep with an injected kernel fault at cell 2 --")
+    print(partial.table())
+    print(
+        f"\ncaptured failures: {partial.stats.failed_cells} "
+        f"(error rows carry type, message, stage and retry count)"
+    )
+    print(f"healthy rows checkpointed: {len(store)}")
+    assert len(partial.rows) == 3 and len(partial.failed_rows) == 1
+
+    # -- 2. resume: only the failed cell recomputes ------------------------
+    resumed = run_sweep(matrix, metrics=METRICS, store=store)
+    stats = resumed.stats
+    print("\n-- same matrix, resumed against the checkpoint store --")
+    print(resumed.table())
+    print(
+        f"\nstore hits {stats.store_hits}, misses {stats.store_misses}, "
+        f"cells executed {stats.runs}"
+    )
+    assert stats.store_hits == 3 and stats.store_misses == 1
+    assert stats.runs == 1 and stats.failed_cells == 0
+
+    # -- 3. determinism makes checkpoints trustworthy ----------------------
+    # A stored row *is* the row the simulator would produce: the resumed
+    # table is bit-identical (exact Fractions included) to a fault-free
+    # sweep computed from scratch.
+    clean = run_sweep(matrix, metrics=METRICS)
+    assert resumed.rows == clean.rows
+    print("resumed rows are bit-identical to a fault-free sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -130,9 +130,13 @@ from .runtime import (
 from .analysis import DeterminismReport, check_determinism
 from .experiment import (
     Experiment,
+    FaultPlan,
+    MemorySweepStore,
     PipelineCache,
     Scenario,
     ScenarioMatrix,
+    SqliteSweepStore,
+    SweepCellError,
     SweepResult,
     register_workload,
     run_sweep,
@@ -191,9 +195,13 @@ __all__ = [
     "DeterminismReport",
     "check_determinism",
     "Experiment",
+    "FaultPlan",
+    "MemorySweepStore",
     "PipelineCache",
     "Scenario",
     "ScenarioMatrix",
+    "SqliteSweepStore",
+    "SweepCellError",
     "SweepResult",
     "register_workload",
     "run_sweep",

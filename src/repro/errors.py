@@ -58,3 +58,30 @@ class InfeasibleError(SchedulingError):
 
 class RuntimeModelError(FPPNError):
     """The online policy / runtime simulator was driven with invalid input."""
+
+
+class SweepError(FPPNError):
+    """A scenario sweep could not complete as requested.
+
+    Raised by ``run_sweep(..., on_error="raise")`` when a cell fails, and
+    by the parallel supervisor for conditions it cannot express as a
+    per-cell error row.  The default ``on_error="capture"`` mode never
+    raises this: failures become structured error rows on the partial
+    :class:`~repro.experiment.sweep.SweepResult` instead.
+    """
+
+
+class WorkerCrashError(SweepError):
+    """A sweep worker process died (killed, OOM, hard exit) mid-group.
+
+    The supervisor respawns the pool and requeues unfinished groups; this
+    error names the cells of a group that exhausted its retry budget.
+    """
+
+
+class SweepTimeoutError(SweepError):
+    """A sweep group exceeded its per-group deadline and was terminated."""
+
+
+class CheckpointError(FPPNError):
+    """The sweep checkpoint store was misused or its backing file is bad."""

@@ -16,6 +16,16 @@ This package is the scenario-scale entry point to the paper's pipeline:
   schedule-key group (:mod:`repro.experiment.parallel`), with rows
   bit-identical to a serial run.
 
+Sweeps are fault-tolerant: failing cells become structured error rows
+(:class:`SweepCellError`) on a partial result, the parallel backend
+supervises its workers (crash respawn, per-group deadlines, bounded
+retry), and a content-addressed checkpoint store
+(:class:`MemorySweepStore` / :class:`SqliteSweepStore`,
+``run_sweep(store=...)``) makes interrupted or partially-failed sweeps
+resumable — only missing/failed cells recompute.  The recovery paths are
+deterministically testable with :class:`FaultPlan`
+(:mod:`repro.experiment.faults`).
+
 JSON interchange for scenarios and sweep results lives in
 :mod:`repro.io.json_io` (``scenario_to_dict`` / ``sweep_result_to_dict``
 and inverses); the same tagged encoding is the parallel backend's wire
@@ -29,12 +39,20 @@ from .scenario import (
     resolve_workload,
 )
 from .experiment import Experiment, PipelineCache
+from .faults import FaultPlan, InjectedFault
 from .parallel import schedule_key_groups, serial_fallback_reason
+from .store import (
+    MemorySweepStore,
+    SqliteSweepStore,
+    SweepStore,
+    scenario_hash,
+)
 from .sweep import (
     DATA_METRICS,
     DEFAULT_METRICS,
     ScenarioMatrix,
     SweepCell,
+    SweepCellError,
     SweepResult,
     SweepRow,
     SweepStats,
@@ -51,13 +69,20 @@ __all__ = [
     "PipelineCache",
     "DATA_METRICS",
     "DEFAULT_METRICS",
+    "FaultPlan",
+    "InjectedFault",
+    "MemorySweepStore",
     "ScenarioMatrix",
+    "SqliteSweepStore",
     "SweepCell",
+    "SweepCellError",
     "SweepResult",
     "SweepRow",
     "SweepStats",
+    "SweepStore",
     "TIMING_METRICS",
     "run_sweep",
+    "scenario_hash",
     "schedule_key_groups",
     "serial_fallback_reason",
 ]

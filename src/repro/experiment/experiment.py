@@ -26,6 +26,7 @@ its stage computations — that count is the contract the sweep tests pin.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, Optional, Sequence
 
 from ..analysis.determinism import DeterminismReport, check_determinism
@@ -51,6 +52,26 @@ from .scenario import Scenario
 __all__ = ["Experiment", "PipelineCache"]
 
 
+@contextmanager
+def _stage(name: str) -> Any:
+    """Attribute exceptions escaping a pipeline stage to that stage.
+
+    The sweep's error capture reads ``exc._pipeline_stage`` to fill
+    :attr:`~repro.experiment.sweep.SweepCellError.stage`.  Tag-if-absent:
+    when stages nest (``schedule`` → ``task_graph`` → ``network``) the
+    innermost stage that raised wins.
+    """
+    try:
+        yield
+    except Exception as exc:
+        if not hasattr(exc, "_pipeline_stage"):
+            try:
+                exc._pipeline_stage = name
+            except AttributeError:
+                pass  # exceptions with __slots__ stay stage "run"
+        raise
+
+
 class PipelineCache:
     """Stage artifacts shared across experiments, keyed by scenario stage keys.
 
@@ -74,7 +95,8 @@ class PipelineCache:
         key = scenario.workload_key()
         net = self._networks.get(key)
         if net is None:
-            net = self._networks[key] = scenario.build_network()
+            with _stage("network"):
+                net = self._networks[key] = scenario.build_network()
             self.networks_built += 1
         return net
 
@@ -82,11 +104,12 @@ class PipelineCache:
         key = scenario.derivation_key()
         graph = self._graphs.get(key)
         if graph is None:
-            graph = derive_task_graph(
-                self.network(scenario),
-                scenario.wcet_spec(),
-                horizon=scenario.horizon,
-            )
+            with _stage("derivation"):
+                graph = derive_task_graph(
+                    self.network(scenario),
+                    scenario.wcet_spec(),
+                    horizon=scenario.horizon,
+                )
             self._graphs[key] = graph
             self.derivations_computed += 1
         return graph
@@ -95,11 +118,12 @@ class PipelineCache:
         key = scenario.schedule_key()
         schedule = self._schedules.get(key)
         if schedule is None:
-            schedule = find_feasible_schedule(
-                self.task_graph(scenario),
-                scenario.processors,
-                scenario.heuristics or DEFAULT_PORTFOLIO,
-            )
+            with _stage("scheduling"):
+                schedule = find_feasible_schedule(
+                    self.task_graph(scenario),
+                    scenario.processors,
+                    scenario.heuristics or DEFAULT_PORTFOLIO,
+                )
             self._schedules[key] = schedule
             self.schedules_computed += 1
         return schedule

@@ -1,0 +1,224 @@
+"""Content-addressed checkpoint store for sweep results.
+
+A :class:`Scenario` is frozen, comparable and JSON-round-trippable, so
+its tagged-JSON encoding is a *content key*: :func:`scenario_hash`
+canonicalises ``scenario_to_dict`` (sorted keys, compact separators) and
+SHA-256 hashes it.  A :class:`SweepStore` persists each sweep row's
+metric values keyed by ``(scenario_hash, metrics_key)``, which makes
+sweeps incremental:
+
+* an interrupted or partially-failed sweep resumed with the same store
+  recomputes only the missing/failed cells (the completed rows are
+  hits);
+* re-running a matrix after editing one axis recomputes only the
+  changed cells;
+* chained sweeps across sessions hit the store instead of the
+  simulator.
+
+Because sweep rows are deterministic (bit-identical across runs and
+across the serial/parallel backends) a stored row *is* the row the
+simulator would produce, and metric values go through the exact tagged
+value encoding of :mod:`repro.io.json_io` — Fractions come back as the
+same Fractions.  ``run_sweep(store=...)`` reports its traffic in
+``SweepStats.store_hits`` / ``store_misses``.
+
+Two backends ship (modelled on hypergraph's ``checkpointers/``
+base/sqlite split): :class:`MemorySweepStore` for tests and ephemeral
+chaining, :class:`SqliteSweepStore` for durable cross-session files.
+
+Caveat: the hash keys the scenario *description*.  A workload name must
+mean the same network wherever the store is reused — registering a
+different factory under an old name makes stored rows silently stale
+(exactly as it would make any cache stale).  Scenarios that cannot be
+serialised (bare factory callables, per-job WCET callables) have no
+content key: :func:`store_key` returns ``None`` and the sweep computes
+them normally without consulting the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..errors import CheckpointError
+from .scenario import Scenario
+
+__all__ = [
+    "MemorySweepStore",
+    "SqliteSweepStore",
+    "SweepStore",
+    "metrics_key",
+    "scenario_hash",
+    "store_key",
+]
+
+
+def scenario_hash(scenario: Scenario) -> str:
+    """SHA-256 content key of a scenario's canonical JSON encoding.
+
+    Raises :class:`~repro.io.json_io.FormatError` for scenarios that do
+    not serialise (code-bearing workloads/WCETs); use :func:`store_key`
+    for the forgiving variant.
+    """
+    from ..io.json_io import scenario_to_dict
+
+    data = scenario_to_dict(scenario)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def store_key(scenario: Scenario) -> Optional[str]:
+    """:func:`scenario_hash`, or ``None`` when the scenario has no content key.
+
+    ``None`` means the scenario embeds code (a bare factory callable, a
+    per-job WCET callable) that the JSON encoding refuses; such cells are
+    computed fresh on every sweep and never persisted.
+    """
+    from ..io.json_io import FormatError
+
+    try:
+        return scenario_hash(scenario)
+    except FormatError:
+        return None
+
+
+def metrics_key(metrics: Iterable[str]) -> str:
+    """Canonical key of a requested metric set (order-insensitive)."""
+    return ",".join(sorted(metrics))
+
+
+def _encode_row(metrics: Dict[str, Any]) -> str:
+    from ..io.json_io import value_to_jsonable
+
+    return json.dumps(
+        {name: value_to_jsonable(v) for name, v in metrics.items()},
+        sort_keys=True,
+    )
+
+
+def _decode_row(payload: str) -> Dict[str, Any]:
+    from ..io.json_io import value_from_jsonable
+
+    try:
+        data = json.loads(payload)
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt store row payload: {exc}") from exc
+    return {name: value_from_jsonable(v) for name, v in data.items()}
+
+
+class SweepStore:
+    """Persisted sweep rows keyed by ``(scenario_hash, metrics_key)``.
+
+    Only *healthy* rows are stored — failed cells are recomputed on
+    resume, which is what makes a store-backed re-run the recovery path
+    for partial sweeps.  Subclasses implement the four raw-text methods;
+    the encode/decode (exact tagged values) is shared here.
+    """
+
+    # -- raw backend interface (text payloads) --------------------------
+    def _load(self, scenario_key: str, metric_set: str) -> Optional[str]:
+        raise NotImplementedError
+
+    def _save(self, scenario_key: str, metric_set: str, payload: str) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backing resources (no-op by default)."""
+
+    # -- typed interface used by run_sweep ------------------------------
+    def get(
+        self, scenario_key: str, metric_set: str
+    ) -> Optional[Dict[str, Any]]:
+        """The stored metric row, decoded to exact values, or ``None``."""
+        payload = self._load(scenario_key, metric_set)
+        return None if payload is None else _decode_row(payload)
+
+    def put(
+        self, scenario_key: str, metric_set: str, metrics: Dict[str, Any]
+    ) -> None:
+        """Persist one healthy row (idempotent: last write wins)."""
+        self._save(scenario_key, metric_set, _encode_row(metrics))
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        scenario_key, metric_set = key
+        return self._load(scenario_key, metric_set) is not None
+
+    def __enter__(self) -> "SweepStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class MemorySweepStore(SweepStore):
+    """Dict-backed store: ephemeral, but byte-equivalent to the sqlite one.
+
+    Rows go through the same text encoding as the durable backend, so a
+    test passing against this store proves the round-trip exactness too.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[Tuple[str, str], str] = {}
+
+    def _load(self, scenario_key: str, metric_set: str) -> Optional[str]:
+        return self._rows.get((scenario_key, metric_set))
+
+    def _save(self, scenario_key: str, metric_set: str, payload: str) -> None:
+        self._rows[(scenario_key, metric_set)] = payload
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class SqliteSweepStore(SweepStore):
+    """Sqlite-file store: durable checkpoints shared across sessions.
+
+    One table, primary-keyed by ``(scenario_hash, metrics_key)``, payload
+    in the tagged-JSON text encoding.  ``":memory:"`` works for tests.
+    The connection runs in autocommit mode — every ``put`` is durable on
+    return — and the store is a context manager (``with`` closes it).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        try:
+            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS sweep_rows ("
+                " scenario_hash TEXT NOT NULL,"
+                " metrics_key TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " PRIMARY KEY (scenario_hash, metrics_key))"
+            )
+        except sqlite3.Error as exc:
+            raise CheckpointError(
+                f"cannot open sweep store at {self.path!r}: {exc}"
+            ) from exc
+
+    def _load(self, scenario_key: str, metric_set: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT payload FROM sweep_rows"
+            " WHERE scenario_hash = ? AND metrics_key = ?",
+            (scenario_key, metric_set),
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def _save(self, scenario_key: str, metric_set: str, payload: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO sweep_rows"
+            " (scenario_hash, metrics_key, payload) VALUES (?, ?, ?)",
+            (scenario_key, metric_set, payload),
+        )
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM sweep_rows"
+        ).fetchone()[0]
+
+    def close(self) -> None:
+        self._conn.close()

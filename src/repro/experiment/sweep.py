@@ -32,6 +32,20 @@ schedule_key` group, each with its own cache, scenarios and rows crossing
 the process boundary through the exact JSON wire format — and the rows
 stay bit-identical to a serial run of the same matrix
 (:mod:`repro.experiment.parallel`).
+
+Sweeps are **fault-tolerant**: a failing cell does not abort the table.
+By default (``on_error="capture"``) the exception becomes a structured
+:class:`SweepCellError` on a *failed row* (``SweepResult.failed_rows``,
+counted in ``SweepStats.failed_cells``) and every other cell still runs —
+serial and parallel sweeps share these semantics through the same capture
+helper.  ``KeyboardInterrupt`` returns the partial table computed so far
+(``stats.interrupted``).  A checkpoint store
+(:mod:`repro.experiment.store`, ``run_sweep(store=...)``) persists each
+healthy row under the scenario's content hash, so resuming an interrupted
+or partially-failed sweep recomputes only the missing/failed cells
+(``stats.store_hits`` / ``store_misses``).  The recovery paths are
+deterministically testable via :class:`~repro.experiment.faults.FaultPlan`
+(``run_sweep(faults=...)``).
 """
 
 from __future__ import annotations
@@ -62,13 +76,16 @@ from ..runtime.observers import (
     MetricsObserver,
 )
 from .experiment import Experiment, PipelineCache
+from .faults import FaultPlan, apply_cell_faults
 from .scenario import Scenario
+from .store import SweepStore, metrics_key, store_key
 
 __all__ = [
     "DATA_METRICS",
     "DEFAULT_METRICS",
     "ScenarioMatrix",
     "SweepCell",
+    "SweepCellError",
     "SweepResult",
     "SweepRow",
     "SweepStats",
@@ -195,6 +212,39 @@ class ScenarioMatrix:
 
 
 @dataclass
+class SweepCellError:
+    """Structured record of one failed sweep cell.
+
+    ``error_type`` / ``message`` mirror the captured exception; ``stage``
+    names the pipeline stage that raised (``network`` / ``derivation`` /
+    ``scheduling`` / ``run`` — attributed by :class:`PipelineCache`);
+    ``retries`` counts the group redispatches that preceded the failure
+    (always 0 on the serial path, which has no supervisor).
+    """
+
+    error_type: str
+    message: str
+    stage: str = "run"
+    retries: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.error_type}: {self.message} "
+            f"(stage={self.stage}, retries={self.retries})"
+        )
+
+
+def _cell_error(exc: BaseException, retries: int = 0) -> SweepCellError:
+    """The structured row form of a captured per-cell exception."""
+    return SweepCellError(
+        error_type=type(exc).__name__,
+        message=str(exc),
+        stage=getattr(exc, "_pipeline_stage", "run"),
+        retries=retries,
+    )
+
+
+@dataclass
 class SweepRow:
     """One sweep-table row: the cell's axis values plus its metrics."""
 
@@ -203,6 +253,9 @@ class SweepRow:
     #: Retained only with ``run_sweep(..., keep_results=True)``; excluded
     #: from equality so lean and retaining sweeps compare by content.
     result: Optional[RuntimeResult] = field(default=None, compare=False)
+    #: Set only on failed rows (``SweepResult.failed_rows``); healthy rows
+    #: carry ``None``, so equality against pre-fault-capture rows holds.
+    error: Optional[SweepCellError] = None
 
 
 @dataclass
@@ -226,19 +279,45 @@ class SweepStats:
     schedules_computed: int = 0
     workers: int = 1
     parallel_fallback: Optional[str] = None
+    #: Cells whose failure was captured as an error row (``failed_rows``).
+    failed_cells: int = 0
+    #: Group redispatches the parallel supervisor performed (crash/timeout
+    #: recovery); retried groups re-pay their stage computations, so the
+    #: cache counters above count *work done*, not distinct artifacts.
+    retries: int = 0
+    #: Checkpoint-store traffic (``run_sweep(store=...)``): cells served
+    #: from the store vs. cells that had to execute.  Both stay 0 when no
+    #: store is passed or the store is read-bypassed (``keep_results`` /
+    #: ``observer_factory`` sweeps need live runs).
+    store_hits: int = 0
+    store_misses: int = 0
+    #: True when a ``KeyboardInterrupt`` cut the sweep short — the result
+    #: holds every row completed (and drained) before the interrupt.
+    interrupted: bool = False
 
 
 @dataclass
 class SweepResult:
-    """The sweep's table: axes, requested metrics, rows and stage stats."""
+    """The sweep's table: axes, requested metrics, rows and stage stats.
+
+    ``rows`` holds only *healthy* rows (still in cell order), so they stay
+    bit-identical to a fault-free run's rows; cells whose execution failed
+    land in ``failed_rows`` with a :class:`SweepCellError` attached, and
+    cells never reached (interrupted sweeps) appear in neither.
+    """
 
     axes: Dict[str, Tuple[Any, ...]]
     metrics: Tuple[str, ...]
     rows: List[SweepRow]
     stats: SweepStats
+    failed_rows: List[SweepRow] = field(default_factory=list)
 
     def column(self, name: str) -> List[Any]:
-        """All values of one metric (or axis) column, in cell order."""
+        """All values of one metric (or axis) column, in cell order.
+
+        Failed cells are not part of any column — columns align with
+        ``rows``, the healthy table.
+        """
         if name in self.metrics:
             return [row.metrics[name] for row in self.rows]
         if name in self.axes:
@@ -246,7 +325,7 @@ class SweepResult:
         raise ModelError(f"unknown sweep column {name!r}")
 
     def table(self) -> str:
-        """Aligned text rendering of the sweep table."""
+        """Aligned text rendering of the sweep table (plus any failures)."""
         headers = list(self.axes) + list(self.metrics)
         grid = [headers]
         for row in self.rows:
@@ -260,6 +339,20 @@ class SweepResult:
             for row in grid
         ]
         lines.insert(1, "  ".join("-" * w for w in widths).rstrip())
+        if self.failed_rows:
+            lines.append("")
+            lines.append(f"failed cells ({len(self.failed_rows)}):")
+            for row in self.failed_rows:
+                coords = ", ".join(
+                    f"{name}={_cell_str(v)}" for name, v in row.cell.items()
+                )
+                lines.append(f"  ! {coords}: {row.error.describe()}")
+        if self.stats.interrupted:
+            lines.append("")
+            lines.append(
+                f"interrupted: {len(self.rows)}/{self.stats.cells} cells "
+                "completed before KeyboardInterrupt"
+            )
         return "\n".join(lines)
 
 
@@ -372,6 +465,12 @@ def run_sweep(
     ] = None,
     cache: Optional[PipelineCache] = None,
     workers: int = 1,
+    store: Optional[SweepStore] = None,
+    faults: Optional[FaultPlan] = None,
+    on_error: str = "capture",
+    group_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.25,
 ) -> SweepResult:
     """Execute every cell of *matrix* and tabulate the requested *metrics*.
 
@@ -407,10 +506,49 @@ def run_sweep(
         dispatched (an ``observer_factory`` or ``keep_results`` sweep,
         non-serialisable scenarios, a shared ``cache``, or a single
         schedule-key group).
+    store:
+        Optional checkpoint store (:mod:`repro.experiment.store`).  Cells
+        whose ``(scenario_hash, metrics)`` key the store already holds are
+        served from it (``stats.store_hits``) instead of executing; every
+        freshly-computed healthy row is persisted.  Store *reads* are
+        bypassed for ``keep_results`` / ``observer_factory`` sweeps, which
+        need live runs (writes still happen), and for scenarios without a
+        content key (code-bearing workloads/WCETs).
+    faults:
+        Optional deterministic :class:`~repro.experiment.faults.FaultPlan`
+        for testing the recovery paths; fires only for cells that actually
+        execute (store hits never fault).
+    on_error:
+        ``"capture"`` (default) turns a failing cell into an error row on
+        :attr:`SweepResult.failed_rows` and keeps sweeping; ``"raise"``
+        restores abort-on-first-failure (the serial path re-raises the
+        cell's exception, the parallel path raises
+        :class:`~repro.errors.SweepError` naming the first failed cell).
+    group_timeout:
+        Per-group deadline in seconds for the parallel supervisor: a
+        dispatched group that does not reply in time is terminated and
+        retried (workers are pre-booted when deadlines are active, so the
+        deadline measures group runtime, not process spawn).  ``None``
+        (default) disables deadlines.  Serial sweeps ignore it (nothing
+        to terminate in-process).
+    max_retries:
+        How many times the parallel supervisor redispatches a group after
+        a worker crash or timeout before degrading it to error rows.
+    retry_backoff:
+        Base seconds of the exponential backoff between a group's
+        redispatches (``retry_backoff * 2**retries_so_far``).
     """
     metrics, want_data = _check_metrics(metrics)
     if workers < 1:
         raise ModelError("workers must be >= 1")
+    if on_error not in ("capture", "raise"):
+        raise ModelError(
+            f"on_error must be 'capture' or 'raise', got {on_error!r}"
+        )
+    if max_retries < 0:
+        raise ModelError("max_retries must be >= 0")
+    if retry_backoff < 0:
+        raise ModelError("retry_backoff must be >= 0")
 
     fallback: Optional[str] = None
     cells: Optional[List[SweepCell]] = None
@@ -428,32 +566,79 @@ def run_sweep(
             return run_sweep_parallel(
                 matrix, metrics, want_data,
                 lean=lean, workers=workers, cells=cells,
+                store=store, faults=faults, on_error=on_error,
+                group_timeout=group_timeout, max_retries=max_retries,
+                retry_backoff=retry_backoff,
             )
+
+    if cells is None:
+        cells = list(matrix.cells())
+    # Misconfiguration (records_only base vs data metrics) raises up
+    # front, before any cell runs — it is not a per-cell failure to
+    # capture, and the parallel path checks identically before dispatch.
+    for cell in cells:
+        _check_cell_modes(cell, metrics, want_data)
 
     cache = cache if cache is not None else PipelineCache()
     rows: List[SweepRow] = []
+    failed_rows: List[SweepRow] = []
     stats = SweepStats(cells=len(matrix), parallel_fallback=fallback)
+    # Store reads are bypassed when the caller needs live runs (retained
+    # results, live observers); freshly-computed rows are still persisted.
+    store_read = (
+        store is not None and not keep_results and observer_factory is None
+    )
+    mkey = metrics_key(metrics) if store is not None else ""
     # Stats report what *this* sweep paid: with a shared (pre-warmed)
     # cache the counters are cumulative, so snapshot them and store deltas.
     nets0 = cache.networks_built
     derivs0 = cache.derivations_computed
     scheds0 = cache.schedules_computed
-    for cell in (cells if cells is not None else matrix.cells()):
-        extra = observer_factory(cell) if observer_factory is not None else ()
-        cell_metrics, result = _run_cell(
-            cell, metrics, want_data,
-            lean=lean, keep_results=keep_results, cache=cache,
-            extra_observers=extra,
-        )
+    for cell in cells:
+        skey = store_key(cell.scenario) if store is not None else None
+        if store_read and skey is not None:
+            stored = store.get(skey, mkey)
+            if stored is not None:
+                stats.store_hits += 1
+                rows.append(SweepRow(cell=dict(cell.coords), metrics=stored))
+                continue
+            stats.store_misses += 1
+        try:
+            apply_cell_faults(faults, cell.index, in_worker=False)
+            extra = (
+                observer_factory(cell) if observer_factory is not None else ()
+            )
+            cell_metrics, result = _run_cell(
+                cell, metrics, want_data,
+                lean=lean, keep_results=keep_results, cache=cache,
+                extra_observers=extra,
+            )
+        except KeyboardInterrupt:
+            stats.interrupted = True
+            break
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            stats.failed_cells += 1
+            failed_rows.append(
+                SweepRow(
+                    cell=dict(cell.coords), metrics={},
+                    error=_cell_error(exc),
+                )
+            )
+            continue
         stats.runs += 1
         rows.append(
             SweepRow(
                 cell=dict(cell.coords), metrics=cell_metrics, result=result
             )
         )
+        if store is not None and skey is not None:
+            store.put(skey, mkey, cell_metrics)
     stats.networks_built = cache.networks_built - nets0
     stats.derivations_computed = cache.derivations_computed - derivs0
     stats.schedules_computed = cache.schedules_computed - scheds0
     return SweepResult(
-        axes=dict(matrix.axes), metrics=metrics, rows=rows, stats=stats
+        axes=dict(matrix.axes), metrics=metrics, rows=rows, stats=stats,
+        failed_rows=failed_rows,
     )

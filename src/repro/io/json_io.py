@@ -39,7 +39,12 @@ from ..taskgraph.graph import TaskGraph
 from ..taskgraph.jobs import Job
 from ..scheduling.schedule import ScheduledJob, StaticSchedule
 from ..experiment.scenario import Scenario
-from ..experiment.sweep import SweepResult, SweepRow, SweepStats
+from ..experiment.sweep import (
+    SweepCellError,
+    SweepResult,
+    SweepRow,
+    SweepStats,
+)
 
 FORMAT_VERSION = 1
 
@@ -469,6 +474,31 @@ def sweep_result_to_dict(result: SweepResult) -> Dict[str, Any]:
             }
             for row in result.rows
         ],
+        # Failure capture travels with the table: failed rows have no
+        # metrics, their error record instead.  Omitted entirely when the
+        # sweep was clean, so clean payloads are byte-stable across
+        # library versions.
+        **(
+            {
+                "failed_rows": [
+                    {
+                        "cell": {
+                            name: value_to_jsonable(v)
+                            for name, v in row.cell.items()
+                        },
+                        "error": {
+                            "type": row.error.error_type,
+                            "message": row.error.message,
+                            "stage": row.error.stage,
+                            "retries": row.error.retries,
+                        },
+                    }
+                    for row in result.failed_rows
+                ]
+            }
+            if result.failed_rows
+            else {}
+        ),
         "stats": {
             "cells": result.stats.cells,
             "runs": result.stats.runs,
@@ -477,12 +507,22 @@ def sweep_result_to_dict(result: SweepResult) -> Dict[str, Any]:
             "schedules_computed": result.stats.schedules_computed,
             "workers": result.stats.workers,
             "parallel_fallback": result.stats.parallel_fallback,
+            "failed_cells": result.stats.failed_cells,
+            "retries": result.stats.retries,
+            "store_hits": result.stats.store_hits,
+            "store_misses": result.stats.store_misses,
+            "interrupted": result.stats.interrupted,
         },
     }
 
 
 def sweep_result_from_dict(data: Mapping[str, Any]) -> SweepResult:
-    """Inverse of :func:`sweep_result_to_dict`."""
+    """Inverse of :func:`sweep_result_to_dict`.
+
+    Payloads written before the fault-tolerance fields existed decode
+    with the neutral defaults (no failed rows, zero failure/store
+    counters, not interrupted).
+    """
     _check_header(data, "fppn-sweep")
     stats_in = data.get("stats", {})
     return SweepResult(
@@ -512,7 +552,28 @@ def sweep_result_from_dict(data: Mapping[str, Any]) -> SweepResult:
             schedules_computed=int(stats_in.get("schedules_computed", 0)),
             workers=int(stats_in.get("workers", 1)),
             parallel_fallback=stats_in.get("parallel_fallback"),
+            failed_cells=int(stats_in.get("failed_cells", 0)),
+            retries=int(stats_in.get("retries", 0)),
+            store_hits=int(stats_in.get("store_hits", 0)),
+            store_misses=int(stats_in.get("store_misses", 0)),
+            interrupted=bool(stats_in.get("interrupted", False)),
         ),
+        failed_rows=[
+            SweepRow(
+                cell={
+                    name: value_from_jsonable(v)
+                    for name, v in row.get("cell", {}).items()
+                },
+                metrics={},
+                error=SweepCellError(
+                    error_type=row["error"]["type"],
+                    message=row["error"]["message"],
+                    stage=row["error"].get("stage", "run"),
+                    retries=int(row["error"].get("retries", 0)),
+                ),
+            )
+            for row in data.get("failed_rows", [])
+        ],
     )
 
 

@@ -296,6 +296,69 @@ class TestSerialFallback:
 
 
 # ---------------------------------------------------------------------------
+# every documented fallback reason, pinned verbatim
+# ---------------------------------------------------------------------------
+class TestFallbackReasonStrings:
+    """``SweepStats.parallel_fallback`` is user-facing diagnostics: the
+    exact strings are part of the contract, pinned per documented rule."""
+
+    CASES = [
+        (
+            "observer_factory",
+            "observer_factory attaches live in-process observers, which "
+            "cannot be shipped to worker processes",
+        ),
+        (
+            "keep_results",
+            "keep_results retains full RuntimeResult objects, which are "
+            "not serialised across the process boundary",
+        ),
+        (
+            "shared_cache",
+            "a caller-shared PipelineCache cannot be shared with worker "
+            "processes — drop it to fan out",
+        ),
+        (
+            "dispatch_blocker",
+            "scenario is not dispatchable: workload is a bare factory "
+            "callable — only the built-in app workloads resolve by name in "
+            "a worker process",
+        ),
+        (
+            "single_group",
+            "matrix has a single schedule-key group — nothing to fan out "
+            "(parallelism is per distinct schedule key)",
+        ),
+    ]
+
+    @pytest.mark.parametrize("rule,expected", CASES, ids=[c[0] for c in CASES])
+    def test_reason_string_is_exact(self, rule, expected):
+        base = fig1_scenario(n_frames=1)
+        multi = ScenarioMatrix(base, {"processors": [2, 3]})
+        kwargs = {}
+        matrix = multi
+        if rule == "observer_factory":
+            kwargs["observer_factory"] = lambda cell: []
+        elif rule == "keep_results":
+            kwargs["keep_results"] = True
+        elif rule == "shared_cache":
+            kwargs["cache"] = PipelineCache()
+        elif rule == "dispatch_blocker":
+            matrix = ScenarioMatrix(
+                base.replace(workload=base.build_network),
+                {"processors": [2, 3]},
+            )
+        elif rule == "single_group":
+            matrix = ScenarioMatrix(base, {"jitter_seed": [0, 1]})
+        assert serial_fallback_reason(matrix, **kwargs) == expected
+
+    def test_dispatchable_matrix_has_no_reason(self):
+        assert serial_fallback_reason(
+            ScenarioMatrix(fig1_scenario(n_frames=1), {"processors": [2, 3]})
+        ) is None
+
+
+# ---------------------------------------------------------------------------
 # stats wire format
 # ---------------------------------------------------------------------------
 class TestStatsFormat:
