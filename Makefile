@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-faults bench bench-smoke bench-json cov lint
+.PHONY: test test-faults test-pool bench bench-smoke bench-json bench-diff cov lint
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
@@ -13,6 +13,12 @@ test:
 # suite.  Spawns real worker processes; also part of the tier-1 run.
 test-faults:
 	$(PY) -m pytest tests/test_sweep_faults.py tests/test_sweep_store.py -q
+
+# Resident sweep-service lane: warm-cache resubmits, streaming rows,
+# submission queue/cancel and pool lifecycle (orphans, crash respawn).
+# Spawns real worker processes; also part of the tier-1 run.
+test-pool:
+	$(PY) -m pytest tests/test_sweep_pool.py -q
 
 # Error-level lint (ruff.toml: syntax errors / undefined names only).
 # Skips gracefully when ruff is not in the environment; CI installs it.
@@ -54,3 +60,9 @@ bench-smoke:
 # Write a BENCH_<date>.json perf-trajectory snapshot (commit it in perf PRs).
 bench-json:
 	$(PY) benchmarks/run_bench.py --label $(or $(LABEL),dev)
+
+# Compare two snapshots: make bench-diff A=benchmarks/BENCH_a.json B=...
+# Refuses snapshots from hosts with different cpu counts — the
+# parallel/pool lanes are not comparable across core counts.
+bench-diff:
+	$(PY) benchmarks/run_bench.py --diff $(A) $(B)

@@ -312,6 +312,61 @@ def _parallel_sweep_case(workers: int):
     return build
 
 
+def _pool_sweep_case(warm: bool):
+    """Resident SweepPool service, cold vs warm (ISSUE 7 headline).
+
+    Cold times a full one-shot service cycle — open a pool, spawn the
+    workers, submit, close — i.e. what ``run_sweep(workers=2)`` pays per
+    sweep.  Warm holds one resident pool open (built and pre-warmed
+    outside the timing loop) and times only the resubmission: no spawn,
+    and the workers' warm per-schedule-key caches make the sweep pay
+    zero new derivations/scheduling passes, which the case asserts via
+    the ``SweepStats`` counters.  Warm beats cold even on a single-CPU
+    host — the win is skipped spawn + skipped stage work, not core
+    parallelism.
+    """
+
+    def build(fast: bool):
+        from repro.experiment import SweepPool
+
+        frames = 2 if fast else 25
+        matrix = ScenarioMatrix(
+            fms_scenario(n_frames=frames), dict(_PAR_SWEEP_AXES)
+        )
+
+        if warm:
+            pool = SweepPool(workers=2)
+            pool.submit(matrix, _PAR_SWEEP_METRICS).result()  # pre-warm
+
+            def sweep():
+                result = pool.submit(matrix, _PAR_SWEEP_METRICS).result()
+                assert result.stats.pool_reused
+                assert result.stats.derivations_computed == 0
+                assert result.stats.schedules_computed == 0
+                assert result.stats.warm_group_hits == 2
+                return result
+
+            sweep.cleanup = pool.close
+        else:
+
+            def sweep():
+                with SweepPool(workers=2) as pool:
+                    result = pool.submit(
+                        matrix, _PAR_SWEEP_METRICS
+                    ).result()
+                assert not result.stats.pool_reused
+                assert result.stats.derivations_computed == 2
+                return result
+
+        return sweep, {
+            "experiment": "sweep", "frames": frames, "cells": len(matrix),
+            "workers": 2, "mode": "warm resident pool" if warm
+            else "cold pool per sweep",
+        }
+
+    return build
+
+
 def _case_fms_sweep_resume(fast: bool):
     """Checkpoint-store resume: the matrix is prepopulated (untimed) into
     a content-addressed store, then the timed sweep resolves every cell
@@ -387,6 +442,8 @@ CASES: List[Case] = [
     ("fms_sweep_resume", _case_fms_sweep_resume),
     ("fms_sweep_2x3_serial", _parallel_sweep_case(workers=1)),
     ("fms_sweep_2x3_workers2", _parallel_sweep_case(workers=2)),
+    ("fms_sweep_pool_cold", _pool_sweep_case(warm=False)),
+    ("fms_sweep_pool_warm", _pool_sweep_case(warm=True)),
 ]
 
 
@@ -402,7 +459,52 @@ def run_suite(fast: bool, repeats: int) -> Dict[str, Dict[str, object]]:
         entry = {"wall_s": round(min(walls), 6), "repeats": repeats, **meta}
         results[name] = entry
         print(f"{name:24s} {entry['wall_s']*1000:10.2f} ms  {meta}")
+        # Cases holding live resources across repeats (a warm resident
+        # pool, say) attach a cleanup hook to the timed callable.
+        cleanup = getattr(fn, "cleanup", None)
+        if cleanup is not None:
+            cleanup()
     return results
+
+
+def diff_snapshots(path_a: str, path_b: str) -> int:
+    """Per-case wall-time comparison of two BENCH_*.json snapshots.
+
+    Refuses to compare snapshots taken on hosts with different CPU
+    counts: the parallel/pool lanes measure core overlap, so a 1-CPU
+    number against a multi-core number is noise presented as a trend.
+    """
+    a = json.loads(Path(path_a).read_text())
+    b = json.loads(Path(path_b).read_text())
+    cpus_a, cpus_b = a.get("cpus"), b.get("cpus")
+    if cpus_a != cpus_b:
+        print(
+            f"refusing to diff: snapshots come from different hosts — "
+            f"{path_a} has cpus={cpus_a}, {path_b} has cpus={cpus_b}; "
+            "parallel/pool lanes are not comparable across core counts",
+            file=sys.stderr,
+        )
+        return 2
+    if a.get("fast") != b.get("fast"):
+        print(
+            "warning: comparing a --fast snapshot against a full one — "
+            "frame counts differ",
+            file=sys.stderr,
+        )
+    print(f"{'case':24s} {'A [ms]':>10s} {'B [ms]':>10s} {'B/A':>7s}")
+    for name in sorted(set(a.get("cases", {})) | set(b.get("cases", {}))):
+        wall_a = a.get("cases", {}).get(name, {}).get("wall_s")
+        wall_b = b.get("cases", {}).get(name, {}).get("wall_s")
+        if wall_a is None or wall_b is None:
+            only = "A" if wall_b is None else "B"
+            print(f"{name:24s} {'—':>10s} {'—':>10s}   (only in {only})")
+            continue
+        ratio = wall_b / wall_a if wall_a else float("inf")
+        print(
+            f"{name:24s} {wall_a * 1000:10.2f} {wall_b * 1000:10.2f} "
+            f"{ratio:6.2f}x"
+        )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -416,8 +518,15 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None,
                         help="output path; default benchmarks/BENCH_<date>.json "
                              "(omitted entirely in --fast mode unless given)")
+    parser.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                        default=None,
+                        help="compare two snapshots instead of running; "
+                             "refuses snapshots from hosts with different "
+                             "cpu counts")
     args = parser.parse_args(argv)
 
+    if args.diff is not None:
+        return diff_snapshots(*args.diff)
     if args.repeats is not None and args.repeats < 1:
         parser.error("--repeats must be >= 1")
     repeats = args.repeats or (1 if args.fast else 3)

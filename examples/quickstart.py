@@ -166,6 +166,41 @@ def main() -> None:
         f"(hits {resumed.stats.store_hits}, runs {resumed.stats.runs})"
     )
 
+    # -- 9. a resident sweep service keeps workers and caches warm ---------
+    # `run_sweep(workers=N)` spawns a fresh pool per call; a `SweepPool`
+    # spawns its workers once and keeps them — and their per-schedule-key
+    # pipeline caches — alive across many `submit()` calls.  Rows stream
+    # back through `on_row` as cells complete, and a resubmitted matrix
+    # pays zero new derivations or scheduling passes (the SweepStats
+    # counters prove it).  Workers re-import repro in a fresh process, so
+    # the service takes only scenarios they can reconstruct — the built-in
+    # app workloads qualify; "quickstart" above is registered only here
+    # and would be refused.  See examples/sweep_service.py for the full
+    # service workflow.
+    from repro import SweepPool
+    from repro.apps import fig1_scenario
+
+    service_matrix = ScenarioMatrix(
+        fig1_scenario(n_frames=1),
+        {"processors": [2, 3], "jitter_seed": [0, 1]},
+    )
+    with SweepPool(workers=2) as pool:
+        streamed = []
+        cold = pool.submit(
+            service_matrix, ("executed_jobs", "makespan"),
+            on_row=streamed.append,
+        ).result()
+        assert len(streamed) == len(cold.rows)
+        warm = pool.submit(
+            service_matrix, ("executed_jobs", "makespan")
+        ).result()
+    assert warm.stats.pool_reused and warm.stats.derivations_computed == 0
+    assert warm.rows == cold.rows
+    print(
+        f"resident pool: {len(streamed)} rows streamed; warm resubmit hit "
+        f"{warm.stats.warm_group_hits} cached groups, 0 new derivations"
+    )
+
 
 if __name__ == "__main__":
     main()

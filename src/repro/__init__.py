@@ -137,7 +137,9 @@ from .experiment import (
     ScenarioMatrix,
     SqliteSweepStore,
     SweepCellError,
+    SweepPool,
     SweepResult,
+    SweepTicket,
     register_workload,
     run_sweep,
 )
@@ -202,7 +204,9 @@ __all__ = [
     "ScenarioMatrix",
     "SqliteSweepStore",
     "SweepCellError",
+    "SweepPool",
     "SweepResult",
+    "SweepTicket",
     "register_workload",
     "run_sweep",
     "__version__",

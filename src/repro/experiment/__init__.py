@@ -14,7 +14,12 @@ This package is the scenario-scale entry point to the paper's pipeline:
   and lean observer-streaming execution; ``run_sweep(workers=N)`` fans
   the cells out across spawned worker processes, one task per
   schedule-key group (:mod:`repro.experiment.parallel`), with rows
-  bit-identical to a serial run.
+  bit-identical to a serial run;
+* :class:`SweepPool` — the resident sweep service
+  (:mod:`repro.experiment.pool`): spawn the workers once, keep their
+  per-schedule-key caches warm across many :meth:`~SweepPool.submit`
+  calls, stream rows back through ``on_row`` as cells complete.
+  ``run_sweep(workers=N)`` is a thin wrapper opening a transient pool.
 
 Sweeps are fault-tolerant: failing cells become structured error rows
 (:class:`SweepCellError`) on a partial result, the parallel backend
@@ -41,6 +46,7 @@ from .scenario import (
 from .experiment import Experiment, PipelineCache
 from .faults import FaultPlan, InjectedFault
 from .parallel import schedule_key_groups, serial_fallback_reason
+from .pool import SweepPool, SweepTicket
 from .store import (
     MemorySweepStore,
     SqliteSweepStore,
@@ -76,10 +82,12 @@ __all__ = [
     "SqliteSweepStore",
     "SweepCell",
     "SweepCellError",
+    "SweepPool",
     "SweepResult",
     "SweepRow",
     "SweepStats",
     "SweepStore",
+    "SweepTicket",
     "TIMING_METRICS",
     "run_sweep",
     "scenario_hash",

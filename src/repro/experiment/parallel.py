@@ -1,57 +1,37 @@
-"""Multiprocess sweep backend: one worker task per schedule-key group.
+"""Parallel sweep front-end: grouping, fallback rules, one-shot wrapper.
 
 :func:`repro.experiment.sweep.run_sweep` with ``workers > 1`` lands here.
 The matrix's cells are partitioned by
 :meth:`~repro.experiment.scenario.Scenario.schedule_key` — the unit of
-stage reuse — and each group is dispatched as one task to a pool of
-spawned worker processes.  Every worker task builds its own
-:class:`~repro.experiment.experiment.PipelineCache`, so a group still
-pays exactly one task-graph derivation and one scheduling pass no matter
-how many runtime-only cells (jitter seeds, overheads, frame counts,
-stimuli) it contains; the per-task cache counters come back with the rows
-and are summed into the sweep's :class:`~repro.experiment.sweep.
-SweepStats`.
+stage reuse — and each group is dispatched as one unit to worker
+processes, so a group still pays exactly one task-graph derivation and
+one scheduling pass no matter how many runtime-only cells (jitter seeds,
+overheads, frame counts, stimuli) it contains.
 
-Everything that crosses the process boundary is *data*, carried by the
-exact JSON wire format of :mod:`repro.io.json_io`:
+The execution engine itself lives in :mod:`repro.experiment.pool`: a
+resident :class:`~repro.experiment.pool.SweepPool` service that keeps
+spawned workers (and their warm per-schedule-key caches) alive across
+submissions.  :func:`run_sweep_parallel` is a thin one-shot wrapper — it
+opens a transient pool for a single submission and closes it again — so
+the classic ``run_sweep(workers=N)`` call keeps its exact PR 5/6
+behaviour while sharing one implementation with the service:
 
-* outbound, each cell's scenario goes through ``scenario_to_dict`` (the
-  tagged value encoding keeps Fractions, complex samples and tuples
-  exact — FFT stimuli survive), alongside the group's share of any
-  :class:`~repro.experiment.faults.FaultPlan`;
-* inbound, each row's metric values go through ``value_to_jsonable`` /
-  ``value_from_jsonable``, so rational metrics (makespans, latenesses,
-  utilizations) come back as the same exact :class:`~fractions.Fraction`
-  values the serial path computes, and each failed cell comes back as a
-  structured error record.
-
-Combined with the shared per-cell execution helper
-(:func:`repro.experiment.sweep._run_cell` — the only code path that
-configures and runs a cell, serial or parallel) this makes parallel rows
-**bit-identical** to a serial ``run_sweep`` of the same matrix, which the
-test suite pins the same way the tick-domain and data-phase ports were
-pinned.
-
-Groups are dispatched with ``apply_async`` under a **supervisor loop**
-rather than a bare ``pool.map``, which is what makes sweeps survivable:
-
-* a cell that raises inside a worker becomes an error row in the group's
-  reply (the group's other cells still run);
-* a worker that *dies* (OOM kill, segfault, hard exit) is detected by
-  watching the pool's process set — a plain ``multiprocessing.Pool``
-  silently loses the dead worker's task — and the pool is terminated,
-  respawned, and the unfinished groups redispatched with exponential
-  backoff, up to ``max_retries`` budget-charged attempts per group
-  (crashes cannot be attributed to one group, so every unfinished
-  in-flight group is charged); a group that exhausts its budget degrades
-  to :class:`~repro.errors.WorkerCrashError` rows;
-* with ``group_timeout`` set, a group that does not reply by its
-  deadline is terminated and retried the same way (only the timed-out
-  group is charged; innocent in-flight groups requeue for free), ending
-  in :class:`~repro.errors.SweepTimeoutError` rows;
-* ``KeyboardInterrupt`` drains the replies that already completed,
-  terminates the pool (no orphaned workers), and returns the partial
-  result with ``stats.interrupted`` set.
+* everything crossing the process boundary is *data* in the tagged JSON
+  wire format of :mod:`repro.io.json_io` (Fractions, complex samples and
+  tuples stay exact), and every cell executes through the shared
+  :func:`repro.experiment.sweep._run_cell` helper, which makes parallel
+  rows **bit-identical** to a serial ``run_sweep`` of the same matrix —
+  pinned by the test suite;
+* a cell that raises inside a worker becomes an error row while the rest
+  of its group still runs; a worker that *dies* is respawned and its
+  group redispatched with exponential backoff up to ``max_retries``
+  budget-charged attempts; with ``group_timeout`` set, a group missing
+  its deadline is terminated and retried the same way;
+  ``KeyboardInterrupt`` drains completed replies, reaps every worker and
+  returns the partial result with ``stats.interrupted`` set;
+* checkpoint-store hits are resolved parent-side before dispatch and
+  computed rows persisted as replies merge, so workers stay store-free
+  (a store never forces a serial fallback).
 
 Not every sweep can be dispatched.  :func:`serial_fallback_reason`
 documents the rules: sweeps attaching live per-cell observers
@@ -62,15 +42,8 @@ names registered — or overridden — only in the parent process, which a
 freshly-imported worker would not resolve) are refused per cell; a
 caller-shared cache cannot be shared across processes; and a single
 schedule-key group has nothing to fan out.  ``run_sweep`` records the
-reason in ``SweepStats.parallel_fallback`` and runs serially.  (A
-checkpoint store never forces a fallback: the parent resolves hits and
-persists rows itself, so workers need no store access.)
+reason in ``SweepStats.parallel_fallback`` and runs serially.
 
-The spawn start method is used unconditionally: it is the only method
-that is safe and available everywhere (fork inherits arbitrary parent
-state).  Workers re-import :mod:`repro` through the parent's ``sys.path``
-and working directory, which multiprocessing's spawn preparation data
-carries into every child.
 Spawn's usual rule applies: a *script* calling ``run_sweep(workers=N)``
 at import time must guard the call with ``if __name__ == "__main__":``
 (the children re-import the main module), exactly as with any direct
@@ -79,31 +52,17 @@ at import time must guard the call with ``if __name__ == "__main__":``
 
 from __future__ import annotations
 
-import json
-import time
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import (
-    ModelError,
-    SweepError,
-    SweepTimeoutError,
-    WorkerCrashError,
-)
+from ..errors import ModelError
 from ..runtime.observers import ExecutionObserver
 from .experiment import PipelineCache
-from .faults import FaultPlan, apply_cell_faults
-from .store import SweepStore, metrics_key, store_key
+from .faults import FaultPlan
+from .store import SweepStore
 from .sweep import (
     ScenarioMatrix,
     SweepCell,
-    SweepCellError,
     SweepResult,
-    SweepRow,
-    SweepStats,
-    _cell_error,
-    _check_cell_modes,
-    _run_cell,
 )
 
 __all__ = [
@@ -111,16 +70,6 @@ __all__ = [
     "schedule_key_groups",
     "serial_fallback_reason",
 ]
-
-#: Supervisor poll period [s]: how often in-flight groups are checked for
-#: replies, deadlines and dead workers.
-_POLL_INTERVAL = 0.02
-
-#: After a worker crash, how long [s] surviving workers get to finish
-#: their in-flight groups before the pool is torn down.  Only the dead
-#: worker's task is actually lost; draining the innocents first means
-#: only genuinely unfinished groups are charged a retry.
-_CRASH_GRACE = 5.0
 
 
 def _group_cells(cells: Sequence[SweepCell]) -> List[List[SweepCell]]:
@@ -202,418 +151,6 @@ def serial_fallback_reason(
     )
 
 
-# ---------------------------------------------------------------------------
-# wire format (parent <-> worker), all JSON text
-# ---------------------------------------------------------------------------
-def _encode_group(
-    group: Sequence[SweepCell],
-    metrics: Tuple[str, ...],
-    lean: bool,
-    faults: Optional[FaultPlan] = None,
-    attempt: int = 0,
-) -> str:
-    from ..io.json_io import scenario_to_dict
-
-    # Cells of one group usually share the base scenario's stimulus
-    # *object* (axis substitution replaces other fields), and stimuli
-    # dominate the payload (the FMS pilot-command stimulus is ~250 KB at
-    # 25 frames).  Pool identical stimuli by object identity: each is
-    # wired and decoded once per group, and the worker rebinds one shared
-    # Stimulus across its cells — which also restores the serial path's
-    # per-object `samples_view` memo sharing.
-    pool: List[Any] = []
-    pool_index: Dict[int, int] = {}
-    cells = []
-    for cell in group:
-        stimulus = cell.scenario.stimulus
-        if stimulus is None:
-            data = scenario_to_dict(cell.scenario)
-        else:
-            index = pool_index.get(id(stimulus))
-            if index is None:
-                data = scenario_to_dict(cell.scenario)
-                index = pool_index[id(stimulus)] = len(pool)
-                pool.append(data["stimulus"])
-            else:
-                # Already pooled: encode the scenario without re-encoding
-                # the (potentially large) stimulus a second time.
-                data = scenario_to_dict(cell.scenario.replace(stimulus=None))
-            data["stimulus"] = index
-        cells.append({"index": cell.index, "scenario": data})
-    plan = (
-        None if faults is None
-        else faults.restrict([cell.index for cell in group])
-    )
-    return json.dumps({
-        "metrics": list(metrics),
-        "lean": lean,
-        "stimulus_pool": pool,
-        "cells": cells,
-        "faults": None if plan is None or plan.is_empty
-        else plan.to_jsonable(),
-        "attempt": attempt,
-    })
-
-
-def _worker_warmup(index: int) -> int:
-    """No-op pool task: forces worker boot before deadline clocks start."""
-    return index
-
-
-def _worker_run_group(payload: str) -> str:
-    """Run one schedule-key group in a worker process (spawn target).
-
-    Decodes the scenarios, executes every cell through the same
-    :func:`~repro.experiment.sweep._run_cell` path the serial sweep uses
-    (with a fresh private :class:`PipelineCache`), and returns the rows'
-    metric values plus per-cell error records and the cache counters, all
-    as tagged-JSON text.  A raising cell does not abort the group: its
-    error joins the reply and the remaining cells still run — the same
-    capture semantics as the serial path.
-    """
-    from ..io.json_io import (
-        scenario_from_dict,
-        stimulus_from_dict,
-        value_to_jsonable,
-    )
-    from .sweep import DATA_METRICS
-
-    data = json.loads(payload)
-    metrics = tuple(data["metrics"])
-    lean = bool(data["lean"])
-    attempt = int(data.get("attempt", 0))
-    plan_data = data.get("faults")
-    plan = None if plan_data is None else FaultPlan.from_jsonable(plan_data)
-    stimuli = [stimulus_from_dict(s) for s in data.get("stimulus_pool", ())]
-    want_data = any(name in DATA_METRICS for name in metrics)
-    cache = PipelineCache()
-    rows = []
-    errors = []
-    for item in data["cells"]:
-        scenario_data = dict(item["scenario"])
-        stimulus_ref = scenario_data.get("stimulus")
-        if stimulus_ref is not None:
-            scenario_data["stimulus"] = None
-        scenario = scenario_from_dict(scenario_data)
-        if stimulus_ref is not None:
-            scenario = scenario.replace(stimulus=stimuli[stimulus_ref])
-        cell = SweepCell(index=int(item["index"]), coords=(), scenario=scenario)
-        try:
-            apply_cell_faults(plan, cell.index, in_worker=True)
-            cell_metrics, _ = _run_cell(
-                cell, metrics, want_data,
-                lean=lean, keep_results=False, cache=cache,
-            )
-        except Exception as exc:
-            errors.append({
-                "index": cell.index,
-                "error": {
-                    "type": type(exc).__name__,
-                    "message": str(exc),
-                    "stage": getattr(exc, "_pipeline_stage", "run"),
-                    "retries": attempt,
-                },
-            })
-            continue
-        rows.append({
-            "index": cell.index,
-            "metrics": {
-                name: value_to_jsonable(value)
-                for name, value in cell_metrics.items()
-            },
-        })
-    return json.dumps({
-        "rows": rows,
-        "errors": errors,
-        "stats": {
-            "runs": len(rows),
-            "networks_built": cache.networks_built,
-            "derivations_computed": cache.derivations_computed,
-            "schedules_computed": cache.schedules_computed,
-        },
-    })
-
-
-# ---------------------------------------------------------------------------
-# supervisor
-# ---------------------------------------------------------------------------
-@dataclass
-class _GroupState:
-    """One schedule-key group's dispatch bookkeeping in the supervisor."""
-
-    gid: int
-    cells: List[SweepCell]
-    #: Budget-charged redispatches so far (crash / timeout recovery).
-    attempt: int = 0
-    #: Monotonic time before which the group must not be redispatched
-    #: (exponential backoff after a charged retry).
-    not_before: float = 0.0
-
-    @property
-    def indices(self) -> List[int]:
-        return [cell.index for cell in self.cells]
-
-
-def _pool_pids(pool: Any) -> Optional[Set[int]]:
-    """The pids of the pool's live workers, or ``None`` if unreadable.
-
-    ``Pool`` keeps its worker ``Process`` objects in the private ``_pool``
-    list (stable across CPython versions, but guarded anyway: with no pid
-    set, crash detection is disabled and deadlines are the only recovery
-    trigger).  A worker that died shows up as a *missing* pid — the pool's
-    maintenance thread reaps it and respawns a replacement — which is the
-    only portable signal, because a plain ``Pool`` silently loses the
-    dead worker's task instead of failing its ``AsyncResult``.
-    """
-    processes = getattr(pool, "_pool", None)
-    if processes is None:
-        return None
-    try:
-        return {p.pid for p in processes if p.is_alive()}
-    except Exception:
-        return None
-
-
-class _Supervisor:
-    """Per-group ``apply_async`` dispatch with crash/timeout recovery.
-
-    Owns the pool: dispatches at most ``n_workers`` groups at a time (so
-    a dispatch timestamp is also a start timestamp and deadlines mean
-    per-group *runtime*), polls for replies, watches the worker pid set
-    for crashes, and terminates/respawns the pool to requeue unfinished
-    groups — bounded by each group's retry budget, with exponential
-    backoff between a group's attempts.
-    """
-
-    def __init__(
-        self,
-        merge: Callable[[str, int], List[int]],
-        metrics: Tuple[str, ...],
-        lean: bool,
-        n_workers: int,
-        faults: Optional[FaultPlan],
-        group_timeout: Optional[float],
-        max_retries: int,
-        retry_backoff: float,
-        stats: SweepStats,
-        errors_by_index: Dict[int, SweepCellError],
-    ) -> None:
-        self._merge = merge
-        self._metrics = metrics
-        self._lean = lean
-        self.n_workers = n_workers
-        self._plan = faults
-        self._group_timeout = group_timeout
-        self._max_retries = max_retries
-        self._retry_backoff = retry_backoff
-        self._stats = stats
-        self._errors = errors_by_index
-        self._pending: List[_GroupState] = []
-        # gid -> (state, AsyncResult, deadline | None)
-        self._inflight: Dict[int, Tuple[_GroupState, Any, Optional[float]]] = {}
-
-    # -- pool lifecycle -------------------------------------------------
-    def _spawn_pool(self) -> None:
-        import multiprocessing
-
-        ctx = multiprocessing.get_context("spawn")
-        self._pool = ctx.Pool(processes=self.n_workers)
-        if self._group_timeout is not None:
-            # Deadlines start at dispatch, so absorb the worker boot
-            # latency (spawned interpreters take ~a second each) first —
-            # otherwise a tight timeout measures spawn, not the group.
-            self._pool.map(
-                _worker_warmup, range(self.n_workers), chunksize=1
-            )
-        self._pids = _pool_pids(self._pool)
-
-    def _respawn_pool(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
-        self._spawn_pool()
-
-    def shutdown(self, *, graceful: bool) -> None:
-        if graceful:
-            self._pool.close()
-        else:
-            self._pool.terminate()
-        self._pool.join()
-
-    # -- supervisor steps -----------------------------------------------
-    def _dispatch_ready(self, now: float) -> None:
-        for state in [s for s in self._pending if s.not_before <= now]:
-            if len(self._inflight) >= self.n_workers:
-                break
-            self._pending.remove(state)
-            payload = _encode_group(
-                state.cells, self._metrics, self._lean,
-                faults=self._plan, attempt=state.attempt,
-            )
-            result = self._pool.apply_async(_worker_run_group, (payload,))
-            deadline = (
-                None if self._group_timeout is None
-                else now + self._group_timeout
-            )
-            self._inflight[state.gid] = (state, result, deadline)
-
-    def _collect_ready(self, *, fire_interrupts: bool) -> bool:
-        """Merge every completed in-flight reply; True if any merged."""
-        done = [
-            gid for gid, (_, result, _) in self._inflight.items()
-            if result.ready()
-        ]
-        for gid in done:
-            state, result, _ = self._inflight.pop(gid)
-            try:
-                reply = result.get()
-            except Exception as exc:
-                # The worker function itself failed (decode error, ...):
-                # no per-cell attribution possible, the whole group
-                # degrades to error rows.
-                self._fail_group(state, exc)
-                continue
-            self._merge(reply, state.attempt)
-            if (
-                fire_interrupts
-                and self._plan is not None
-                and any(
-                    i in self._plan.interrupt_at for i in state.indices
-                )
-            ):
-                raise KeyboardInterrupt
-        return bool(done)
-
-    def _fail_group(
-        self,
-        state: _GroupState,
-        exc: BaseException,
-        retries: Optional[int] = None,
-    ) -> None:
-        """Degrade every cell of *state* to an error row for *exc*."""
-        error = _cell_error(
-            exc, retries=state.attempt if retries is None else retries
-        )
-        for index in state.indices:
-            self._errors[index] = error
-            self._stats.failed_cells += 1
-
-    def _requeue(
-        self, state: _GroupState, now: float, exc_type: type, what: str
-    ) -> None:
-        """Charge one retry to *state*; requeue it or exhaust its budget."""
-        state.attempt += 1
-        if state.attempt > self._max_retries:
-            # ``retries`` records redispatches actually performed — the
-            # exhausting event happened on the last permitted attempt.
-            self._fail_group(
-                state,
-                exc_type(
-                    f"{what}; retry budget exhausted after "
-                    f"{self._max_retries} redispatches"
-                ),
-                retries=self._max_retries,
-            )
-            return
-        self._stats.retries += 1
-        if self._plan is not None:
-            # The fault that (presumably) fired consumed one firing: a
-            # transient (times=1) kill/delay lets the retry succeed.
-            self._plan = self._plan.decrement(state.indices)
-        state.not_before = (
-            now + self._retry_backoff * 2 ** (state.attempt - 1)
-        )
-        self._pending.append(state)
-
-    def _check_crash(self, now: float) -> bool:
-        """Detect dead workers; respawn and requeue unfinished groups."""
-        if self._pids is None:
-            return False
-        current = _pool_pids(self._pool)
-        if current is None or self._pids <= current:
-            self._pids = current if current is not None else self._pids
-            return False
-        # Some worker died.  Its task is silently lost, and the crash
-        # cannot be attributed to one group, so: drain what finished,
-        # give surviving workers a grace period to complete their groups
-        # (down to the one unfinishable lost task), then charge every
-        # still-unfinished group one retry and start over with a fresh
-        # pool.
-        self._collect_ready(fire_interrupts=True)
-        grace_end = time.monotonic() + _CRASH_GRACE
-        while len(self._inflight) > 1 and time.monotonic() < grace_end:
-            time.sleep(_POLL_INTERVAL)
-            self._collect_ready(fire_interrupts=True)
-        unfinished = list(self._inflight.values())
-        self._inflight.clear()
-        for state, _, _ in unfinished:
-            self._requeue(
-                state, now, WorkerCrashError,
-                "a sweep worker process died mid-group",
-            )
-        self._respawn_pool()
-        return True
-
-    def _check_timeouts(self, now: float) -> bool:
-        """Terminate and retry groups that blew their deadline."""
-        timed_out = [
-            gid for gid, (_, result, deadline) in self._inflight.items()
-            if deadline is not None and now > deadline and not result.ready()
-        ]
-        if not timed_out:
-            return False
-        self._collect_ready(fire_interrupts=True)
-        # Terminating the pool is the only portable way to stop a wedged
-        # task, so innocent in-flight groups requeue too — but free of
-        # charge and without backoff: only the timed-out groups pay.
-        unfinished = list(self._inflight.values())
-        self._inflight.clear()
-        for state, _, _ in unfinished:
-            if state.gid in timed_out:
-                self._requeue(
-                    state, now, SweepTimeoutError,
-                    f"group exceeded its {self._group_timeout}s deadline",
-                )
-            else:
-                self._pending.append(state)
-        self._respawn_pool()
-        return True
-
-    # -- main loop ------------------------------------------------------
-    def run(self, groups: Sequence[Sequence[SweepCell]]) -> None:
-        """Supervise *groups* to completion (or KeyboardInterrupt).
-
-        On interrupt, completed replies are drained into the result, the
-        pool is terminated (no orphaned workers) and ``stats.interrupted``
-        is set; the partial result is the caller's to assemble.
-        """
-        self._pending = [
-            _GroupState(gid=i, cells=list(group))
-            for i, group in enumerate(groups)
-        ]
-        self._spawn_pool()
-        try:
-            while self._pending or self._inflight:
-                now = time.monotonic()
-                self._dispatch_ready(now)
-                if self._collect_ready(fire_interrupts=True):
-                    continue
-                if self._check_crash(now):
-                    continue
-                if self._check_timeouts(now):
-                    continue
-                time.sleep(_POLL_INTERVAL)
-            self.shutdown(graceful=True)
-        except KeyboardInterrupt:
-            self._stats.interrupted = True
-            try:
-                self._collect_ready(fire_interrupts=False)
-            finally:
-                self.shutdown(graceful=False)
-        except BaseException:
-            self.shutdown(graceful=False)
-            raise
-
-
 def run_sweep_parallel(
     matrix: ScenarioMatrix,
     metrics: Tuple[str, ...],
@@ -633,109 +170,27 @@ def run_sweep_parallel(
 
     ``run_sweep`` calls this only after :func:`serial_fallback_reason`
     returned ``None`` (passing the cells it already enumerated); callers
-    should go through ``run_sweep(workers=N)`` rather than here.
+    should go through ``run_sweep(workers=N)`` rather than here.  The
+    sweep runs on a transient :class:`~repro.experiment.pool.SweepPool`
+    that lives exactly as long as this one submission — callers serving
+    repeated sweep traffic should hold a ``SweepPool`` open instead and
+    keep its workers (and their warm caches) across submissions.
     """
-    from ..io.json_io import value_from_jsonable
+    # pool.py imports this module for the grouping helpers, so the pool
+    # itself must be imported lazily here.
+    from .pool import SweepPool
 
     if workers < 2:
         raise ModelError("run_sweep_parallel needs workers >= 2")
-    # Cell-mode conflicts (records_only base vs data metrics) are checked
-    # up front so they raise identically to the serial path, before any
-    # process is spawned.
-    if cells is None:
-        cells = list(matrix.cells())
-    for cell in cells:
-        _check_cell_modes(cell, metrics, want_data)
-
-    stats = SweepStats(cells=len(matrix), workers=1, parallel_fallback=None)
-    metrics_by_index: Dict[int, Dict[str, Any]] = {}
-    errors_by_index: Dict[int, SweepCellError] = {}
-
-    # The parent owns the store: hits are resolved before any dispatch
-    # (hit cells never reach a worker) and computed rows are persisted as
-    # their group replies merge — workers stay store-free.
-    skey_by_index: Dict[int, str] = {}
-    mkey = metrics_key(metrics) if store is not None else ""
-    compute_cells: List[SweepCell] = []
-    for cell in cells:
-        if store is not None:
-            skey = store_key(cell.scenario)
-            if skey is not None:
-                skey_by_index[cell.index] = skey
-                stored = store.get(skey, mkey)
-                if stored is not None:
-                    stats.store_hits += 1
-                    metrics_by_index[cell.index] = stored
-                    continue
-                stats.store_misses += 1
-        compute_cells.append(cell)
-
-    if compute_cells:
-        def merge_reply(reply: str, attempt: int) -> List[int]:
-            data = json.loads(reply)
-            merged = []
-            for row in data["rows"]:
-                index = int(row["index"])
-                cell_metrics = {
-                    name: value_from_jsonable(value)
-                    for name, value in row["metrics"].items()
-                }
-                metrics_by_index[index] = cell_metrics
-                merged.append(index)
-                if store is not None and index in skey_by_index:
-                    store.put(skey_by_index[index], mkey, cell_metrics)
-            for item in data.get("errors", ()):
-                error = item["error"]
-                errors_by_index[int(item["index"])] = SweepCellError(
-                    error_type=error["type"],
-                    message=error["message"],
-                    stage=error.get("stage", "run"),
-                    retries=int(error.get("retries", 0)),
-                )
-                stats.failed_cells += 1
-            worker_stats = data["stats"]
-            stats.runs += int(worker_stats["runs"])
-            stats.networks_built += int(worker_stats["networks_built"])
-            stats.derivations_computed += int(
-                worker_stats["derivations_computed"]
-            )
-            stats.schedules_computed += int(
-                worker_stats["schedules_computed"]
-            )
-            return merged
-
-        groups = _group_cells(compute_cells)
-        stats.workers = min(workers, len(groups))
-        supervisor = _Supervisor(
-            merge_reply, metrics, lean, stats.workers,
-            faults, group_timeout, max_retries, retry_backoff,
-            stats, errors_by_index,
+    with SweepPool(
+        workers=workers,
+        group_timeout=group_timeout,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+    ) as pool:
+        ticket = pool.submit(
+            matrix, metrics,
+            lean=lean, cells=cells, store=store, faults=faults,
+            on_error=on_error,
         )
-        supervisor.run(groups)
-
-    # Rows come back grouped by schedule key; the table is in cell order.
-    # Interrupted sweeps only have the drained groups' rows — cells never
-    # merged appear in neither list.
-    rows = [
-        SweepRow(cell=dict(cell.coords), metrics=metrics_by_index[cell.index])
-        for cell in cells
-        if cell.index in metrics_by_index
-    ]
-    failed_rows = [
-        SweepRow(
-            cell=dict(cell.coords), metrics={},
-            error=errors_by_index[cell.index],
-        )
-        for cell in cells
-        if cell.index in errors_by_index
-    ]
-    result = SweepResult(
-        axes=dict(matrix.axes), metrics=metrics, rows=rows, stats=stats,
-        failed_rows=failed_rows,
-    )
-    if on_error == "raise" and failed_rows:
-        first = failed_rows[0]
-        raise SweepError(
-            f"sweep cell {first.cell!r} failed — {first.error.describe()}"
-        )
-    return result
+        return ticket.result()

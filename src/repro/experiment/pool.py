@@ -1,0 +1,1109 @@
+"""Persistent sweep service: a resident worker pool with warm caches.
+
+:class:`SweepPool` promotes the one-shot parallel sweep backend
+(:mod:`repro.experiment.parallel`) into a resident service.  The pool
+spawns its worker processes once and keeps them alive across many
+:meth:`~SweepPool.submit` calls, so repeated sweep traffic — the
+ROADMAP north-star — stops paying the two dominant fixed costs of
+``run_sweep(workers=N)``:
+
+* **process spawn**: each spawned interpreter takes ~a second to boot
+  and re-import :mod:`repro`; a resident pool pays it once per worker
+  slot, not once per sweep (``SweepStats.pool_reused`` tells a
+  submission it ran on an already-warm pool);
+* **stage recomputation**: workers retain warm state between sweeps — a
+  :class:`~repro.experiment.experiment.PipelineCache` per
+  ``schedule_key`` plus decoded :class:`Scenario` / :class:`Stimulus`
+  payloads keyed by content hash — so a resubmitted or overlapping
+  matrix pays **zero** new derivations/scheduling passes
+  (``SweepStats.warm_group_hits`` / ``payload_cache_hits`` count the
+  reuse; the test suite pins the zero).
+
+Warmth only helps if a group reliably lands on the worker that cached
+it, which a shared task queue cannot promise.  Each worker therefore
+owns a dedicated inbox queue and the pool routes groups by **schedule-
+key affinity**: the first dispatch of a key picks a worker (idle first,
+growing the pool up to ``workers`` slots on demand) and every later
+dispatch of the same key waits for — and reuses — that worker.  Both
+worker-side caches are bounded LRUs (``max_cached_groups`` /
+``max_cached_payloads``) and :meth:`~SweepPool.evict_caches` clears
+them on demand, so resident memory stays flat under churning traffic.
+
+Submissions go through a queue.  :meth:`~SweepPool.submit` enqueues the
+matrix's schedule-key groups and returns a :class:`SweepTicket`
+immediately; multiple pending matrices interleave at group granularity
+(the pending queue is FIFO over *groups*, not submissions), rows stream
+back through the ``on_row`` callback as cells complete, and
+``ticket.result()`` drives the pool until its submission finishes.
+
+Everything the one-shot backend guarantees carries over, because the
+pool reuses the same wire format and the same per-cell execution path
+(:func:`repro.experiment.sweep._run_cell`):
+
+* rows are **bit-identical** to a serial ``run_sweep`` of the matrix;
+* checkpoint-store hits are resolved parent-side before dispatch
+  (workers stay store-free) and computed rows are persisted as replies
+  merge;
+* the supervisor is rehosted onto the resident pool: a worker that dies
+  is respawned *into its slot* (the dedicated queues make crash
+  attribution exact — only the dead worker's group is charged a retry),
+  per-group deadlines terminate and retry wedged groups with
+  exponential backoff up to ``max_retries``, and ``KeyboardInterrupt``
+  drains completed replies, tears the workers down (no orphans) and
+  returns the partial result with ``stats.interrupted`` set;
+* deterministic :class:`~repro.experiment.faults.FaultPlan` injection
+  works per submission, exactly as under ``run_sweep(faults=...)``.
+
+``run_sweep(workers=N)`` itself is now a thin wrapper that opens a
+transient ``SweepPool`` for one submission, so the one-shot path stays
+behaviourally identical while sharing this implementation.
+
+Spawn's usual rule applies: a *script* using a ``SweepPool`` at import
+time must guard it with ``if __name__ == "__main__":`` (workers use the
+spawn start method unconditionally and re-import the main module).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue as _queue_mod
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import (
+    ModelError,
+    SweepError,
+    SweepTimeoutError,
+    WorkerCrashError,
+)
+from .experiment import PipelineCache
+from .faults import FaultPlan, apply_cell_faults
+from .store import SweepStore, metrics_key, store_key
+from .sweep import (
+    DEFAULT_METRICS,
+    ScenarioMatrix,
+    SweepCell,
+    SweepCellError,
+    SweepResult,
+    SweepRow,
+    SweepStats,
+    _cell_error,
+    _check_cell_modes,
+    _check_metrics,
+    _run_cell,
+)
+
+__all__ = ["SweepPool", "SweepTicket"]
+
+#: Supervisor poll period [s]: how long a collect blocks for replies
+#: before re-checking dispatch, crashes and deadlines.
+_POLL_INTERVAL = 0.02
+
+
+def _payload_hash(data: Any) -> str:
+    """Content hash of a JSON-able payload (canonical encoding)."""
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# wire format (parent <-> worker), all JSON text
+# ---------------------------------------------------------------------------
+def _encode_service_group(
+    group: Sequence[SweepCell],
+    metrics: Tuple[str, ...],
+    lean: bool,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 0,
+) -> str:
+    """One group as wire JSON, with content hashes for the warm caches.
+
+    Stimuli are pooled by object identity (cells of a group usually
+    share the base scenario's stimulus, and stimuli dominate the
+    payload) and every scenario body / pooled stimulus carries its
+    content hash, so a worker that already decoded the same bytes in an
+    earlier sweep reuses the decoded object instead of re-parsing it.
+    The scenario hash is computed over the stimulus-free body — stimulus
+    identity is covered by the pool entry's own hash.
+    """
+    from ..io.json_io import scenario_to_dict
+
+    pool: List[Dict[str, Any]] = []
+    pool_index: Dict[int, int] = {}
+    cells = []
+    for cell in group:
+        stimulus = cell.scenario.stimulus
+        if stimulus is None:
+            data = scenario_to_dict(cell.scenario)
+            data.pop("stimulus", None)
+            stim_ref = None
+        else:
+            stim_ref = pool_index.get(id(stimulus))
+            if stim_ref is None:
+                data = scenario_to_dict(cell.scenario)
+                stim_ref = pool_index[id(stimulus)] = len(pool)
+                stim_data = data.pop("stimulus")
+                pool.append(
+                    {"hash": _payload_hash(stim_data), "data": stim_data}
+                )
+            else:
+                # Already pooled: encode the scenario without re-encoding
+                # the (potentially large) stimulus a second time.
+                data = scenario_to_dict(cell.scenario.replace(stimulus=None))
+                data.pop("stimulus", None)
+        cells.append({
+            "index": cell.index,
+            "scenario": data,
+            "hash": _payload_hash(data),
+            "stimulus": stim_ref,
+        })
+    plan = (
+        None if faults is None
+        else faults.restrict([cell.index for cell in group])
+    )
+    return json.dumps({
+        "metrics": list(metrics),
+        "lean": lean,
+        "stimulus_pool": pool,
+        "cells": cells,
+        "faults": None if plan is None or plan.is_empty
+        else plan.to_jsonable(),
+        "attempt": attempt,
+    })
+
+
+class _WorkerCaches:
+    """The warm state a resident worker keeps between sweeps.
+
+    Three bounded LRUs: one :class:`PipelineCache` per schedule key
+    (the unit of stage reuse — evicting an entry drops that key's
+    network/derivation/schedule in one piece), plus decoded ``Scenario``
+    and ``Stimulus`` payloads keyed by content hash.  ``payload_hits``
+    and the per-group pipeline hit are reported back with each reply so
+    the parent can surface per-sweep reuse in :class:`SweepStats`.
+    """
+
+    def __init__(self, max_groups: int, max_payloads: int) -> None:
+        self.max_groups = max_groups
+        self.max_payloads = max_payloads
+        self.pipelines: "OrderedDict[str, PipelineCache]" = OrderedDict()
+        self.scenarios: "OrderedDict[str, Any]" = OrderedDict()
+        self.stimuli: "OrderedDict[str, Any]" = OrderedDict()
+        self.payload_hits = 0
+
+    def begin_group(self) -> None:
+        self.payload_hits = 0
+
+    def clear(self) -> None:
+        self.pipelines.clear()
+        self.scenarios.clear()
+        self.stimuli.clear()
+
+    def pipeline(self, key: str) -> Tuple[PipelineCache, bool]:
+        cache = self.pipelines.get(key)
+        if cache is not None:
+            self.pipelines.move_to_end(key)
+            return cache, True
+        cache = PipelineCache()
+        self.pipelines[key] = cache
+        while len(self.pipelines) > self.max_groups:
+            self.pipelines.popitem(last=False)
+        return cache, False
+
+    def _memo(
+        self, table: "OrderedDict[str, Any]", key: str,
+        decode: Callable[[], Any],
+    ) -> Any:
+        value = table.get(key)
+        if value is not None:
+            table.move_to_end(key)
+            self.payload_hits += 1
+            return value
+        value = decode()
+        table[key] = value
+        while len(table) > self.max_payloads:
+            table.popitem(last=False)
+        return value
+
+    def scenario(self, key: str, data: Dict[str, Any]) -> Any:
+        from ..io.json_io import scenario_from_dict
+
+        return self._memo(self.scenarios, key,
+                          lambda: scenario_from_dict(data))
+
+    def stimulus(self, key: str, data: Any) -> Any:
+        from ..io.json_io import stimulus_from_dict
+
+        return self._memo(self.stimuli, key,
+                          lambda: stimulus_from_dict(data))
+
+
+def _service_run_group(payload: str, caches: _WorkerCaches) -> str:
+    """Run one schedule-key group against the worker's warm caches.
+
+    Identical execution semantics to the one-shot backend — every cell
+    goes through :func:`~repro.experiment.sweep._run_cell`, a raising
+    cell becomes an error record while the rest of the group still runs
+    — but the :class:`PipelineCache` is fetched from (or installed
+    into) the per-schedule-key LRU, and scenario/stimulus decoding is
+    skipped when the content hash hits.  The reply's stats report cache
+    counter *deltas*, so a warm group contributes exactly zero
+    derivations/schedules to the sweep's totals.
+    """
+    from ..io.json_io import value_to_jsonable
+    from .sweep import DATA_METRICS
+
+    data = json.loads(payload)
+    metrics = tuple(data["metrics"])
+    lean = bool(data["lean"])
+    attempt = int(data.get("attempt", 0))
+    plan_data = data.get("faults")
+    plan = None if plan_data is None else FaultPlan.from_jsonable(plan_data)
+    want_data = any(name in DATA_METRICS for name in metrics)
+
+    caches.begin_group()
+    stimuli = [
+        caches.stimulus(entry["hash"], entry["data"])
+        for entry in data.get("stimulus_pool", ())
+    ]
+    cells = []
+    for item in data["cells"]:
+        scenario = caches.scenario(item["hash"], item["scenario"])
+        stim_ref = item.get("stimulus")
+        if stim_ref is not None:
+            scenario = scenario.replace(stimulus=stimuli[stim_ref])
+        cells.append(
+            SweepCell(index=int(item["index"]), coords=(), scenario=scenario)
+        )
+
+    # All cells of a group share one schedule key by construction; repr
+    # is a stable worker-local identity for it (the cache never leaves
+    # this process).
+    cache_key = repr(cells[0].scenario.schedule_key()) if cells else ""
+    cache, warm = caches.pipeline(cache_key)
+    nets0 = cache.networks_built
+    derivs0 = cache.derivations_computed
+    scheds0 = cache.schedules_computed
+
+    rows = []
+    errors = []
+    for cell in cells:
+        try:
+            apply_cell_faults(plan, cell.index, in_worker=True)
+            cell_metrics, _ = _run_cell(
+                cell, metrics, want_data,
+                lean=lean, keep_results=False, cache=cache,
+            )
+        except Exception as exc:
+            errors.append({
+                "index": cell.index,
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "stage": getattr(exc, "_pipeline_stage", "run"),
+                    "retries": attempt,
+                },
+            })
+            continue
+        rows.append({
+            "index": cell.index,
+            "metrics": {
+                name: value_to_jsonable(value)
+                for name, value in cell_metrics.items()
+            },
+        })
+    return json.dumps({
+        "rows": rows,
+        "errors": errors,
+        "stats": {
+            "runs": len(rows),
+            "networks_built": cache.networks_built - nets0,
+            "derivations_computed": cache.derivations_computed - derivs0,
+            "schedules_computed": cache.schedules_computed - scheds0,
+            "group_cache_hit": warm,
+            "payload_hits": caches.payload_hits,
+        },
+    })
+
+
+def _service_worker(
+    index: int, inbox: Any, outbox: Any,
+    max_cached_groups: int, max_cached_payloads: int,
+) -> None:
+    """Resident worker main loop (spawn target).
+
+    Announces readiness (the parent starts deadline clocks only after
+    the boot, so a tight ``group_timeout`` measures group runtime, not
+    interpreter spawn), then serves ``run`` / ``evict`` messages until
+    ``stop``.  Warm state lives in :class:`_WorkerCaches` and survives
+    across messages — that persistence *is* the service.
+    """
+    caches = _WorkerCaches(max_cached_groups, max_cached_payloads)
+    try:
+        outbox.put(("ready", index, None))
+        while True:
+            message = inbox.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "evict":
+                caches.clear()
+                continue
+            if kind == "run":
+                _, job_id, payload = message
+                reply = _service_run_group(payload, caches)
+                outbox.put(("reply", index, (job_id, reply)))
+    except (KeyboardInterrupt, EOFError):
+        return
+
+
+# ---------------------------------------------------------------------------
+# parent-side bookkeeping
+# ---------------------------------------------------------------------------
+@dataclass
+class _Submission:
+    """One submitted matrix: its cells, options and accumulating result."""
+
+    sid: int
+    axes: Dict[str, Tuple[Any, ...]]
+    cells: List[SweepCell]
+    metrics: Tuple[str, ...]
+    want_data: bool
+    lean: bool
+    stats: SweepStats
+    on_error: str
+    on_row: Optional[Callable[[SweepRow], None]]
+    group_timeout: Optional[float]
+    max_retries: int
+    retry_backoff: float
+    faults: Optional[FaultPlan] = None
+    store: Optional[SweepStore] = None
+    mkey: str = ""
+    skey_by_index: Dict[int, str] = field(default_factory=dict)
+    metrics_by_index: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    errors_by_index: Dict[int, SweepCellError] = field(default_factory=dict)
+    outstanding: int = 0
+    finished: bool = False
+    cancelled: bool = False
+    result: Optional[SweepResult] = None
+
+
+@dataclass
+class _PoolGroup:
+    """One schedule-key group's dispatch bookkeeping."""
+
+    gid: int
+    submission: _Submission
+    cells: List[SweepCell]
+    key: Any
+    #: Budget-charged redispatches so far (crash / timeout recovery).
+    attempt: int = 0
+    #: Monotonic time before which the group must not be redispatched.
+    not_before: float = 0.0
+
+    @property
+    def indices(self) -> List[int]:
+        return [cell.index for cell in self.cells]
+
+
+class _WorkerSlot:
+    """Parent-side record of one resident worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Any = None
+        self.inbox: Any = None
+        self.ready = False
+        self.current: Optional[_PoolGroup] = None
+        self.job_id: Optional[int] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None
+
+
+class SweepTicket:
+    """Handle for one :meth:`SweepPool.submit` call.
+
+    ``result()`` drives the pool until the submission finishes and
+    returns its :class:`SweepResult` (subsequent calls return the same
+    object); ``cancel()`` withdraws groups not yet dispatched.  Rows
+    stream through the submission's ``on_row`` callback as replies
+    merge, in completion order — the final result is in cell order.
+    """
+
+    def __init__(self, pool: "SweepPool", submission: _Submission) -> None:
+        self._pool = pool
+        self._submission = submission
+
+    @property
+    def done(self) -> bool:
+        """True once every group finished (or was cancelled/failed)."""
+        return self._submission.finished
+
+    @property
+    def cancelled(self) -> bool:
+        return self._submission.cancelled
+
+    def cancel(self) -> bool:
+        """Withdraw the submission's not-yet-dispatched groups.
+
+        Groups already running complete normally and their rows are
+        kept; everything still queued is dropped.  The result becomes a
+        partial table with ``stats.interrupted`` set (the same shape an
+        interrupted sweep returns).  Returns ``True`` if anything was
+        actually withdrawn.
+        """
+        return self._pool._cancel(self._submission)
+
+    def result(self) -> SweepResult:
+        """Drive the pool until this submission completes; its table."""
+        sub = self._submission
+        if not sub.finished:
+            self._pool._pump(sub)
+        if sub.result is None:
+            sub.result = self._pool._assemble(sub)
+        if sub.on_error == "raise" and sub.result.failed_rows:
+            first = sub.result.failed_rows[0]
+            raise SweepError(
+                f"sweep cell {first.cell!r} failed — "
+                f"{first.error.describe()}"
+            )
+        return sub.result
+
+
+class SweepPool:
+    """Resident sweep service: spawn once, stay warm, stream rows.
+
+    Parameters
+    ----------
+    workers:
+        Maximum resident worker processes.  Slots are spawned lazily as
+        groups demand them (a submission fully served by its checkpoint
+        store spawns nothing) and then stay alive until :meth:`close`.
+    group_timeout, max_retries, retry_backoff:
+        Pool-wide supervision defaults, overridable per ``submit``;
+        semantics identical to :func:`~repro.experiment.sweep.run_sweep`.
+    max_cached_groups, max_cached_payloads:
+        Bounds of each worker's warm LRUs (pipeline caches per schedule
+        key / decoded payloads by content hash).
+
+    The pool is a context manager; ``with SweepPool(...) as pool:``
+    guarantees the workers are torn down (no orphan processes) on exit.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        group_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
+        max_cached_groups: int = 8,
+        max_cached_payloads: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ModelError("SweepPool needs workers >= 1")
+        if max_retries < 0:
+            raise ModelError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ModelError("retry_backoff must be >= 0")
+        if max_cached_groups < 1 or max_cached_payloads < 1:
+            raise ModelError("worker cache bounds must be >= 1")
+        self.workers = workers
+        self.group_timeout = group_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_cached_groups = max_cached_groups
+        self.max_cached_payloads = max_cached_payloads
+        self._slots: List[_WorkerSlot] = []
+        #: schedule_key -> slot index; the routing table that guarantees
+        #: a resubmitted group reaches the worker holding its warm cache.
+        self._affinity: Dict[Any, int] = {}
+        self._pending: List[_PoolGroup] = []
+        self._outbox: Any = None
+        self._ctx: Any = None
+        self._next_sid = 0
+        self._next_gid = 0
+        self._next_job = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """True while at least one resident worker process is alive."""
+        return any(
+            slot.process is not None and slot.process.is_alive()
+            for slot in self._slots
+        )
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close(graceful=exc_info[0] is None)
+
+    def close(self, *, graceful: bool = True) -> None:
+        """Shut the service down and reap every worker process.
+
+        ``graceful`` lets in-flight groups finish (their replies are
+        discarded); otherwise workers are terminated immediately.
+        Unfinished submissions become partial results with
+        ``stats.interrupted`` set.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for group in self._pending:
+            self._mark_interrupted(group.submission)
+        for slot in self._slots:
+            if slot.current is not None:
+                self._mark_interrupted(slot.current.submission)
+        self._pending.clear()
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            if graceful and process.is_alive():
+                try:
+                    slot.inbox.put(("stop", None, None))
+                except Exception:
+                    process.terminate()
+            else:
+                process.terminate()
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        self._slots = []
+        self._affinity.clear()
+        self._outbox = None
+
+    def evict_caches(self) -> None:
+        """Clear every worker's warm caches (memory back to baseline).
+
+        The workers stay resident — only their cached pipeline stages
+        and decoded payloads are dropped, so the next submission pays
+        stage computation again but no respawn.
+        """
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                slot.inbox.put(("evict", None, None))
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        matrix: ScenarioMatrix,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        *,
+        lean: bool = True,
+        cells: Optional[Sequence[SweepCell]] = None,
+        store: Optional[SweepStore] = None,
+        faults: Optional[FaultPlan] = None,
+        on_error: str = "capture",
+        on_row: Optional[Callable[[SweepRow], None]] = None,
+        group_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+    ) -> SweepTicket:
+        """Enqueue a matrix; returns a :class:`SweepTicket` immediately.
+
+        Store hits are resolved here, parent-side, before anything is
+        dispatched (hit rows stream through ``on_row`` right away and
+        never reach a worker).  The remaining cells are enqueued as
+        schedule-key groups behind whatever other submissions are
+        pending — interleaving is at group granularity.  Nothing
+        executes until the pool is driven (``ticket.result()``).
+
+        Every cell must be dispatchable (scenarios that embed code the
+        workers cannot reconstruct are refused with
+        :class:`~repro.errors.ModelError`); callers wanting the
+        serial-fallback behaviour go through ``run_sweep(workers=N)``.
+        """
+        from .parallel import _group_cells
+
+        if self._closed:
+            raise ModelError("SweepPool is closed")
+        metrics, want_data = _check_metrics(metrics)
+        if on_error not in ("capture", "raise"):
+            raise ModelError(
+                f"on_error must be 'capture' or 'raise', got {on_error!r}"
+            )
+        if cells is None:
+            cells = list(matrix.cells())
+        else:
+            cells = list(cells)
+        for cell in cells:
+            _check_cell_modes(cell, metrics, want_data)
+            blocker = cell.scenario.dispatch_blocker()
+            if blocker is not None:
+                raise ModelError(
+                    f"scenario is not dispatchable: {blocker}"
+                )
+
+        stats = SweepStats(
+            cells=len(matrix), workers=1, parallel_fallback=None,
+            pool_reused=self.started,
+        )
+        submission = _Submission(
+            sid=self._next_sid,
+            axes=dict(matrix.axes),
+            cells=cells,
+            metrics=metrics,
+            want_data=want_data,
+            lean=lean,
+            stats=stats,
+            on_error=on_error,
+            on_row=on_row,
+            group_timeout=(
+                self.group_timeout if group_timeout is None else group_timeout
+            ),
+            max_retries=(
+                self.max_retries if max_retries is None else max_retries
+            ),
+            retry_backoff=(
+                self.retry_backoff if retry_backoff is None else retry_backoff
+            ),
+            faults=faults,
+            store=store,
+        )
+        self._next_sid += 1
+
+        # The parent owns the store: hits are resolved before dispatch
+        # (hit cells never reach a worker) and computed rows are
+        # persisted as group replies merge — workers stay store-free.
+        submission.mkey = metrics_key(metrics) if store is not None else ""
+        compute_cells: List[SweepCell] = []
+        for cell in cells:
+            if store is not None:
+                skey = store_key(cell.scenario)
+                if skey is not None:
+                    submission.skey_by_index[cell.index] = skey
+                    stored = store.get(skey, submission.mkey)
+                    if stored is not None:
+                        stats.store_hits += 1
+                        submission.metrics_by_index[cell.index] = stored
+                        self._stream_row(submission, cell, stored)
+                        continue
+                    stats.store_misses += 1
+            compute_cells.append(cell)
+
+        groups = _group_cells(compute_cells)
+        stats.workers = min(self.workers, len(groups)) if groups else 1
+        submission.outstanding = len(groups)
+        for group_cells in groups:
+            self._pending.append(_PoolGroup(
+                gid=self._next_gid,
+                submission=submission,
+                cells=list(group_cells),
+                key=group_cells[0].scenario.schedule_key(),
+            ))
+            self._next_gid += 1
+        if submission.outstanding == 0:
+            submission.finished = True
+        return SweepTicket(self, submission)
+
+    # -- worker slots ---------------------------------------------------
+    def _spawn_slot(self) -> _WorkerSlot:
+        slot = _WorkerSlot(len(self._slots))
+        self._slots.append(slot)
+        self._spawn_process(slot)
+        return slot
+
+    def _spawn_process(self, slot: _WorkerSlot) -> None:
+        import multiprocessing
+
+        if self._ctx is None:
+            # Spawn unconditionally: the only start method that is safe
+            # and available everywhere (fork inherits arbitrary state).
+            self._ctx = multiprocessing.get_context("spawn")
+        if self._outbox is None:
+            self._outbox = self._ctx.Queue()
+        slot.inbox = self._ctx.Queue()
+        slot.ready = False
+        slot.current = None
+        slot.job_id = None
+        slot.deadline = None
+        slot.process = self._ctx.Process(
+            target=_service_worker,
+            args=(
+                slot.index, slot.inbox, self._outbox,
+                self.max_cached_groups, self.max_cached_payloads,
+            ),
+            daemon=True,
+        )
+        slot.process.start()
+
+    def _respawn_slot(self, slot: _WorkerSlot) -> None:
+        """Replace a dead/wedged worker process in its slot (cold caches)."""
+        process = slot.process
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join()
+        self._spawn_process(slot)
+
+    # -- scheduling -----------------------------------------------------
+    def _worker_for(self, group: _PoolGroup) -> Optional[_WorkerSlot]:
+        """The slot this group must run on, or ``None`` to keep waiting.
+
+        Affinity first: a schedule key always returns to the slot that
+        computed it (waiting for that slot if busy — warmth beats a
+        cold start elsewhere).  New keys take an idle slot, growing the
+        pool lazily up to its ``workers`` bound.
+        """
+        index = self._affinity.get(group.key)
+        if index is not None:
+            slot = self._slots[index]
+            return slot if slot.idle else None
+        for slot in self._slots:
+            if slot.idle:
+                self._affinity[group.key] = slot.index
+                return slot
+        if len(self._slots) < self.workers:
+            slot = self._spawn_slot()
+            self._affinity[group.key] = slot.index
+            return slot
+        return None
+
+    def _dispatch_ready(self, now: float) -> None:
+        for group in list(self._pending):
+            if group.not_before > now:
+                continue
+            slot = self._worker_for(group)
+            if slot is None:
+                continue
+            self._pending.remove(group)
+            submission = group.submission
+            payload = _encode_service_group(
+                group.cells, submission.metrics, submission.lean,
+                faults=submission.faults, attempt=group.attempt,
+            )
+            job_id = self._next_job
+            self._next_job += 1
+            slot.inbox.put(("run", job_id, payload))
+            slot.current = group
+            slot.job_id = job_id
+            # Deadlines measure group runtime: the clock starts at
+            # dispatch only for booted workers, otherwise when the
+            # worker's ready message arrives.
+            timeout = submission.group_timeout
+            slot.deadline = (
+                now + timeout if timeout is not None and slot.ready else None
+            )
+
+    # -- collection -----------------------------------------------------
+    def _collect_ready(self, *, block: bool, fire_interrupts: bool) -> bool:
+        """Merge every available reply; True if any group finished."""
+        if self._outbox is None:
+            if block:
+                time.sleep(_POLL_INTERVAL)
+            return False
+        merged_any = False
+        timeout: Optional[float] = _POLL_INTERVAL if block else None
+        while True:
+            try:
+                if timeout is not None:
+                    message = self._outbox.get(timeout=timeout)
+                else:
+                    message = self._outbox.get_nowait()
+            except _queue_mod.Empty:
+                return merged_any
+            timeout = None  # drain the rest without blocking
+            kind, index, body = message
+            slot = self._slots[index] if index < len(self._slots) else None
+            if slot is None:
+                continue
+            if kind == "ready":
+                slot.ready = True
+                if slot.current is not None and slot.deadline is None:
+                    group_timeout = slot.current.submission.group_timeout
+                    if group_timeout is not None:
+                        slot.deadline = time.monotonic() + group_timeout
+                continue
+            if kind != "reply":
+                continue
+            job_id, payload = body
+            if slot.job_id != job_id:
+                continue  # stale reply from before a respawn/requeue
+            group = slot.current
+            slot.current = None
+            slot.job_id = None
+            slot.deadline = None
+            merged_any = True
+            self._merge_reply(group, payload)
+            if (
+                fire_interrupts
+                and group.submission.faults is not None
+                and any(
+                    i in group.submission.faults.interrupt_at
+                    for i in group.indices
+                )
+            ):
+                # Merge-then-interrupt, like a real Ctrl-C landing after
+                # the reply: the firing group's own rows are kept, its
+                # submission is cut short.
+                self._mark_interrupted(group.submission)
+                raise KeyboardInterrupt
+            self._finish_group(group)
+
+    def _merge_reply(self, group: _PoolGroup, payload: str) -> None:
+        from ..io.json_io import value_from_jsonable
+
+        submission = group.submission
+        stats = submission.stats
+        data = json.loads(payload)
+        cell_by_index = {cell.index: cell for cell in group.cells}
+        for row in data["rows"]:
+            index = int(row["index"])
+            cell_metrics = {
+                name: value_from_jsonable(value)
+                for name, value in row["metrics"].items()
+            }
+            submission.metrics_by_index[index] = cell_metrics
+            if (
+                submission.store is not None
+                and index in submission.skey_by_index
+            ):
+                submission.store.put(
+                    submission.skey_by_index[index], submission.mkey,
+                    cell_metrics,
+                )
+            self._stream_row(submission, cell_by_index[index], cell_metrics)
+        for item in data.get("errors", ()):
+            error = item["error"]
+            submission.errors_by_index[int(item["index"])] = SweepCellError(
+                error_type=error["type"],
+                message=error["message"],
+                stage=error.get("stage", "run"),
+                retries=int(error.get("retries", 0)),
+            )
+            stats.failed_cells += 1
+        worker_stats = data["stats"]
+        stats.runs += int(worker_stats["runs"])
+        stats.networks_built += int(worker_stats["networks_built"])
+        stats.derivations_computed += int(
+            worker_stats["derivations_computed"]
+        )
+        stats.schedules_computed += int(worker_stats["schedules_computed"])
+        if worker_stats.get("group_cache_hit"):
+            stats.warm_group_hits += 1
+        stats.payload_cache_hits += int(worker_stats.get("payload_hits", 0))
+
+    def _stream_row(
+        self, submission: _Submission, cell: SweepCell,
+        metrics: Dict[str, Any],
+    ) -> None:
+        if submission.on_row is not None:
+            submission.on_row(
+                SweepRow(cell=dict(cell.coords), metrics=metrics)
+            )
+
+    def _finish_group(self, group: _PoolGroup) -> None:
+        submission = group.submission
+        submission.outstanding -= 1
+        if submission.outstanding <= 0:
+            submission.finished = True
+
+    # -- supervision ----------------------------------------------------
+    def _fail_group(
+        self, group: _PoolGroup, exc: BaseException,
+        retries: Optional[int] = None,
+    ) -> None:
+        """Degrade every cell of *group* to an error row for *exc*."""
+        submission = group.submission
+        error = _cell_error(
+            exc, retries=group.attempt if retries is None else retries
+        )
+        for index in group.indices:
+            submission.errors_by_index[index] = error
+            submission.stats.failed_cells += 1
+        self._finish_group(group)
+
+    def _requeue(
+        self, group: _PoolGroup, now: float, exc_type: type, what: str
+    ) -> None:
+        """Charge one retry to *group*; requeue it or exhaust its budget."""
+        submission = group.submission
+        group.attempt += 1
+        if group.attempt > submission.max_retries:
+            # ``retries`` records redispatches actually performed — the
+            # exhausting event happened on the last permitted attempt.
+            self._fail_group(
+                group,
+                exc_type(
+                    f"{what}; retry budget exhausted after "
+                    f"{submission.max_retries} redispatches"
+                ),
+                retries=submission.max_retries,
+            )
+            return
+        submission.stats.retries += 1
+        if submission.faults is not None:
+            # The fault that (presumably) fired consumed one firing: a
+            # transient (times=1) kill/delay lets the retry succeed.
+            submission.faults = submission.faults.decrement(group.indices)
+        group.not_before = (
+            now + submission.retry_backoff * 2 ** (group.attempt - 1)
+        )
+        self._pending.append(group)
+
+    def _check_crashes(self, now: float) -> bool:
+        """Respawn dead workers in place; requeue their in-flight group.
+
+        Dedicated per-worker queues make crash attribution exact: only
+        the dead worker's group is charged a retry, and the other
+        workers keep running untouched (no pool-wide teardown).
+        """
+        recovered = False
+        for slot in self._slots:
+            if slot.process is None or slot.process.is_alive():
+                continue
+            group = slot.current
+            slot.current = None
+            slot.job_id = None
+            slot.deadline = None
+            self._respawn_slot(slot)
+            recovered = True
+            if group is not None:
+                self._requeue(
+                    group, now, WorkerCrashError,
+                    "a sweep worker process died mid-group",
+                )
+        return recovered
+
+    def _check_timeouts(self, now: float) -> bool:
+        """Terminate and retry groups that blew their deadline."""
+        recovered = False
+        for slot in self._slots:
+            if slot.current is None or slot.deadline is None:
+                continue
+            if now <= slot.deadline:
+                continue
+            group = slot.current
+            timeout = group.submission.group_timeout
+            slot.current = None
+            slot.job_id = None
+            slot.deadline = None
+            # Terminating the worker is the only portable way to stop a
+            # wedged task; only its own slot respawns (cold), the rest
+            # of the pool keeps its warmth.
+            self._respawn_slot(slot)
+            recovered = True
+            self._requeue(
+                group, now, SweepTimeoutError,
+                f"group exceeded its {timeout}s deadline",
+            )
+        return recovered
+
+    # -- driving --------------------------------------------------------
+    def _pump(self, submission: Optional[_Submission] = None) -> None:
+        """Drive dispatch/collect until *submission* (or everything) done.
+
+        On ``KeyboardInterrupt`` — real or :class:`FaultPlan`-injected —
+        completed replies are drained into their submissions, every
+        worker is terminated and reaped (no orphans), and all active
+        submissions become partial results with ``stats.interrupted``.
+        """
+        try:
+            while True:
+                if submission is not None:
+                    if submission.finished:
+                        return
+                elif not self._pending and all(s.idle for s in self._slots):
+                    return
+                now = time.monotonic()
+                self._dispatch_ready(now)
+                if self._collect_ready(block=True, fire_interrupts=True):
+                    continue
+                self._check_crashes(now)
+                self._check_timeouts(now)
+        except KeyboardInterrupt:
+            self._interrupt()
+
+    def _interrupt(self) -> None:
+        try:
+            self._collect_ready(block=False, fire_interrupts=False)
+        except Exception:
+            pass
+        for group in self._pending:
+            self._mark_interrupted(group.submission)
+        self._pending.clear()
+        for slot in self._slots:
+            if slot.current is not None:
+                self._mark_interrupted(slot.current.submission)
+            if slot.process is not None:
+                slot.process.terminate()
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join()
+        # The service survives an interrupt: slots are gone (cold), the
+        # next submission respawns lazily.
+        self._slots = []
+        self._affinity.clear()
+        self._outbox = None
+
+    def _mark_interrupted(self, submission: _Submission) -> None:
+        if not submission.finished:
+            submission.stats.interrupted = True
+            submission.finished = True
+        elif not submission.stats.interrupted and submission.outstanding > 0:
+            submission.stats.interrupted = True
+
+    def _cancel(self, submission: _Submission) -> bool:
+        if submission.finished:
+            return False
+        withdrawn = [
+            group for group in self._pending
+            if group.submission is submission
+        ]
+        for group in withdrawn:
+            self._pending.remove(group)
+            submission.outstanding -= 1
+        submission.cancelled = True
+        submission.stats.interrupted = True
+        if submission.outstanding <= 0:
+            submission.finished = True
+        return bool(withdrawn)
+
+    # -- result assembly ------------------------------------------------
+    def _assemble(self, submission: _Submission) -> SweepResult:
+        # Rows come back grouped by schedule key; the table is in cell
+        # order.  Interrupted/cancelled submissions only have the merged
+        # groups' rows — cells never merged appear in neither list.
+        rows = [
+            SweepRow(
+                cell=dict(cell.coords),
+                metrics=submission.metrics_by_index[cell.index],
+            )
+            for cell in submission.cells
+            if cell.index in submission.metrics_by_index
+        ]
+        failed_rows = [
+            SweepRow(
+                cell=dict(cell.coords), metrics={},
+                error=submission.errors_by_index[cell.index],
+            )
+            for cell in submission.cells
+            if cell.index in submission.errors_by_index
+        ]
+        return SweepResult(
+            axes=submission.axes, metrics=submission.metrics, rows=rows,
+            stats=submission.stats, failed_rows=failed_rows,
+        )

@@ -182,12 +182,32 @@ class SqliteSweepStore(SweepStore):
     in the tagged-JSON text encoding.  ``":memory:"`` works for tests.
     The connection runs in autocommit mode — every ``put`` is durable on
     return — and the store is a context manager (``with`` closes it).
+
+    The database runs in WAL journal mode with a busy timeout, so several
+    connections — e.g. a resident :class:`~repro.experiment.pool.
+    SweepPool` service and an interactive session sharing one checkpoint
+    file — can read and write concurrently without ``database is locked``
+    errors (readers never block the writer under WAL; a briefly-locked
+    writer waits instead of raising).  In-memory databases have no WAL
+    (sqlite reports ``memory`` journal mode) but need none: they are
+    single-connection by construction.
     """
+
+    #: How long [s] a connection waits on a locked database before
+    #: giving up — generous, because checkpoint writes are tiny and the
+    #: lock holder finishes in milliseconds.
+    BUSY_TIMEOUT = 10.0
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
         try:
-            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            self._conn = sqlite3.connect(
+                self.path, isolation_level=None, timeout=self.BUSY_TIMEOUT
+            )
+            self._conn.execute(
+                f"PRAGMA busy_timeout = {int(self.BUSY_TIMEOUT * 1000)}"
+            )
+            self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS sweep_rows ("
                 " scenario_hash TEXT NOT NULL,"

@@ -294,6 +294,19 @@ class SweepStats:
     #: True when a ``KeyboardInterrupt`` cut the sweep short — the result
     #: holds every row completed (and drained) before the interrupt.
     interrupted: bool = False
+    #: True when the sweep ran on an already-warm resident
+    #: :class:`~repro.experiment.pool.SweepPool` (at least one live worker
+    #: at submit time — no spawn cost was paid).  Always False on the
+    #: serial path and on the transient pool ``run_sweep(workers=N)``
+    #: opens.
+    pool_reused: bool = False
+    #: Schedule-key groups served by a worker's warm ``PipelineCache``
+    #: (resident pool only): each such group paid **zero** new
+    #: derivations/scheduling passes this sweep.
+    warm_group_hits: int = 0
+    #: Scenario/stimulus payloads a worker decoded from its content-hash
+    #: cache instead of re-parsing JSON (resident pool only).
+    payload_cache_hits: int = 0
 
 
 @dataclass

@@ -512,6 +512,9 @@ def sweep_result_to_dict(result: SweepResult) -> Dict[str, Any]:
             "store_hits": result.stats.store_hits,
             "store_misses": result.stats.store_misses,
             "interrupted": result.stats.interrupted,
+            "pool_reused": result.stats.pool_reused,
+            "warm_group_hits": result.stats.warm_group_hits,
+            "payload_cache_hits": result.stats.payload_cache_hits,
         },
     }
 
@@ -557,6 +560,9 @@ def sweep_result_from_dict(data: Mapping[str, Any]) -> SweepResult:
             store_hits=int(stats_in.get("store_hits", 0)),
             store_misses=int(stats_in.get("store_misses", 0)),
             interrupted=bool(stats_in.get("interrupted", False)),
+            pool_reused=bool(stats_in.get("pool_reused", False)),
+            warm_group_hits=int(stats_in.get("warm_group_hits", 0)),
+            payload_cache_hits=int(stats_in.get("payload_cache_hits", 0)),
         ),
         failed_rows=[
             SweepRow(

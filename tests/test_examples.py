@@ -26,4 +26,5 @@ def test_example_runs(script):
 def test_examples_exist():
     names = {p.name for p in EXAMPLES}
     assert {"quickstart.py", "fft_streaming.py", "fms_avionics.py",
-            "deterministic_replay.py", "resilient_sweep.py"} <= names
+            "deterministic_replay.py", "resilient_sweep.py",
+            "sweep_service.py"} <= names

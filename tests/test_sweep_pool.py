@@ -1,0 +1,261 @@
+"""Resident sweep service (ISSUE 7): warm-cache resubmits with zero new
+derivations, streaming rows, submission queueing/cancel, pool lifecycle
+(no orphans, crash respawn into the resident pool) and cross-sweep fault
+isolation."""
+
+import multiprocessing
+
+import pytest
+
+from repro import FaultPlan, MemorySweepStore, ScenarioMatrix, run_sweep
+from repro.apps import fig1_scenario, fms_scenario
+from repro.errors import ModelError
+from repro.experiment import SweepPool
+
+#: The headline acceptance matrix: the FMS 2x3 (processors x jitter) —
+#: two schedule-key groups of three runtime cells each.
+FMS_METRICS = ("executed_jobs", "missed_jobs", "worst_lateness", "makespan")
+
+
+def fms_2x3_matrix():
+    return ScenarioMatrix(
+        fms_scenario(n_frames=1),
+        {"processors": [1, 2], "jitter_seed": [0, 1, 2]},
+    )
+
+
+METRICS = ("executed_jobs", "makespan")
+
+
+def fig1_matrix():
+    return ScenarioMatrix(
+        fig1_scenario(n_frames=1),
+        {"processors": [2, 3], "jitter_seed": [0, 1]},
+    )
+
+
+def worker_pids(pool):
+    return {
+        slot.process.pid
+        for slot in pool._slots
+        if slot.process is not None and slot.process.is_alive()
+    }
+
+
+@pytest.fixture(scope="module")
+def fms_serial():
+    return run_sweep(fms_2x3_matrix(), metrics=FMS_METRICS)
+
+
+@pytest.fixture(scope="module")
+def fig1_serial():
+    return run_sweep(fig1_matrix(), metrics=METRICS)
+
+
+# ---------------------------------------------------------------------------
+# the headline invariant: a warm resubmit pays zero stage work, no respawn
+# ---------------------------------------------------------------------------
+class TestWarmResubmit:
+    def test_cold_then_warm(self, fms_serial):
+        with SweepPool(workers=2) as pool:
+            assert not pool.started
+            cold = pool.submit(fms_2x3_matrix(), FMS_METRICS).result()
+            assert pool.started
+            pids = worker_pids(pool)
+            assert len(pids) == 2
+
+            # Cold: the transient-pool contract — one derivation and one
+            # scheduling pass per group, no warm hits, no reuse.
+            assert not cold.stats.pool_reused
+            assert cold.stats.derivations_computed == 2
+            assert cold.stats.schedules_computed == 2
+            assert cold.stats.warm_group_hits == 0
+            assert cold.rows == fms_serial.rows
+
+            warm = pool.submit(fms_2x3_matrix(), FMS_METRICS).result()
+
+            # No respawn: the very same worker processes served it.
+            assert worker_pids(pool) == pids
+            assert warm.stats.pool_reused
+            # Zero new stage work: every group hit its worker's warm
+            # PipelineCache, every payload its content-hash cache.
+            assert warm.stats.derivations_computed == 0
+            assert warm.stats.schedules_computed == 0
+            assert warm.stats.networks_built == 0
+            assert warm.stats.warm_group_hits == 2
+            assert warm.stats.payload_cache_hits >= len(fms_2x3_matrix())
+            # The cells still *execute* — only stage artifacts are cached.
+            assert warm.stats.runs == len(fms_2x3_matrix())
+            assert warm.stats.workers == 2
+            # And the rows are still bit-identical to the serial sweep.
+            assert warm.rows == fms_serial.rows
+            assert warm.stats.failed_cells == 0
+
+    def test_overlapping_matrix_reuses_shared_groups(self, fms_serial):
+        # A matrix overlapping one schedule key (processors=2) with the
+        # first submission pays derivation only for the new key.
+        with SweepPool(workers=2) as pool:
+            pool.submit(fms_2x3_matrix(), FMS_METRICS).result()
+            overlap = ScenarioMatrix(
+                fms_scenario(n_frames=1),
+                {"processors": [2, 3], "jitter_seed": [0, 1, 2]},
+            )
+            result = pool.submit(overlap, FMS_METRICS).result()
+            assert result.stats.pool_reused
+            assert result.stats.warm_group_hits == 1   # processors=2
+            assert result.stats.derivations_computed == 1  # processors=3
+            assert result.stats.schedules_computed == 1
+
+    def test_evict_caches_drops_warmth_but_not_workers(self):
+        with SweepPool(workers=2) as pool:
+            pool.submit(fms_2x3_matrix(), FMS_METRICS).result()
+            pids = worker_pids(pool)
+            pool.evict_caches()
+            result = pool.submit(fms_2x3_matrix(), FMS_METRICS).result()
+            # Same resident processes, but the stage work is re-paid.
+            assert worker_pids(pool) == pids
+            assert result.stats.pool_reused
+            assert result.stats.warm_group_hits == 0
+            assert result.stats.derivations_computed == 2
+
+    def test_closed_pool_refuses_submissions(self):
+        pool = SweepPool(workers=2)
+        pool.close()
+        with pytest.raises(ModelError, match="closed"):
+            pool.submit(fms_2x3_matrix(), FMS_METRICS)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ModelError):
+            SweepPool(workers=0)
+        with pytest.raises(ModelError):
+            SweepPool(max_retries=-1)
+        with pytest.raises(ModelError):
+            SweepPool(retry_backoff=-0.1)
+        with pytest.raises(ModelError):
+            SweepPool(max_cached_groups=0)
+
+
+# ---------------------------------------------------------------------------
+# streaming rows and the submission queue
+# ---------------------------------------------------------------------------
+class TestSubmissionQueue:
+    def test_rows_stream_through_on_row(self, fig1_serial):
+        streamed = []
+        with SweepPool(workers=2) as pool:
+            ticket = pool.submit(
+                fig1_matrix(), METRICS, on_row=streamed.append
+            )
+            result = ticket.result()
+        # Every healthy row streamed exactly once (completion order);
+        # the result table itself is in cell order.
+        assert len(streamed) == len(result.rows)
+        for row in streamed:
+            assert row in result.rows
+        assert result.rows == fig1_serial.rows
+
+    def test_store_hits_stream_without_dispatch(self, fig1_serial):
+        store = MemorySweepStore()
+        run_sweep(fig1_matrix(), metrics=METRICS, store=store)
+        streamed = []
+        with SweepPool(workers=2) as pool:
+            ticket = pool.submit(
+                fig1_matrix(), METRICS, store=store, on_row=streamed.append
+            )
+            # All cells hit the store parent-side at submit: the rows
+            # streamed already and no worker was ever spawned.
+            assert ticket.done
+            assert not pool.started
+            result = ticket.result()
+        assert len(streamed) == len(fig1_matrix())
+        assert result.rows == fig1_serial.rows
+        assert result.stats.store_hits == len(fig1_matrix())
+        assert result.stats.runs == 0
+        assert result.stats.workers == 1
+        assert not result.stats.pool_reused
+
+    def test_queued_submissions_interleave(self, fms_serial, fig1_serial):
+        with SweepPool(workers=2) as pool:
+            ticket_a = pool.submit(fms_2x3_matrix(), FMS_METRICS)
+            ticket_b = pool.submit(fig1_matrix(), METRICS)
+            # Neither has run yet — nothing executes until driven.
+            assert not ticket_a.done and not ticket_b.done
+            result_b = ticket_b.result()
+            result_a = ticket_a.result()
+        assert result_a.rows == fms_serial.rows
+        assert result_b.rows == fig1_serial.rows
+
+    def test_cancel_withdraws_pending_groups(self, fms_serial):
+        with SweepPool(workers=2) as pool:
+            ticket_a = pool.submit(fms_2x3_matrix(), FMS_METRICS)
+            ticket_b = pool.submit(fig1_matrix(), METRICS)
+            assert ticket_b.cancel()
+            assert ticket_b.cancelled and ticket_b.done
+            assert not ticket_b.cancel()  # already withdrawn
+            result_a = ticket_a.result()
+            result_b = ticket_b.result()
+        assert result_a.rows == fms_serial.rows
+        # The cancelled submission is an empty partial result.
+        assert result_b.rows == []
+        assert result_b.stats.interrupted
+
+    def test_result_is_idempotent(self):
+        with SweepPool(workers=2) as pool:
+            ticket = pool.submit(fig1_matrix(), METRICS)
+            first = ticket.result()
+            assert ticket.result() is first
+
+
+# ---------------------------------------------------------------------------
+# pool lifecycle: orphans, crash respawn, cross-sweep fault isolation
+# ---------------------------------------------------------------------------
+class TestPoolLifecycle:
+    def test_context_manager_leaves_no_orphans(self):
+        with SweepPool(workers=2) as pool:
+            pool.submit(fig1_matrix(), METRICS).result()
+            assert pool.started
+        assert multiprocessing.active_children() == []
+        assert not pool.started
+
+    def test_close_is_idempotent(self):
+        pool = SweepPool(workers=2)
+        pool.submit(fig1_matrix(), METRICS).result()
+        pool.close()
+        pool.close()
+        assert multiprocessing.active_children() == []
+
+    def test_crash_respawns_into_resident_pool(self, fig1_serial):
+        with SweepPool(workers=2, retry_backoff=0.01) as pool:
+            faulted = pool.submit(
+                fig1_matrix(), METRICS, faults=FaultPlan(kill_at={2: 1})
+            ).result()
+            # The transient kill was absorbed: full clean table, the
+            # redispatch charged to the retry budget.
+            assert faulted.rows == fig1_serial.rows
+            assert faulted.stats.failed_cells == 0
+            assert faulted.stats.retries >= 1
+            # The replacement worker joined the *resident* pool: the
+            # service stays up and the next submission reuses it.
+            assert pool.started
+            assert len(worker_pids(pool)) == 2
+            again = pool.submit(fig1_matrix(), METRICS).result()
+            assert again.stats.pool_reused
+            assert again.rows == fig1_serial.rows
+        assert multiprocessing.active_children() == []
+
+    def test_fault_in_sweep_a_does_not_taint_sweep_b(self, fig1_serial):
+        # A FaultPlan kill during sweep A must leave sweep B's rows
+        # bit-identical to serial — fault state is per submission.
+        with SweepPool(workers=2, retry_backoff=0.01) as pool:
+            ticket_a = pool.submit(
+                fig1_matrix(), METRICS, faults=FaultPlan(kill_at={2: 1})
+            )
+            ticket_b = pool.submit(fig1_matrix(), METRICS)
+            result_b = ticket_b.result()
+            result_a = ticket_a.result()
+        assert result_b.rows == fig1_serial.rows
+        assert result_b.stats.failed_cells == 0
+        assert result_a.rows == fig1_serial.rows
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

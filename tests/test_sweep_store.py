@@ -113,6 +113,34 @@ class TestBackends:
         with pytest.raises(CheckpointError):
             SqliteSweepStore("/no-such-directory/sweep.db")
 
+    def test_sqlite_uses_wal_with_busy_timeout(self, tmp_path):
+        with SqliteSweepStore(str(tmp_path / "sweep.db")) as store:
+            assert store._conn.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0] == "wal"
+            assert store._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0] == int(SqliteSweepStore.BUSY_TIMEOUT * 1000)
+        # :memory: still works — no WAL (single-connection), no error.
+        with SqliteSweepStore(":memory:") as store:
+            store.put("a", "m", {"v": 1})
+            assert store.get("a", "m") == {"v": 1}
+
+    def test_sqlite_two_connections_read_write_concurrently(self, tmp_path):
+        # A resident sweep service and an interactive session sharing one
+        # checkpoint DB: interleaved reads and writes on two connections
+        # must never raise 'database is locked' (WAL + busy_timeout).
+        path = str(tmp_path / "sweep.db")
+        with SqliteSweepStore(path) as writer, SqliteSweepStore(path) as reader:
+            for i in range(50):
+                writer.put(f"k{i}", "m", {"v": i})
+                # The second connection reads rows the first just wrote,
+                # while also writing its own interleaved rows.
+                assert reader.get(f"k{i}", "m") == {"v": i}
+                reader.put(f"r{i}", "m", {"v": -i})
+                assert writer.get(f"r{i}", "m") == {"v": -i}
+            assert len(writer) == len(reader) == 100
+
 
 # ---------------------------------------------------------------------------
 # store-backed sweeps: populate, hit, resume
