@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-faults test-pool bench bench-smoke bench-json bench-diff cov lint
+.PHONY: test test-faults test-pool bench bench-smoke bench-json bench-diff cov lint cli-smoke
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
@@ -63,6 +63,25 @@ bench-json:
 
 # Compare two snapshots: make bench-diff A=benchmarks/BENCH_a.json B=...
 # Refuses snapshots from hosts with different cpu counts — the
-# parallel/pool lanes are not comparable across core counts.
+# parallel/pool lanes are not comparable across core counts.  Add
+# TOLERANCE=0.05 to turn the report into a gate (exit 1 past 5%).
 bench-diff:
-	$(PY) benchmarks/run_bench.py --diff $(A) $(B)
+	$(PY) benchmarks/run_bench.py --diff $(A) $(B) \
+		$(if $(TOLERANCE),--tolerance $(TOLERANCE))
+
+# Operational-surface smoke: drive the shipped demo configs through the
+# `python -m repro` CLI (run + spans, parallel sweep + sqlite resume),
+# then gate the sweep against itself with `diff` — a zero-drift check of
+# the whole config -> execute -> serialise -> compare loop.
+cli-smoke:
+	@rm -rf build/cli-smoke && mkdir -p build/cli-smoke
+	$(PY) -m repro run examples/fig1_run.json \
+		-o build/cli-smoke/run.json --spans build/cli-smoke/spans.json \
+		--progress
+	$(PY) -m repro sweep examples/fig1_sweep.json --workers 2 \
+		--store build/cli-smoke/sweep.db -o build/cli-smoke/sweep_a.json \
+		--progress
+	$(PY) -m repro sweep examples/fig1_sweep.json \
+		--store build/cli-smoke/sweep.db -o build/cli-smoke/sweep_b.json
+	$(PY) -m repro diff build/cli-smoke/sweep_a.json \
+		build/cli-smoke/sweep_b.json

@@ -467,44 +467,33 @@ def run_suite(fast: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     return results
 
 
-def diff_snapshots(path_a: str, path_b: str) -> int:
+def diff_snapshots(
+    path_a: str, path_b: str, tolerance: "float | None" = None
+) -> int:
     """Per-case wall-time comparison of two BENCH_*.json snapshots.
 
-    Refuses to compare snapshots taken on hosts with different CPU
-    counts: the parallel/pool lanes measure core overlap, so a 1-CPU
+    Delegates to the shared comparison engine
+    (:mod:`repro.analysis.compare`) — the same one behind
+    ``python -m repro diff``.  With *tolerance* ``None`` (the default,
+    and the historical behaviour) the table is report-only; with a
+    tolerance set, a case slowing down past it fails with exit 1.
+    Snapshots from hosts with different CPU counts refuse to compare
+    (exit 2): the parallel/pool lanes measure core overlap, so a 1-CPU
     number against a multi-core number is noise presented as a trend.
     """
-    a = json.loads(Path(path_a).read_text())
-    b = json.loads(Path(path_b).read_text())
-    cpus_a, cpus_b = a.get("cpus"), b.get("cpus")
-    if cpus_a != cpus_b:
-        print(
-            f"refusing to diff: snapshots come from different hosts — "
-            f"{path_a} has cpus={cpus_a}, {path_b} has cpus={cpus_b}; "
-            "parallel/pool lanes are not comparable across core counts",
-            file=sys.stderr,
-        )
-        return 2
-    if a.get("fast") != b.get("fast"):
-        print(
-            "warning: comparing a --fast snapshot against a full one — "
-            "frame counts differ",
-            file=sys.stderr,
-        )
-    print(f"{'case':24s} {'A [ms]':>10s} {'B [ms]':>10s} {'B/A':>7s}")
-    for name in sorted(set(a.get("cases", {})) | set(b.get("cases", {}))):
-        wall_a = a.get("cases", {}).get(name, {}).get("wall_s")
-        wall_b = b.get("cases", {}).get(name, {}).get("wall_s")
-        if wall_a is None or wall_b is None:
-            only = "A" if wall_b is None else "B"
-            print(f"{name:24s} {'—':>10s} {'—':>10s}   (only in {only})")
-            continue
-        ratio = wall_b / wall_a if wall_a else float("inf")
-        print(
-            f"{name:24s} {wall_a * 1000:10.2f} {wall_b * 1000:10.2f} "
-            f"{ratio:6.2f}x"
-        )
-    return 0
+    from repro.analysis.compare import compare_files
+
+    comparison = compare_files(path_a, path_b, tolerance=tolerance)
+    for warning in comparison.warnings:
+        print(warning, file=sys.stderr)
+    if comparison.refusal is not None:
+        print(comparison.refusal, file=sys.stderr)
+        return comparison.exit_code
+    for line in comparison.lines:
+        print(line)
+    for line in comparison.regressions:
+        print(f"! regression: {line}", file=sys.stderr)
+    return comparison.exit_code
 
 
 def main(argv=None) -> int:
@@ -523,10 +512,16 @@ def main(argv=None) -> int:
                         help="compare two snapshots instead of running; "
                              "refuses snapshots from hosts with different "
                              "cpu counts")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        metavar="FRACTION",
+                        help="with --diff: relative slowdown allowed before "
+                             "exit 1 (default: report only)")
     args = parser.parse_args(argv)
 
     if args.diff is not None:
-        return diff_snapshots(*args.diff)
+        return diff_snapshots(*args.diff, tolerance=args.tolerance)
+    if args.tolerance is not None:
+        parser.error("--tolerance only makes sense with --diff")
     if args.repeats is not None and args.repeats < 1:
         parser.error("--repeats must be >= 1")
     repeats = args.repeats or (1 if args.fast else 3)

@@ -17,6 +17,10 @@ what the facade calls underneath — use whichever altitude fits.
 Run:  python examples/quickstart.py
 """
 
+import json
+import pathlib
+import tempfile
+
 from repro import Experiment, Scenario, is_no_data, miss_summary, schedule_gantt
 from repro.runtime import MetricsObserver
 from repro.taskgraph import task_graph_load
@@ -200,6 +204,50 @@ def main() -> None:
         f"resident pool: {len(streamed)} rows streamed; warm resubmit hit "
         f"{warm.stats.warm_group_hits} cached groups, 0 new derivations"
     )
+
+    # -- 10. the CLI and live telemetry ------------------------------------
+    # `python -m repro` drives all of the above from JSON configs:
+    #
+    #   python -m repro run   examples/fig1_run.json   --spans spans.json
+    #   python -m repro sweep examples/fig1_sweep.json --workers 2 \
+    #       --store sweep.db --progress
+    #   python -m repro diff  baseline.json candidate.json --tolerance 0.01
+    #
+    # `diff` exits 1 past tolerance (the CI perf gate) and 2 when the
+    # files are not comparable.  The observers behind `--progress` and
+    # `--spans` are ordinary library objects too: SpanObserver turns a
+    # run into an OTel-style span tree, ProgressObserver renders sweep
+    # rows and pool milestones as they happen.
+    import io as _io
+
+    from repro.cli import main as repro_main
+    from repro.io.json_io import scenario_to_dict
+    from repro.runtime import ProgressObserver, SpanObserver
+
+    spans = SpanObserver()
+    Experiment(fig1_scenario(n_frames=1)).run(observers=[spans])
+    assert spans.spans[0].kind == "run"  # parents the kernel spans
+    print(f"span tree: {len(spans.spans)} spans, root "
+          f"{spans.spans[0].name!r} ending at {spans.spans[0].end}")
+
+    ticker = ProgressObserver(
+        total_cells=len(service_matrix), stream=_io.StringIO()
+    )
+    run_sweep(service_matrix, ("executed_jobs",), on_row=ticker.on_row)
+    print(f"progress sink saw {ticker.rows_seen} rows live")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = pathlib.Path(tmp) / "run.json"
+        config.write_text(json.dumps({
+            "format": "fppn-config", "version": 1,
+            "scenario": scenario_to_dict(fig1_scenario(n_frames=1)),
+            "metrics": ["executed_jobs", "makespan"],
+        }))
+        out = pathlib.Path(tmp) / "out.json"
+        assert repro_main(["run", str(config), "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+    assert document["format"] == "fppn-sweep" and len(document["rows"]) == 1
+    print("CLI round trip: config -> fppn-sweep document, 1 row")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 """Analysis utilities: determinism checking and experiment reporting."""
 
+from .compare import Comparison, compare_files, compare_payloads
 from .determinism import (
     DeterminismReport,
     VariantOutcome,
@@ -17,6 +18,9 @@ from .response import (
 )
 
 __all__ = [
+    "Comparison",
+    "compare_files",
+    "compare_payloads",
     "DeterminismReport",
     "VariantOutcome",
     "check_determinism",

@@ -1,0 +1,294 @@
+"""Result-file comparison: the CI perf/regression gate primitive.
+
+One implementation behind both front-ends — ``python -m repro diff`` and
+``benchmarks/run_bench.py --diff`` — comparing two result files of the
+same kind:
+
+* **sweep tables** (``"format": "fppn-sweep"``, written by
+  ``python -m repro run/sweep`` or :func:`repro.io.json_io.
+  sweep_result_to_dict`): rows are matched by their cell coordinates and
+  every shared metric is compared numerically.  Sweep rows promise
+  bit-identical exact-rational metrics across machines and commits, so
+  *any* drift beyond the tolerance — in either direction — is a
+  regression: an unexplained metric change in a deterministic pipeline
+  is a bug even when it "improves".
+* **bench snapshots** (``BENCH_*.json`` from ``benchmarks/run_bench.py``,
+  recognised by their ``"cases"`` key): per-case wall times are compared
+  as B/A ratios.  Wall time is noisy and one-directional, so only
+  slowdowns past the tolerance count as regressions, and snapshots from
+  hosts with different CPU counts refuse to compare at all (the
+  parallel/pool lanes measure core overlap — a 1-CPU number against a
+  multi-core number is noise presented as a trend).
+
+The comparison is pure data in, :class:`Comparison` out — rendering and
+process exit codes stay with the callers.  ``tolerance=None`` means
+*report only* (the historical ``run_bench.py --diff`` behaviour): the
+tables print, nothing is classified as a regression, and the exit code
+stays 0 unless the files refuse to compare.
+
+Exit-code contract (:attr:`Comparison.exit_code`): ``0`` comparable and
+within tolerance, ``1`` regression(s) past the tolerance, ``2`` the
+files cannot be meaningfully compared (different kinds, different CPU
+counts, different metric sets, malformed input).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..io.json_io import value_from_jsonable
+
+__all__ = ["Comparison", "compare_files", "compare_payloads"]
+
+
+@dataclass
+class Comparison:
+    """Outcome of one file pair: rendered lines plus the classification.
+
+    ``lines`` is the human-readable table (callers print it to stdout);
+    ``warnings`` and ``refusal`` belong on stderr.  ``regressions``
+    holds one line per deviation past the tolerance — empty when the
+    files agree (or when ``tolerance=None`` made the run report-only).
+    """
+
+    kind: str  # "sweep" | "bench" | "unknown"
+    lines: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    refusal: Optional[str] = None
+
+    @property
+    def exit_code(self) -> int:
+        if self.refusal is not None:
+            return 2
+        return 1 if self.regressions else 0
+
+
+def _load(path: str) -> Any:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from exc
+
+
+def _kind_of(data: Any) -> str:
+    if isinstance(data, Mapping):
+        if data.get("format") == "fppn-sweep":
+            return "sweep"
+        if "cases" in data:
+            return "bench"
+    return "unknown"
+
+
+def compare_files(
+    path_a: str, path_b: str, tolerance: Optional[float] = None
+) -> Comparison:
+    """Compare two result files (baseline *path_a* vs candidate *path_b*).
+
+    *tolerance* is a relative bound (``0.10`` = 10%); ``None`` reports
+    without classifying regressions.  The file kind is auto-detected and
+    must match between the two files.
+    """
+    try:
+        a, b = _load(path_a), _load(path_b)
+    except ValueError as exc:
+        return Comparison(kind="unknown", refusal=str(exc))
+    return compare_payloads(a, b, tolerance, names=(path_a, path_b))
+
+
+def compare_payloads(
+    a: Any,
+    b: Any,
+    tolerance: Optional[float] = None,
+    *,
+    names: tuple = ("A", "B"),
+) -> Comparison:
+    """The in-memory core of :func:`compare_files` (tested directly)."""
+    kind_a, kind_b = _kind_of(a), _kind_of(b)
+    if kind_a != kind_b:
+        return Comparison(
+            kind="unknown",
+            refusal=(
+                f"cannot compare a {kind_a!r} file against a {kind_b!r} "
+                f"file — {names[0]} and {names[1]} are different kinds "
+                "of results"
+            ),
+        )
+    if kind_a == "sweep":
+        return _compare_sweeps(a, b, tolerance, names)
+    if kind_a == "bench":
+        return _compare_benches(a, b, tolerance, names)
+    return Comparison(
+        kind="unknown",
+        refusal=(
+            f"unrecognised result files: expected an fppn-sweep document "
+            f"or a BENCH_*.json snapshot in {names[0]} / {names[1]}"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sweep tables
+# ---------------------------------------------------------------------------
+def _cell_key(cell: Mapping[str, Any]) -> str:
+    return json.dumps(cell, sort_keys=True)
+
+
+def _rel_delta(va: Any, vb: Any) -> Optional[float]:
+    """Relative |B-A| / |A| for numeric values, None for non-numeric."""
+    if isinstance(va, bool) or isinstance(vb, bool):
+        return None if va == vb else float("inf")
+    if not isinstance(va, (int, float, Fraction)):
+        return None if va == vb else float("inf")
+    if not isinstance(vb, (int, float, Fraction)):
+        return float("inf")
+    if va == vb:
+        return 0.0
+    if va == 0:
+        return float("inf")
+    return abs(float(Fraction(vb) - Fraction(va)) / float(Fraction(va)))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, Fraction) and not isinstance(value, int):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _compare_sweeps(
+    a: Mapping[str, Any], b: Mapping[str, Any],
+    tolerance: Optional[float], names: tuple,
+) -> Comparison:
+    comp = Comparison(kind="sweep")
+    metrics_a = list(a.get("metrics", []))
+    metrics_b = list(b.get("metrics", []))
+    if metrics_a != metrics_b:
+        comp.refusal = (
+            f"sweep metric sets differ — {names[0]} has "
+            f"{', '.join(metrics_a) or '(none)'}; {names[1]} has "
+            f"{', '.join(metrics_b) or '(none)'}; re-run one side with "
+            "matching metrics"
+        )
+        return comp
+
+    def rows_by_cell(doc: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for row in doc.get("rows", []):
+            cell = {
+                k: value_from_jsonable(v)
+                for k, v in row.get("cell", {}).items()
+            }
+            out[_cell_key(row.get("cell", {}))] = {
+                "cell": cell,
+                "metrics": {
+                    k: value_from_jsonable(v)
+                    for k, v in row.get("metrics", {}).items()
+                },
+            }
+        return out
+
+    rows_a, rows_b = rows_by_cell(a), rows_by_cell(b)
+    gate = tolerance is not None
+    deviations = 0
+    compared = 0
+    for key in sorted(set(rows_a) | set(rows_b)):
+        in_a, in_b = key in rows_a, key in rows_b
+        coords = ", ".join(
+            f"{k}={_fmt(v)}"
+            for k, v in (rows_a.get(key) or rows_b[key])["cell"].items()
+        )
+        if not (in_a and in_b):
+            only = names[0] if in_a else names[1]
+            line = f"({coords}): row only in {only}"
+            comp.lines.append(line)
+            if gate:
+                comp.regressions.append(line)
+            continue
+        compared += 1
+        for metric in metrics_a:
+            va = rows_a[key]["metrics"].get(metric)
+            vb = rows_b[key]["metrics"].get(metric)
+            delta = _rel_delta(va, vb)
+            if delta is None or delta == 0.0:
+                continue
+            deviations += 1
+            line = (
+                f"({coords}) {metric}: {_fmt(va)} -> {_fmt(vb)} "
+                f"({delta:.2%} drift)"
+                if delta != float("inf")
+                else f"({coords}) {metric}: {_fmt(va)} -> {_fmt(vb)}"
+            )
+            comp.lines.append(line)
+            if gate and delta > tolerance:
+                comp.regressions.append(line)
+    comp.lines.append(
+        f"{compared} row(s) compared over {len(metrics_a)} metric(s): "
+        + (
+            "identical"
+            if deviations == 0 and len(rows_a) == len(rows_b) == compared
+            else f"{deviations} metric deviation(s)"
+        )
+    )
+    failed = len(a.get("failed_rows", [])), len(b.get("failed_rows", []))
+    if any(failed):
+        comp.warnings.append(
+            f"failed rows present ({names[0]}: {failed[0]}, "
+            f"{names[1]}: {failed[1]}) — failed cells carry no metrics "
+            "and are not compared"
+        )
+    return comp
+
+
+# ---------------------------------------------------------------------------
+# bench snapshots
+# ---------------------------------------------------------------------------
+def _compare_benches(
+    a: Mapping[str, Any], b: Mapping[str, Any],
+    tolerance: Optional[float], names: tuple,
+) -> Comparison:
+    comp = Comparison(kind="bench")
+    cpus_a, cpus_b = a.get("cpus"), b.get("cpus")
+    if cpus_a != cpus_b:
+        comp.refusal = (
+            f"refusing to diff: snapshots come from different hosts — "
+            f"{names[0]} has cpus={cpus_a}, {names[1]} has cpus={cpus_b}; "
+            "parallel/pool lanes are not comparable across core counts"
+        )
+        return comp
+    if a.get("fast") != b.get("fast"):
+        comp.warnings.append(
+            "warning: comparing a --fast snapshot against a full one — "
+            "frame counts differ"
+        )
+    gate = tolerance is not None
+    comp.lines.append(
+        f"{'case':24s} {'A [ms]':>10s} {'B [ms]':>10s} {'B/A':>7s}"
+    )
+    for name in sorted(set(a.get("cases", {})) | set(b.get("cases", {}))):
+        wall_a = a.get("cases", {}).get(name, {}).get("wall_s")
+        wall_b = b.get("cases", {}).get(name, {}).get("wall_s")
+        if wall_a is None or wall_b is None:
+            only = "A" if wall_b is None else "B"
+            comp.lines.append(
+                f"{name:24s} {'—':>10s} {'—':>10s}   (only in {only})"
+            )
+            continue
+        ratio = wall_b / wall_a if wall_a else float("inf")
+        comp.lines.append(
+            f"{name:24s} {wall_a * 1000:10.2f} {wall_b * 1000:10.2f} "
+            f"{ratio:6.2f}x"
+        )
+        # Wall time only regresses upward: faster is fine, slower past
+        # the tolerance fails the gate.
+        if gate and ratio > 1.0 + tolerance:
+            comp.regressions.append(
+                f"{name}: {wall_a * 1000:.2f} ms -> {wall_b * 1000:.2f} ms "
+                f"({ratio:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return comp

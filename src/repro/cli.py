@@ -1,0 +1,340 @@
+"""``python -m repro`` — run scenarios and sweeps from JSON configs.
+
+The operational surface over the experiment layer, STOMP-style (the
+related toolchain drives everything through one JSON-configurable entry
+point).  Three subcommands:
+
+``run <config.json>``
+    Execute one scenario and print its metrics table as an
+    ``fppn-sweep`` JSON document (a one-row sweep, so ``run`` output and
+    ``sweep`` output diff uniformly).  ``--spans <path>`` additionally
+    exports the run as an OTel-style span list
+    (:class:`repro.runtime.telemetry.SpanObserver`).
+
+``sweep <config.json>``
+    Execute a scenario matrix and print the ``SweepResult`` JSON.
+    ``--workers`` fans out across worker processes, ``--store`` attaches
+    a durable SQLite checkpoint (resumable sweeps), ``--group-timeout``
+    / ``--max-retries`` / ``--on-error`` map onto the fault-tolerance
+    knobs of :func:`repro.experiment.run_sweep`, and ``--progress``
+    renders live per-cell/per-group progress on stderr
+    (:class:`repro.runtime.telemetry.ProgressObserver`).
+
+``diff <a.json> <b.json>``
+    Compare two result files (sweep tables or ``BENCH_*.json``
+    snapshots) through :mod:`repro.analysis.compare` and exit nonzero
+    past ``--tolerance`` — the CI perf-gate primitive.  Exit codes:
+    0 within tolerance, 1 regression, 2 not comparable.
+
+Config files are either a bare artifact — an ``fppn-scenario`` document
+(``run``) or an ``fppn-matrix`` document (``sweep``) — or an
+``fppn-config`` wrapper naming one of those plus run options::
+
+    {
+      "format": "fppn-config",
+      "version": 1,
+      "scenario": { ... fppn-scenario ... },   // or "matrix": {...}
+      "metrics": ["executed_jobs", "makespan"],
+      "faults": {"raise_at": [1]}              // optional, for drills
+    }
+
+Results go to stdout (or ``-o``); progress and diagnostics go to
+stderr, so ``python -m repro run cfg.json | jq .`` just works.
+Workloads must be registered names (the built-in apps register
+``fig1`` / ``fft`` / ``fms`` / ``fms-40s`` on import) — scenarios
+carrying bare code cannot come from JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Mapping, NoReturn, Optional, Sequence
+
+from .errors import FPPNError
+
+#: Ensures the built-in workload names resolve for scenarios loaded
+#: from JSON before any run starts.
+from . import apps as _apps  # noqa: F401
+
+__all__ = ["main"]
+
+
+def _fail(message: str) -> NoReturn:
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _load_json(path: str) -> Any:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        _fail(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        _fail(f"{path} is not valid JSON: {exc}")
+
+
+def _parse_config(data: Any, path: str) -> Dict[str, Any]:
+    """Normalise any accepted config shape to the fppn-config fields."""
+    from .io.json_io import (
+        FormatError,
+        fault_plan_from_dict,
+        matrix_from_dict,
+        scenario_from_dict,
+    )
+
+    if not isinstance(data, Mapping):
+        _fail(f"{path}: expected a JSON object, got {type(data).__name__}")
+    fmt = data.get("format")
+    try:
+        if fmt == "fppn-scenario":
+            return {"scenario": scenario_from_dict(data)}
+        if fmt == "fppn-matrix":
+            return {"matrix": matrix_from_dict(data)}
+        if fmt == "fppn-config":
+            out: Dict[str, Any] = {}
+            if "scenario" in data:
+                out["scenario"] = scenario_from_dict(data["scenario"])
+            if "matrix" in data:
+                out["matrix"] = matrix_from_dict(data["matrix"])
+            if not out:
+                _fail(f"{path}: fppn-config needs a 'scenario' or 'matrix'")
+            if "metrics" in data:
+                metrics = data["metrics"]
+                if not isinstance(metrics, Sequence) or isinstance(
+                    metrics, str
+                ):
+                    _fail(f"{path}: 'metrics' must be a list of names")
+                out["metrics"] = tuple(metrics)
+            if "faults" in data:
+                out["faults"] = fault_plan_from_dict(data["faults"])
+            return out
+    except FormatError as exc:
+        _fail(f"{path}: {exc}")
+    except FPPNError as exc:
+        _fail(f"{path}: {exc}")
+    _fail(
+        f"{path}: unrecognised config format {fmt!r} — expected "
+        "fppn-config, fppn-scenario or fppn-matrix"
+    )
+
+
+def _emit(document: Mapping[str, Any], output: Optional[str]) -> None:
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if output is None or output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {output}", file=sys.stderr)
+
+
+def _progress_sinks(enabled: bool, total_cells: int, label: str):
+    if not enabled:
+        return None, None, None
+    from .runtime.telemetry import ProgressObserver
+
+    observer = ProgressObserver(total_cells=total_cells, label=label)
+    return observer, observer.on_row, observer.on_event
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiment import DEFAULT_METRICS, ScenarioMatrix, run_sweep
+    from .io.json_io import save_json, spans_to_jsonable, sweep_result_to_dict
+
+    config = _parse_config(_load_json(args.config), args.config)
+    scenario = config.get("scenario")
+    if scenario is None:
+        _fail(
+            f"{args.config}: 'run' needs a scenario config — use "
+            "'sweep' for matrix configs"
+        )
+    metrics = config.get("metrics", DEFAULT_METRICS)
+    matrix = ScenarioMatrix(scenario, {})
+
+    span_observer = None
+    observer_factory = None
+    if args.spans is not None:
+        from .runtime.telemetry import SpanObserver
+
+        span_observer = SpanObserver()
+        # One cell, one live run: the factory forces the serial path and
+        # a live (non-store, non-lean-skipped) execution, which is what
+        # span collection needs anyway.
+        observer_factory = lambda cell: [span_observer]  # noqa: E731
+    progress, on_row, on_progress = _progress_sinks(
+        args.progress, len(matrix), "run"
+    )
+
+    try:
+        result = run_sweep(
+            matrix, metrics,
+            observer_factory=observer_factory,
+            on_error="raise",
+            on_row=on_row, on_progress=on_progress,
+        )
+    except FPPNError as exc:
+        _fail(str(exc))
+    except Exception as exc:  # the scenario's own code may raise anything
+        print(f"run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if progress is not None:
+        progress.finish(result.stats)
+    if span_observer is not None:
+        save_json(spans_to_jsonable(span_observer.spans), args.spans)
+        print(
+            f"wrote {len(span_observer.spans)} span(s) to {args.spans}",
+            file=sys.stderr,
+        )
+    _emit(sweep_result_to_dict(result), args.output)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiment import (
+        DEFAULT_METRICS,
+        ScenarioMatrix,
+        SqliteSweepStore,
+        run_sweep,
+    )
+    from .io.json_io import sweep_result_to_dict
+
+    config = _parse_config(_load_json(args.config), args.config)
+    matrix = config.get("matrix")
+    if matrix is None:
+        # A scenario-only config sweeps as a single-cell matrix, so one
+        # config file can serve both subcommands.
+        matrix = ScenarioMatrix(config["scenario"], {})
+    metrics = config.get("metrics", DEFAULT_METRICS)
+    store = SqliteSweepStore(args.store) if args.store is not None else None
+    progress, on_row, on_progress = _progress_sinks(
+        args.progress, len(matrix), "sweep"
+    )
+
+    try:
+        result = run_sweep(
+            matrix, metrics,
+            workers=args.workers,
+            store=store,
+            faults=config.get("faults"),
+            on_error=args.on_error,
+            group_timeout=args.group_timeout,
+            max_retries=args.max_retries,
+            on_row=on_row, on_progress=on_progress,
+        )
+    except FPPNError as exc:
+        _fail(str(exc))
+    except Exception as exc:
+        print(f"sweep failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if progress is not None:
+        progress.finish(result.stats)
+    _emit(sweep_result_to_dict(result), args.output)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .analysis.compare import compare_files
+
+    comparison = compare_files(args.a, args.b, tolerance=args.tolerance)
+    for warning in comparison.warnings:
+        print(warning, file=sys.stderr)
+    if comparison.refusal is not None:
+        print(comparison.refusal, file=sys.stderr)
+        return comparison.exit_code
+    for line in comparison.lines:
+        print(line)
+    if comparison.regressions:
+        print(
+            f"\n{len(comparison.regressions)} regression(s) past "
+            f"tolerance {args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for line in comparison.regressions:
+            print(f"  ! {line}", file=sys.stderr)
+    return comparison.exit_code
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute one scenario from a JSON config"
+    )
+    run.add_argument("config", help="fppn-scenario or fppn-config JSON file")
+    run.add_argument(
+        "-o", "--output", default=None,
+        help="write the result JSON here instead of stdout",
+    )
+    run.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="also export the run as an OTel-style JSON span list",
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="render live progress on stderr",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="execute a scenario matrix from a JSON config"
+    )
+    sweep.add_argument("config", help="fppn-matrix or fppn-config JSON file")
+    sweep.add_argument(
+        "-o", "--output", default=None,
+        help="write the SweepResult JSON here instead of stdout",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial in-process, the default)",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="SQLite checkpoint store — completed cells survive reruns",
+    )
+    sweep.add_argument(
+        "--group-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-group deadline for the parallel supervisor",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=2,
+        help="group redispatches after worker crash/timeout (default 2)",
+    )
+    sweep.add_argument(
+        "--on-error", choices=("capture", "raise"), default="capture",
+        help="failing cells become error rows (capture, default) or "
+             "abort the sweep (raise)",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="render live per-cell/per-group progress on stderr",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    diff = sub.add_parser(
+        "diff", help="compare two result files (sweep tables or "
+                     "BENCH_*.json snapshots)"
+    )
+    diff.add_argument("a", help="baseline result file")
+    diff.add_argument("b", help="candidate result file")
+    diff.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="FRACTION",
+        help="relative drift allowed before exit 1 (default 0.0 — exact)",
+    )
+    diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

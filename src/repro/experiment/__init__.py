@@ -46,7 +46,7 @@ from .scenario import (
 from .experiment import Experiment, PipelineCache
 from .faults import FaultPlan, InjectedFault
 from .parallel import schedule_key_groups, serial_fallback_reason
-from .pool import SweepPool, SweepTicket
+from .pool import PoolEvent, SweepPool, SweepTicket
 from .store import (
     MemorySweepStore,
     SqliteSweepStore,
@@ -78,6 +78,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "MemorySweepStore",
+    "PoolEvent",
     "ScenarioMatrix",
     "SqliteSweepStore",
     "SweepCell",

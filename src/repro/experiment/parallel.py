@@ -165,6 +165,8 @@ def run_sweep_parallel(
     group_timeout: Optional[float] = None,
     max_retries: int = 2,
     retry_backoff: float = 0.25,
+    on_row: Optional[Callable[[Any], None]] = None,
+    on_progress: Optional[Callable[[Any], None]] = None,
 ) -> SweepResult:
     """Fan the matrix's schedule-key groups out across worker processes.
 
@@ -191,6 +193,6 @@ def run_sweep_parallel(
         ticket = pool.submit(
             matrix, metrics,
             lean=lean, cells=cells, store=store, faults=faults,
-            on_error=on_error,
+            on_error=on_error, on_row=on_row, on_progress=on_progress,
         )
         return ticket.result()

@@ -104,7 +104,7 @@ from .sweep import (
     _run_cell,
 )
 
-__all__ = ["SweepPool", "SweepTicket"]
+__all__ = ["PoolEvent", "SweepPool", "SweepTicket"]
 
 #: Supervisor poll period [s]: how long a collect blocks for replies
 #: before re-checking dispatch, crashes and deadlines.
@@ -115,6 +115,32 @@ def _payload_hash(data: Any) -> str:
     """Content hash of a JSON-able payload (canonical encoding)."""
     canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One milestone in a submission's lifecycle (telemetry stream).
+
+    Emitted to the ``on_progress`` callback of :meth:`SweepPool.submit`
+    at group granularity — the complement of the per-cell ``on_row``
+    stream.  Delivery is **best-effort**: a raising progress sink is
+    swallowed and never perturbs the sweep (unlike ``on_row``, whose
+    errors are surfaced after bookkeeping — rows are data, progress is
+    telemetry).
+
+    ``kind`` is one of ``"store-hits"`` (cells resolved from the
+    checkpoint store at submit), ``"enqueued"`` (groups queued behind
+    the pending queue), ``"dispatch"`` (group handed to a worker slot),
+    ``"group-done"`` (reply merged), ``"group-failed"`` (retry budget
+    exhausted — detail carries the error), ``"retry"`` (group requeued
+    after a crash/timeout) and ``"finished"`` (submission complete).
+    """
+
+    kind: str
+    gid: Optional[int] = None
+    cells: int = 0
+    groups: int = 0
+    detail: str = ""
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +410,7 @@ class _Submission:
     stats: SweepStats
     on_error: str
     on_row: Optional[Callable[[SweepRow], None]]
+    on_progress: Optional[Callable[[PoolEvent], None]]
     group_timeout: Optional[float]
     max_retries: int
     retry_backoff: float
@@ -618,6 +645,7 @@ class SweepPool:
         faults: Optional[FaultPlan] = None,
         on_error: str = "capture",
         on_row: Optional[Callable[[SweepRow], None]] = None,
+        on_progress: Optional[Callable[[PoolEvent], None]] = None,
         group_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         retry_backoff: Optional[float] = None,
@@ -630,6 +658,11 @@ class SweepPool:
         schedule-key groups behind whatever other submissions are
         pending — interleaving is at group granularity.  Nothing
         executes until the pool is driven (``ticket.result()``).
+
+        ``on_progress`` receives a best-effort :class:`PoolEvent` stream
+        at group granularity (store hits, enqueue, dispatch, done,
+        retry, failure, finish) — the live-telemetry complement of the
+        per-cell ``on_row`` row stream.
 
         Every cell must be dispatchable (scenarios that embed code the
         workers cannot reconstruct are refused with
@@ -657,8 +690,13 @@ class SweepPool:
                     f"scenario is not dispatchable: {blocker}"
                 )
 
+        # Count the cells actually submitted: an explicit ``cells=``
+        # subset (a resubmission of failed/missing cells, say) must not
+        # report the full matrix size — ``table()``'s "interrupted:
+        # N/M cells" line and any hit-rate computed from ``stats.cells``
+        # would misreport the subset run.
         stats = SweepStats(
-            cells=len(matrix), workers=1, parallel_fallback=None,
+            cells=len(cells), workers=1, parallel_fallback=None,
             pool_reused=self.started,
         )
         submission = _Submission(
@@ -671,6 +709,7 @@ class SweepPool:
             stats=stats,
             on_error=on_error,
             on_row=on_row,
+            on_progress=on_progress,
             group_timeout=(
                 self.group_timeout if group_timeout is None else group_timeout
             ),
@@ -703,6 +742,8 @@ class SweepPool:
                         continue
                     stats.store_misses += 1
             compute_cells.append(cell)
+        if stats.store_hits:
+            self._notify(submission, "store-hits", cells=stats.store_hits)
 
         groups = _group_cells(compute_cells)
         stats.workers = min(self.workers, len(groups)) if groups else 1
@@ -715,9 +756,29 @@ class SweepPool:
                 key=group_cells[0].scenario.schedule_key(),
             ))
             self._next_gid += 1
+        self._notify(
+            submission, "enqueued",
+            cells=len(compute_cells), groups=len(groups),
+        )
         if submission.outstanding == 0:
             submission.finished = True
+            self._notify(submission, "finished")
         return SweepTicket(self, submission)
+
+    def _notify(self, submission: _Submission, kind: str, **fields: Any) -> None:
+        """Deliver one :class:`PoolEvent`, best-effort.
+
+        Progress is telemetry, not data: a raising sink must never
+        wedge or fail a sweep, so exceptions are swallowed here (the
+        ``on_row`` stream, which *is* data, surfaces its errors after
+        group bookkeeping instead).
+        """
+        if submission.on_progress is None:
+            return
+        try:
+            submission.on_progress(PoolEvent(kind=kind, **fields))
+        except Exception:
+            pass
 
     # -- worker slots ---------------------------------------------------
     def _spawn_slot(self) -> _WorkerSlot:
@@ -800,6 +861,13 @@ class SweepPool:
             slot.inbox.put(("run", job_id, payload))
             slot.current = group
             slot.job_id = job_id
+            self._notify(
+                submission, "dispatch",
+                gid=group.gid, cells=len(group.cells),
+                detail=f"slot {slot.index}" + (
+                    f", attempt {group.attempt}" if group.attempt else ""
+                ),
+            )
             # Deadlines measure group runtime: the clock starts at
             # dispatch only for booted workers, otherwise when the
             # worker's ready message arrives.
@@ -847,7 +915,18 @@ class SweepPool:
             slot.job_id = None
             slot.deadline = None
             merged_any = True
-            self._merge_reply(group, payload)
+            # Group finalisation is exception-safe: once the group has
+            # left its slot it is on neither the pending queue nor a
+            # slot, so an escaping error from the merge (a raising user
+            # ``on_row`` callback or ``store.put``) would otherwise
+            # strand it — ``submission.outstanding`` never reaches 0
+            # and ``ticket.result()`` pumps forever.  Finish the
+            # group's bookkeeping first, then let the error surface.
+            try:
+                self._merge_reply(group, payload)
+            except BaseException:
+                self._finish_group(group)
+                raise
             if (
                 fire_interrupts
                 and group.submission.faults is not None
@@ -861,15 +940,33 @@ class SweepPool:
                 # submission is cut short.
                 self._mark_interrupted(group.submission)
                 raise KeyboardInterrupt
+            # group-done precedes the "finished" milestone _finish_group
+            # may emit — the stream stays causally ordered for renderers.
+            self._notify(
+                group.submission, "group-done",
+                gid=group.gid, cells=len(group.cells),
+            )
             self._finish_group(group)
 
     def _merge_reply(self, group: _PoolGroup, payload: str) -> None:
+        """Fold one group reply into its submission's accumulating state.
+
+        User code runs inside this merge (``store.put`` and the
+        ``on_row`` callback), and it may raise.  The merge is structured
+        so bookkeeping always completes first: every row's metrics are
+        recorded in ``metrics_by_index`` regardless, callback/store
+        errors are *deferred*, and the first one re-raises only after
+        the whole reply (rows, errors, stats) has merged — the caller
+        then finishes the group before letting it propagate, so a buggy
+        sink degrades to a visible exception instead of a wedged ticket.
+        """
         from ..io.json_io import value_from_jsonable
 
         submission = group.submission
         stats = submission.stats
         data = json.loads(payload)
         cell_by_index = {cell.index: cell for cell in group.cells}
+        callback_error: Optional[BaseException] = None
         for row in data["rows"]:
             index = int(row["index"])
             cell_metrics = {
@@ -877,15 +974,21 @@ class SweepPool:
                 for name, value in row["metrics"].items()
             }
             submission.metrics_by_index[index] = cell_metrics
-            if (
-                submission.store is not None
-                and index in submission.skey_by_index
-            ):
-                submission.store.put(
-                    submission.skey_by_index[index], submission.mkey,
-                    cell_metrics,
+            try:
+                if (
+                    submission.store is not None
+                    and index in submission.skey_by_index
+                ):
+                    submission.store.put(
+                        submission.skey_by_index[index], submission.mkey,
+                        cell_metrics,
+                    )
+                self._stream_row(
+                    submission, cell_by_index[index], cell_metrics
                 )
-            self._stream_row(submission, cell_by_index[index], cell_metrics)
+            except Exception as exc:
+                if callback_error is None:
+                    callback_error = exc
         for item in data.get("errors", ()):
             error = item["error"]
             submission.errors_by_index[int(item["index"])] = SweepCellError(
@@ -905,6 +1008,8 @@ class SweepPool:
         if worker_stats.get("group_cache_hit"):
             stats.warm_group_hits += 1
         stats.payload_cache_hits += int(worker_stats.get("payload_hits", 0))
+        if callback_error is not None:
+            raise callback_error
 
     def _stream_row(
         self, submission: _Submission, cell: SweepCell,
@@ -920,6 +1025,7 @@ class SweepPool:
         submission.outstanding -= 1
         if submission.outstanding <= 0:
             submission.finished = True
+            self._notify(submission, "finished")
 
     # -- supervision ----------------------------------------------------
     def _fail_group(
@@ -934,6 +1040,10 @@ class SweepPool:
         for index in group.indices:
             submission.errors_by_index[index] = error
             submission.stats.failed_cells += 1
+        self._notify(
+            submission, "group-failed",
+            gid=group.gid, cells=len(group.cells), detail=error.describe(),
+        )
         self._finish_group(group)
 
     def _requeue(
@@ -963,6 +1073,11 @@ class SweepPool:
             now + submission.retry_backoff * 2 ** (group.attempt - 1)
         )
         self._pending.append(group)
+        self._notify(
+            submission, "retry",
+            gid=group.gid, cells=len(group.cells),
+            detail=f"{what} (attempt {group.attempt})",
+        )
 
     def _check_crashes(self, now: float) -> bool:
         """Respawn dead workers in place; requeue their in-flight group.
@@ -1073,6 +1188,13 @@ class SweepPool:
             group for group in self._pending
             if group.submission is submission
         ]
+        if not withdrawn:
+            # Nothing to withdraw — every group is already dispatched
+            # (or merged).  The submission will complete normally, so
+            # its state must not be touched: marking it cancelled/
+            # interrupted here would make a sweep whose every row
+            # completed report itself interrupted.
+            return False
         for group in withdrawn:
             self._pending.remove(group)
             submission.outstanding -= 1
@@ -1080,7 +1202,7 @@ class SweepPool:
         submission.stats.interrupted = True
         if submission.outstanding <= 0:
             submission.finished = True
-        return bool(withdrawn)
+        return True
 
     # -- result assembly ------------------------------------------------
     def _assemble(self, submission: _Submission) -> SweepResult:

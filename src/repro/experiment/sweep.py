@@ -484,6 +484,8 @@ def run_sweep(
     group_timeout: Optional[float] = None,
     max_retries: int = 2,
     retry_backoff: float = 0.25,
+    on_row: Optional[Callable[[SweepRow], None]] = None,
+    on_progress: Optional[Callable[[Any], None]] = None,
 ) -> SweepResult:
     """Execute every cell of *matrix* and tabulate the requested *metrics*.
 
@@ -550,6 +552,21 @@ def run_sweep(
     retry_backoff:
         Base seconds of the exponential backoff between a group's
         redispatches (``retry_backoff * 2**retries_so_far``).
+    on_row:
+        Optional per-cell row stream: called with each *healthy*
+        :class:`SweepRow` as it completes (store hits included), before
+        the assembled result returns — the same contract as
+        :meth:`SweepPool.submit`'s ``on_row``, so live sinks
+        (:class:`~repro.runtime.telemetry.ProgressObserver`) work on
+        both paths.  The callback is user code and *is* part of the
+        sweep: an exception it raises surfaces to the caller (after
+        the parallel backend's bookkeeping completes).
+    on_progress:
+        Optional milestone stream for the parallel backend
+        (:class:`~repro.experiment.pool.PoolEvent` values: enqueue,
+        dispatch, group completion, retries).  Delivery is best-effort
+        — exceptions are swallowed — and the serial path emits nothing
+        (there are no groups or dispatches to report).
     """
     metrics, want_data = _check_metrics(metrics)
     if workers < 1:
@@ -582,6 +599,7 @@ def run_sweep(
                 store=store, faults=faults, on_error=on_error,
                 group_timeout=group_timeout, max_retries=max_retries,
                 retry_backoff=retry_backoff,
+                on_row=on_row, on_progress=on_progress,
             )
 
     if cells is None:
@@ -613,7 +631,10 @@ def run_sweep(
             stored = store.get(skey, mkey)
             if stored is not None:
                 stats.store_hits += 1
-                rows.append(SweepRow(cell=dict(cell.coords), metrics=stored))
+                row = SweepRow(cell=dict(cell.coords), metrics=stored)
+                rows.append(row)
+                if on_row is not None:
+                    on_row(row)
                 continue
             stats.store_misses += 1
         try:
@@ -641,13 +662,17 @@ def run_sweep(
             )
             continue
         stats.runs += 1
-        rows.append(
-            SweepRow(
-                cell=dict(cell.coords), metrics=cell_metrics, result=result
-            )
+        row = SweepRow(
+            cell=dict(cell.coords), metrics=cell_metrics, result=result
         )
+        rows.append(row)
         if store is not None and skey is not None:
             store.put(skey, mkey, cell_metrics)
+        # Streamed *after* the row is booked (and persisted): a raising
+        # sink surfaces to the caller but never loses the row — the
+        # serial mirror of the pool's deferred-callback-error contract.
+        if on_row is not None:
+            on_row(row)
     stats.networks_built = cache.networks_built - nets0
     stats.derivations_computed = cache.derivations_computed - derivs0
     stats.schedules_computed = cache.schedules_computed - scheds0

@@ -38,8 +38,10 @@ from ..runtime.overheads import OverheadModel
 from ..taskgraph.graph import TaskGraph
 from ..taskgraph.jobs import Job
 from ..scheduling.schedule import ScheduledJob, StaticSchedule
+from ..experiment.faults import FaultPlan
 from ..experiment.scenario import Scenario
 from ..experiment.sweep import (
+    ScenarioMatrix,
     SweepCellError,
     SweepResult,
     SweepRow,
@@ -441,6 +443,99 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         collect_trace=bool(data.get("collect_trace", True)),
         label=data.get("label"),
     )
+
+
+# ---------------------------------------------------------------------------
+# scenario matrices
+# ---------------------------------------------------------------------------
+def matrix_to_dict(matrix: "ScenarioMatrix") -> Dict[str, Any]:
+    """Lossless dict form of a scenario matrix (base scenario + axes).
+
+    Axis values use the tagged value encoding, so rational WCET axes,
+    overhead-model axes and stimulus-free scalar axes all survive; the
+    base scenario obeys :func:`scenario_to_dict`'s registered-workload
+    rule.  This is the ``sweep`` config the CLI consumes.
+    """
+    return {
+        "format": "fppn-matrix",
+        "version": FORMAT_VERSION,
+        "base": scenario_to_dict(matrix.base),
+        "axes": {
+            name: [value_to_jsonable(v) for v in values]
+            for name, values in matrix.axes.items()
+        },
+    }
+
+
+def matrix_from_dict(data: Mapping[str, Any]) -> "ScenarioMatrix":
+    """Inverse of :func:`matrix_to_dict`."""
+    _check_header(data, "fppn-matrix")
+    return ScenarioMatrix(
+        scenario_from_dict(data["base"]),
+        {
+            name: [value_from_jsonable(v) for v in values]
+            for name, values in data.get("axes", {}).items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+def fault_plan_to_dict(plan: "FaultPlan") -> Dict[str, Any]:
+    """Dict form of a fault plan (normalised index tuples, as lists)."""
+    return {
+        "raise_at": list(plan.raise_at),
+        "kill_at": [list(item) for item in plan.kill_at],
+        "delay_at": [list(item) for item in plan.delay_at],
+        "interrupt_at": list(plan.interrupt_at),
+    }
+
+
+def fault_plan_from_dict(data: Mapping[str, Any]) -> "FaultPlan":
+    """Inverse of :func:`fault_plan_to_dict` (missing fields stay empty)."""
+    return FaultPlan(
+        raise_at=tuple(data.get("raise_at", ())),
+        kill_at=tuple(tuple(item) for item in data.get("kill_at", ())),
+        delay_at=tuple(tuple(item) for item in data.get("delay_at", ())),
+        interrupt_at=tuple(data.get("interrupt_at", ())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# telemetry spans
+# ---------------------------------------------------------------------------
+def spans_to_jsonable(spans: Any) -> Dict[str, Any]:
+    """OTel-style JSON document for a span list.
+
+    Spans are duck-typed (``name`` / ``span_id`` / ``parent_id`` /
+    ``kind`` / ``start`` / ``end`` / ``attributes`` attributes —
+    :class:`repro.runtime.telemetry.Span` is the producer) so this
+    module does not import the telemetry layer.  Timestamps and
+    attribute values use the tagged value encoding: span intervals stay
+    exact rationals, the library's invariant for every time stamp.
+    """
+    return {
+        "format": "fppn-spans",
+        "version": FORMAT_VERSION,
+        "spans": [
+            {
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "kind": span.kind,
+                "start": value_to_jsonable(span.start),
+                "end": (
+                    None if span.end is None else value_to_jsonable(span.end)
+                ),
+                "attributes": {
+                    name: value_to_jsonable(v)
+                    for name, v in span.attributes.items()
+                },
+            }
+            for span in spans
+        ],
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ from .observers import (
     replay,
 )
 from .overheads import OverheadModel
+from .telemetry import ProgressObserver, Span, SpanObserver
 from .static_order import (
     ArrivalBinding,
     BoundArrival,
@@ -62,6 +63,9 @@ __all__ = [
     "processor_utilization",
     "response_times",
     "OverheadModel",
+    "ProgressObserver",
+    "Span",
+    "SpanObserver",
     "ArrivalBinding",
     "BoundArrival",
     "FramePlan",

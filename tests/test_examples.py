@@ -1,14 +1,15 @@
 """The examples are part of the public contract: they must run clean."""
 
+import json
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
-)
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+CLI_CONFIGS = sorted(EXAMPLES_DIR.glob("*.json"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -28,3 +29,26 @@ def test_examples_exist():
     assert {"quickstart.py", "fft_streaming.py", "fms_avionics.py",
             "deterministic_replay.py", "resilient_sweep.py",
             "sweep_service.py"} <= names
+    assert {p.name for p in CLI_CONFIGS} >= {
+        "fig1_run.json", "fig1_sweep.json"
+    }
+
+
+@pytest.mark.parametrize("config", CLI_CONFIGS, ids=lambda p: p.name)
+def test_cli_demo_configs_run(config):
+    # Every shipped config must execute through the CLI; matrix configs
+    # go through `sweep`, scenario configs through `run`.
+    command = (
+        "sweep" if "matrix" in json.loads(config.read_text()) else "run"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", command, str(config), "--progress"],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    document = json.loads(proc.stdout)
+    assert document["format"] == "fppn-sweep"
+    assert document["rows"]
+    assert "done:" in proc.stderr

@@ -257,5 +257,118 @@ class TestPoolLifecycle:
         assert result_a.rows == fig1_serial.rows
 
 
+# ---------------------------------------------------------------------------
+# callback / cancel / stats regressions (ISSUE 8 bugfixes)
+# ---------------------------------------------------------------------------
+class TestCallbackAndCancelRegressions:
+    def test_raising_on_row_surfaces_but_never_wedges(self, fig1_serial):
+        # Regression: a raising on_row used to escape after the group
+        # left its slot but before _finish_group ran — the group was
+        # stranded (neither pending nor on a slot), outstanding never
+        # reached 0 and ticket.result() pumped forever.
+        def exploding(row):
+            raise RuntimeError("sink exploded")
+
+        with SweepPool(workers=2) as pool:
+            ticket = pool.submit(fig1_matrix(), METRICS, on_row=exploding)
+            # The row stream is data, not telemetry: the sink error
+            # surfaces to the caller ...
+            with pytest.raises(RuntimeError, match="sink exploded"):
+                ticket.result()
+            # ... but only after the group's bookkeeping finished, so
+            # result() completes within one retry per remaining group
+            # instead of spinning forever on the stranded group.
+            result = None
+            for _ in range(4):  # bounded: >= number of groups
+                try:
+                    result = ticket.result()
+                    break
+                except RuntimeError:
+                    continue
+            assert result is not None and ticket.done
+            # No row was lost: metrics merge before the sink runs.
+            assert result.rows == fig1_serial.rows
+            assert result.stats.failed_cells == 0
+            # The pool survived the buggy sink: next submission is clean.
+            again = pool.submit(fig1_matrix(), METRICS).result()
+            assert again.rows == fig1_serial.rows
+
+    def test_explicit_cells_subset_counts_submitted_cells(self):
+        # Regression: stats.cells reported len(matrix) even when an
+        # explicit cells= subset (a resubmission, say) was submitted.
+        matrix = fig1_matrix()
+        subset = list(matrix.cells())[:2]
+        with SweepPool(workers=2) as pool:
+            result = pool.submit(matrix, METRICS, cells=subset).result()
+        assert result.stats.cells == len(subset) == 2
+        assert len(result.rows) == 2
+
+    def test_cancel_after_full_dispatch_changes_nothing(self, fig1_serial):
+        # Regression: cancelling a fully-dispatched submission withdrew
+        # nothing and returned False, yet still set cancelled/interrupted
+        # — a sweep whose every row completed reported itself interrupted.
+        import time
+
+        with SweepPool(workers=2) as pool:
+            ticket = pool.submit(fig1_matrix(), METRICS)
+            pool._dispatch_ready(time.monotonic())  # both groups on slots
+            assert all(
+                group.submission is not ticket._submission
+                for group in pool._pending
+            )
+            assert not ticket.cancel()  # nothing left to withdraw
+            assert not ticket.cancelled
+            result = ticket.result()
+        assert result.rows == fig1_serial.rows
+        assert not result.stats.interrupted
+        assert not ticket.cancelled
+
+
+# ---------------------------------------------------------------------------
+# the on_progress telemetry stream (PoolEvent milestones)
+# ---------------------------------------------------------------------------
+class TestProgressEvents:
+    def test_milestones_for_a_clean_sweep(self):
+        events = []
+        with SweepPool(workers=2) as pool:
+            pool.submit(
+                fig1_matrix(), METRICS, on_progress=events.append
+            ).result()
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "enqueued"
+        assert kinds.count("dispatch") == 2
+        assert kinds.count("group-done") == 2
+        assert kinds[-1] == "finished"
+        enq = events[0]
+        assert enq.cells == len(fig1_matrix()) and enq.groups == 2
+        # group-done precedes finished (causally ordered stream).
+        assert kinds.index("group-done") < kinds.index("finished")
+
+    def test_store_hits_and_raising_sink_are_best_effort(self):
+        store = MemorySweepStore()
+        run_sweep(fig1_matrix(), metrics=METRICS, store=store)
+
+        def exploding(event):
+            raise RuntimeError("telemetry must never break the sweep")
+
+        with SweepPool(workers=2) as pool:
+            # A raising on_progress sink is swallowed entirely.
+            result = pool.submit(
+                fig1_matrix(), METRICS, store=store, on_progress=exploding
+            ).result()
+            assert result.stats.store_hits == len(fig1_matrix())
+
+            events = []
+            ticket = pool.submit(
+                fig1_matrix(), METRICS, store=store, on_progress=events.append
+            )
+            assert ticket.done  # all hits resolved at submit
+            kinds = [e.kind for e in events]
+            assert kinds[0] == "store-hits"
+            assert events[0].cells == len(fig1_matrix())
+            assert kinds[-1] == "finished"
+            assert "dispatch" not in kinds
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

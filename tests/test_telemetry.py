@@ -1,0 +1,213 @@
+"""Telemetry sinks (ISSUE 8): SpanObserver span trees, live vs replay
+identity, ProgressObserver rendering, and the tagged span JSON export."""
+
+import io
+import json
+
+import pytest
+
+from repro import Experiment, ScenarioMatrix, run_sweep
+from repro.apps import fig1_scenario
+from repro.experiment.sweep import SweepCellError, SweepRow, SweepStats
+from repro.io.json_io import spans_to_jsonable
+from repro.runtime import ProgressObserver, Span, SpanObserver, replay
+
+
+def scenario(**overrides):
+    return fig1_scenario(n_frames=2, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# SpanObserver
+# ---------------------------------------------------------------------------
+class TestSpanObserver:
+    def test_run_span_parents_kernel_spans(self):
+        observer = SpanObserver()
+        result = Experiment(scenario()).run(observers=[observer])
+        spans = observer.spans
+        run_span, kernel_spans = spans[0], spans[1:]
+
+        assert run_span.kind == "run"
+        assert run_span.span_id == 1 and run_span.parent_id is None
+        assert run_span.name == "run:fig1-example"
+        assert run_span.start == 0
+        assert run_span.end == result.makespan()
+        assert run_span.attributes["processors"] == 2
+        assert run_span.attributes["frames"] == 2
+
+        # One kernel span per executed (non-false) job, all closed, all
+        # parented to the run span, ids sequential in open order.
+        executed = [r for r in result.records if not r.is_false]
+        assert len(kernel_spans) == len(executed)
+        assert [s.span_id for s in kernel_spans] == list(
+            range(2, 2 + len(kernel_spans))
+        )
+        for span in kernel_spans:
+            assert span.kind == "kernel"
+            assert span.parent_id == 1
+            assert span.end is not None and span.end >= span.start
+        # Span intervals match the job records exactly.
+        by_key = {(r.process, r.global_k): r for r in executed}
+        for span in kernel_spans:
+            record = by_key[
+                (span.attributes["process"], span.attributes["k"])
+            ]
+            assert span.start == record.start
+            assert span.end == record.end
+
+    def test_live_and_replay_spans_identical(self):
+        live = SpanObserver()
+        result = Experiment(scenario()).run(observers=[live])
+        replayed = SpanObserver()
+        replay(result, replayed)
+        assert replayed.spans == live.spans
+
+    def test_records_only_run_yields_run_span_only(self):
+        observer = SpanObserver()
+        exp = Experiment(scenario(records_only=True))
+        result = exp.run(observers=[observer])
+        assert [s.kind for s in observer.spans] == ["run"]
+        assert observer.spans[0].end == result.makespan()
+
+    def test_observer_resets_between_runs(self):
+        observer = SpanObserver()
+        Experiment(scenario()).run(observers=[observer])
+        first = list(observer.spans)
+        replay(Experiment(scenario()).run(), observer)
+        assert observer.spans == first  # not doubled, same run re-seen
+
+    def test_spans_to_jsonable_round_trip_shape(self):
+        observer = SpanObserver()
+        Experiment(scenario()).run(observers=[observer])
+        doc = spans_to_jsonable(observer.spans)
+        assert doc["format"] == "fppn-spans" and doc["version"] == 1
+        assert len(doc["spans"]) == len(observer.spans)
+        run_span = doc["spans"][0]
+        assert run_span["parent_id"] is None
+        assert run_span["start"] == {"$frac": "0/1"}
+        assert run_span["attributes"]["network"] == "fig1-example"
+        # The document is pure JSON (no stray Python objects).
+        json.dumps(doc)
+
+    def test_sweep_observer_factory_collects_spans_per_cell(self):
+        collected = []
+
+        def factory(cell):
+            observer = SpanObserver()
+            collected.append((cell.coords, observer))
+            return [observer]
+
+        matrix = ScenarioMatrix(scenario(), {"jitter_seed": [0, 1]})
+        run_sweep(
+            matrix, ("executed_jobs", "makespan"), observer_factory=factory
+        )
+        assert len(collected) == 2
+        for _, observer in collected:
+            assert observer.spans and observer.spans[0].kind == "run"
+            assert all(s.end is not None for s in observer.spans)
+
+
+# ---------------------------------------------------------------------------
+# ProgressObserver
+# ---------------------------------------------------------------------------
+def _row(cell, error=None):
+    return SweepRow(cell=cell, metrics={}, error=error)
+
+
+class TestProgressObserver:
+    def test_row_rendering_with_totals(self):
+        stream = io.StringIO()
+        progress = ProgressObserver(total_cells=2, stream=stream)
+        progress.on_row(_row({"jitter_seed": 0}))
+        progress.on_row(_row({"jitter_seed": 1}))
+        lines = stream.getvalue().splitlines()
+        assert lines == [
+            "[sweep] cell 1/2 (jitter_seed=0) done",
+            "[sweep] cell 2/2 (jitter_seed=1) done",
+        ]
+
+    def test_error_rows_render_the_failure(self):
+        stream = io.StringIO()
+        progress = ProgressObserver(label="drill", stream=stream)
+        error = SweepCellError(error_type="ValueError", message="boom")
+        progress.on_row(_row({"jitter_seed": 2}, error=error))
+        out = stream.getvalue()
+        assert out.startswith("[drill] cell 1 (jitter_seed=2) FAILED:")
+        assert "ValueError: boom" in out
+
+    def test_finish_summarises_stats(self):
+        stream = io.StringIO()
+        progress = ProgressObserver(stream=stream)
+        progress.finish(SweepStats(
+            cells=4, runs=3, workers=2, failed_cells=1, store_hits=1,
+            interrupted=True,
+        ))
+        out = stream.getvalue()
+        assert "3 run(s)" in out and "2 worker(s)" in out
+        assert "1 failed" in out and "1 store hit(s)" in out
+        assert "interrupted" in out
+
+    def test_pool_events_render_per_kind(self):
+        from repro.experiment import PoolEvent
+
+        stream = io.StringIO()
+        progress = ProgressObserver(stream=stream)
+        progress.on_event(PoolEvent(kind="store-hits", cells=3))
+        progress.on_event(PoolEvent(kind="enqueued", cells=4, groups=2))
+        progress.on_event(
+            PoolEvent(kind="dispatch", gid=0, cells=2, detail="slot 1")
+        )
+        progress.on_event(PoolEvent(kind="group-done", gid=0, cells=2))
+        progress.on_event(
+            PoolEvent(kind="retry", gid=1, cells=2, detail="crash (attempt 1)")
+        )
+        progress.on_event(
+            PoolEvent(kind="group-failed", gid=1, cells=2, detail="boom")
+        )
+        progress.on_event(PoolEvent(kind="finished"))
+        progress.on_event(PoolEvent(kind="someday-new", detail="???"))
+        lines = stream.getvalue().splitlines()
+        assert lines == [
+            "[sweep] 3 cell(s) restored from checkpoint store",
+            "[sweep] enqueued 4 cell(s) in 2 group(s)",
+            "[sweep] group 0 (2 cell(s)) -> slot 1",
+            "[sweep] group 0 done (2 cell(s))",
+            "[sweep] group 1 retrying: crash (attempt 1)",
+            "[sweep] group 1 FAILED: boom",
+            "[sweep] all groups finished",
+            "[sweep] someday-new ???",
+        ]
+
+    def test_serial_sweep_streams_rows_through_on_row(self):
+        stream = io.StringIO()
+        matrix = ScenarioMatrix(scenario(), {"jitter_seed": [0, 1, 2]})
+        progress = ProgressObserver(total_cells=len(matrix), stream=stream)
+        result = run_sweep(
+            matrix, ("executed_jobs",),
+            on_row=progress.on_row, on_progress=progress.on_event,
+        )
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == len(result.rows) == 3
+        assert lines[0].startswith("[sweep] cell 1/3 (jitter_seed=0)")
+
+    def test_serial_on_row_raising_surfaces_to_caller(self):
+        matrix = ScenarioMatrix(scenario(), {"jitter_seed": [0, 1]})
+
+        def exploding(row):
+            raise RuntimeError("sink exploded")
+
+        with pytest.raises(RuntimeError, match="sink exploded"):
+            run_sweep(matrix, ("executed_jobs",), on_row=exploding)
+
+
+# ---------------------------------------------------------------------------
+# Span dataclass basics
+# ---------------------------------------------------------------------------
+def test_span_defaults():
+    span = Span(name="x", span_id=3, parent_id=1, kind="kernel", start=0)
+    assert span.end is None
+    assert span.attributes == {}
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
