@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-faults test-pool bench bench-smoke bench-json bench-diff cov lint cli-smoke
+.PHONY: test test-faults test-pool bench bench-smoke bench-json bench-diff cov lint cli-smoke service-smoke
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
@@ -85,3 +85,32 @@ cli-smoke:
 		--store build/cli-smoke/sweep.db -o build/cli-smoke/sweep_b.json
 	$(PY) -m repro diff build/cli-smoke/sweep_a.json \
 		build/cli-smoke/sweep_b.json
+
+# Served-sweep smoke: start a real `python -m repro serve` process on an
+# ephemeral port, route the demo sweep to it with `sweep --server`, run
+# the same config in-process, and gate remote vs local with `diff` at
+# zero tolerance — served rows must be bit-identical to local ones.
+service-smoke:
+	@rm -rf build/service-smoke && mkdir -p build/service-smoke
+	@set -e; \
+	$(PY) -m repro serve examples/sweep_server.json \
+		--ready-file build/service-smoke/addr \
+		> build/service-smoke/server.log 2>&1 < /dev/null & \
+	server_pid=$$!; \
+	trap 'kill $$server_pid 2>/dev/null || true; wait $$server_pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		[ -s build/service-smoke/addr ] && break; \
+		kill -0 $$server_pid 2>/dev/null || { \
+			cat build/service-smoke/server.log; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -s build/service-smoke/addr ] || { \
+		echo "server never became ready"; \
+		cat build/service-smoke/server.log; exit 1; }; \
+	$(PY) -m repro sweep examples/fig1_sweep.json \
+		--server "$$(cat build/service-smoke/addr)" --progress \
+		-o build/service-smoke/remote.json; \
+	$(PY) -m repro sweep examples/fig1_sweep.json \
+		-o build/service-smoke/local.json; \
+	$(PY) -m repro diff build/service-smoke/local.json \
+		build/service-smoke/remote.json --tolerance 0.0

@@ -535,6 +535,9 @@ def main(argv=None) -> int:
         # Parallel-sweep cases only overlap their groups when this is > 1;
         # on a single CPU they measure pure dispatch overhead.
         "cpus": os.cpu_count(),
+        # cpus alone can't tell two different machines apart; the
+        # hostname pins which box a trajectory point came from.
+        "host": platform.node(),
         "cases": results,
     }
     out = args.output

@@ -249,6 +249,36 @@ def main() -> None:
     assert document["format"] == "fppn-sweep" and len(document["rows"]) == 1
     print("CLI round trip: config -> fppn-sweep document, 1 row")
 
+    # -- 11. served sweeps: one warm pool, many remote clients -------------
+    # A SweepServer exposes a shared SweepPool (and optionally a shared
+    # SQLite store) over newline-delimited JSON-RPC on TCP.  From the
+    # shell the two halves are
+    #
+    #   python -m repro serve examples/sweep_server.json --ready-file addr
+    #   python -m repro sweep examples/fig1_sweep.json \
+    #       --server "$(cat addr)" --progress
+    #
+    # and the served table is bit-identical to the local one — exact
+    # Fractions survive the tagged wire codecs.  Submissions carry a
+    # per-connection client tag; the pool's pending queue round-robins
+    # across tags, so a huge matrix from one client cannot starve
+    # another's quick question.  The same round trip in-process:
+    from repro.service import ServiceClient, SweepServer
+
+    with SweepServer(workers=2) as server:
+        host, port = server.address
+        with ServiceClient(host, port, client="quickstart") as remote:
+            assert remote.ping()
+            served = remote.run_sweep(
+                service_matrix, ("executed_jobs", "makespan"),
+                on_row=lambda row: None,  # rows stream live, like on_row
+            )
+    assert served.rows == cold.rows  # bit-identical to the local sweep
+    print(
+        f"served sweep: {len(served.rows)} rows over TCP, "
+        f"bit-identical to the in-process table"
+    )
+
 
 if __name__ == "__main__":
     main()

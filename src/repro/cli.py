@@ -19,6 +19,31 @@ point).  Three subcommands:
     knobs of :func:`repro.experiment.run_sweep`, and ``--progress``
     renders live per-cell/per-group progress on stderr
     (:class:`repro.runtime.telemetry.ProgressObserver`).
+    ``--server HOST:PORT`` routes the same config to a remote sweep
+    server instead of executing locally — rows stream back over the
+    wire bit-identically (pool sizing and the store then live
+    server-side, so ``--workers``/``--store``/``--group-timeout`` are
+    rejected).
+
+``serve <config.json>``
+    Start a sweep server (:class:`repro.service.SweepServer`): one
+    shared warm pool plus an optional shared SQLite store, serving
+    JSON-RPC sweep traffic until a client sends ``shutdown`` or
+    Ctrl-C.  The config is an ``fppn-server`` document (all fields
+    optional)::
+
+        {
+          "format": "fppn-server", "version": 1,
+          "host": "127.0.0.1", "port": 7341,
+          "workers": 2,
+          "store": "sweeps.db",
+          "group_timeout": null, "max_retries": 2,
+          "max_cached_groups": 8, "max_cached_payloads": 64
+        }
+
+    ``--host``/``--port`` override the config; ``--ready-file PATH``
+    writes ``host:port`` once the socket is bound (scripts and CI poll
+    it instead of parsing stderr — essential with ``port: 0``).
 
 ``diff <a.json> <b.json>``
     Compare two result files (sweep tables or ``BENCH_*.json``
@@ -208,11 +233,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # config file can serve both subcommands.
         matrix = ScenarioMatrix(config["scenario"], {})
     metrics = config.get("metrics", DEFAULT_METRICS)
-    store = SqliteSweepStore(args.store) if args.store is not None else None
     progress, on_row, on_progress = _progress_sinks(
         args.progress, len(matrix), "sweep"
     )
 
+    if args.server is not None:
+        # Pool sizing and the checkpoint store are the server's to
+        # configure; silently ignoring these flags would misreport what
+        # actually ran.
+        for name, given in (
+            ("--workers", args.workers != 1),
+            ("--store", args.store is not None),
+            ("--group-timeout", args.group_timeout is not None),
+        ):
+            if given:
+                _fail(
+                    f"{name} is a server-side setting — configure it in "
+                    "the fppn-server config, not together with --server"
+                )
+        return _sweep_remote(
+            args, matrix, metrics, config, progress, on_row, on_progress
+        )
+
+    store = SqliteSweepStore(args.store) if args.store is not None else None
     try:
         result = run_sweep(
             matrix, metrics,
@@ -232,6 +275,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if progress is not None:
         progress.finish(result.stats)
     _emit(sweep_result_to_dict(result), args.output)
+    return 0
+
+
+def _sweep_remote(
+    args: argparse.Namespace,
+    matrix: Any,
+    metrics: Any,
+    config: Mapping[str, Any],
+    progress: Any,
+    on_row: Any,
+    on_progress: Any,
+) -> int:
+    from .errors import SweepError
+    from .io.json_io import sweep_result_to_dict
+    from .service import ServiceClient
+
+    try:
+        with ServiceClient.from_address(args.server) as client:
+            result = client.run_sweep(
+                matrix, metrics,
+                faults=config.get("faults"),
+                on_error=args.on_error,
+                on_row=on_row, on_progress=on_progress,
+            )
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    except FPPNError as exc:
+        _fail(str(exc))
+    if progress is not None:
+        progress.finish(result.stats)
+    _emit(sweep_result_to_dict(result), args.output)
+    return 0
+
+
+def _parse_server_config(data: Any, path: str) -> Dict[str, Any]:
+    if not isinstance(data, Mapping):
+        _fail(f"{path}: expected a JSON object, got {type(data).__name__}")
+    fmt = data.get("format")
+    if fmt != "fppn-server":
+        _fail(
+            f"{path}: unrecognised config format {fmt!r} — 'serve' "
+            "expects an fppn-server document"
+        )
+    known = {
+        "format", "version", "host", "port", "workers", "store",
+        "group_timeout", "max_retries", "max_cached_groups",
+        "max_cached_payloads",
+    }
+    unknown = sorted(set(data) - known)
+    if unknown:
+        _fail(f"{path}: unknown fppn-server field(s): {', '.join(unknown)}")
+    return dict(data)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SweepServer
+
+    config = _parse_server_config(_load_json(args.config), args.config)
+    host = args.host if args.host is not None else config.get(
+        "host", "127.0.0.1"
+    )
+    port = args.port if args.port is not None else int(config.get("port", 0))
+
+    try:
+        server = SweepServer(
+            host, port,
+            workers=int(config.get("workers", 2)),
+            store=config.get("store"),
+            group_timeout=config.get("group_timeout"),
+            max_retries=int(config.get("max_retries", 2)),
+            max_cached_groups=int(config.get("max_cached_groups", 8)),
+            max_cached_payloads=int(config.get("max_cached_payloads", 64)),
+        )
+        bound_host, bound_port = server.start()
+    except FPPNError as exc:
+        _fail(str(exc))
+    print(f"serving sweeps on {bound_host}:{bound_port}", file=sys.stderr)
+    if args.ready_file is not None:
+        with open(args.ready_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{bound_host}:{bound_port}\n")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupted — shutting down", file=sys.stderr)
+    finally:
+        server.close()
     return 0
 
 
@@ -315,7 +445,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="render live per-cell/per-group progress on stderr",
     )
+    sweep.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="route the sweep to a remote sweep server instead of "
+             "executing locally (pool/store flags then live server-side)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve", help="serve sweep traffic over TCP from a shared warm pool"
+    )
+    serve.add_argument("config", help="fppn-server JSON config file")
+    serve.add_argument(
+        "--host", default=None,
+        help="bind address (overrides the config; default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (overrides the config; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write HOST:PORT here once the socket is bound",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     diff = sub.add_parser(
         "diff", help="compare two result files (sweep tables or "

@@ -85,3 +85,17 @@ class SweepTimeoutError(SweepError):
 
 class CheckpointError(FPPNError):
     """The sweep checkpoint store was misused or its backing file is bad."""
+
+
+class ServiceError(FPPNError):
+    """The sweep service (orchestrator, server or client) failed.
+
+    Raised for service-level conditions that are not a sweep cell's own
+    failure: submitting to a closed orchestrator, an unknown ticket, a
+    server that refused a request, or a connection that dropped while a
+    reply was outstanding.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A JSON-RPC wire message is malformed or violates the protocol."""

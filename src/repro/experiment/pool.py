@@ -416,6 +416,9 @@ class _Submission:
     retry_backoff: float
     faults: Optional[FaultPlan] = None
     store: Optional[SweepStore] = None
+    #: Fair-scheduling tag: the pending-group queue round-robins across
+    #: distinct client tags, FIFO within a tag (``None`` is a tag too).
+    client: Optional[str] = None
     mkey: str = ""
     skey_by_index: Dict[int, str] = field(default_factory=dict)
     metrics_by_index: Dict[int, Dict[str, Any]] = field(default_factory=dict)
@@ -560,6 +563,9 @@ class SweepPool:
         #: a resubmitted group reaches the worker holding its warm cache.
         self._affinity: Dict[Any, int] = {}
         self._pending: List[_PoolGroup] = []
+        #: The client tag served by the most recent dispatch — the
+        #: round-robin cursor of the fair scheduler (see `_dispatch_next`).
+        self._last_client: Optional[str] = None
         self._outbox: Any = None
         self._ctx: Any = None
         self._next_sid = 0
@@ -649,6 +655,7 @@ class SweepPool:
         group_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         retry_backoff: Optional[float] = None,
+        client: Optional[str] = None,
     ) -> SweepTicket:
         """Enqueue a matrix; returns a :class:`SweepTicket` immediately.
 
@@ -658,6 +665,13 @@ class SweepPool:
         schedule-key groups behind whatever other submissions are
         pending — interleaving is at group granularity.  Nothing
         executes until the pool is driven (``ticket.result()``).
+
+        ``client`` tags the submission for the fair scheduler: the
+        pending queue round-robins across distinct client tags (FIFO
+        within a tag), so one client's huge matrix cannot starve
+        another client's small one.  Untagged submissions all share the
+        ``None`` tag, which degenerates to plain FIFO — the pre-service
+        behaviour.
 
         ``on_progress`` receives a best-effort :class:`PoolEvent` stream
         at group granularity (store hits, enqueue, dispatch, done,
@@ -721,6 +735,7 @@ class SweepPool:
             ),
             faults=faults,
             store=store,
+            client=client,
         )
         self._next_sid += 1
 
@@ -844,37 +859,77 @@ class SweepPool:
         return None
 
     def _dispatch_ready(self, now: float) -> None:
-        for group in list(self._pending):
-            if group.not_before > now:
-                continue
-            slot = self._worker_for(group)
-            if slot is None:
-                continue
-            self._pending.remove(group)
-            submission = group.submission
-            payload = _encode_service_group(
-                group.cells, submission.metrics, submission.lean,
-                faults=submission.faults, attempt=group.attempt,
-            )
-            job_id = self._next_job
-            self._next_job += 1
-            slot.inbox.put(("run", job_id, payload))
-            slot.current = group
-            slot.job_id = job_id
-            self._notify(
-                submission, "dispatch",
-                gid=group.gid, cells=len(group.cells),
-                detail=f"slot {slot.index}" + (
-                    f", attempt {group.attempt}" if group.attempt else ""
-                ),
-            )
-            # Deadlines measure group runtime: the clock starts at
-            # dispatch only for booted workers, otherwise when the
-            # worker's ready message arrives.
-            timeout = submission.group_timeout
-            slot.deadline = (
-                now + timeout if timeout is not None and slot.ready else None
-            )
+        while self._dispatch_next(now):
+            pass
+
+    def _dispatch_next(self, now: float) -> bool:
+        """Dispatch one pending group, fair across client tags.
+
+        Clients take turns: the scheduler cycles through the distinct
+        client tags present in the pending queue, starting after the tag
+        served by the previous dispatch, and hands out the first
+        dispatchable group (backoff elapsed, a worker available —
+        affinity still wins over fairness: a group whose warm slot is
+        busy keeps waiting for it) of the first tag that has one.  FIFO
+        within a tag preserves each client's own submission order, and a
+        single tag — every pre-service caller — reduces to the original
+        FIFO-over-groups behaviour.  Returns True when a group was
+        dispatched.
+        """
+        order: List[Optional[str]] = []
+        seen = set()
+        for group in self._pending:
+            tag = group.submission.client
+            if tag not in seen:
+                seen.add(tag)
+                order.append(tag)
+        if not order:
+            return False
+        if self._last_client in seen:
+            pivot = order.index(self._last_client) + 1
+            order = order[pivot:] + order[:pivot]
+        for tag in order:
+            for group in self._pending:
+                if group.submission.client != tag:
+                    continue
+                if group.not_before > now:
+                    continue
+                slot = self._worker_for(group)
+                if slot is None:
+                    continue
+                self._dispatch_group(group, slot, now)
+                self._last_client = tag
+                return True
+        return False
+
+    def _dispatch_group(
+        self, group: _PoolGroup, slot: _WorkerSlot, now: float
+    ) -> None:
+        self._pending.remove(group)
+        submission = group.submission
+        payload = _encode_service_group(
+            group.cells, submission.metrics, submission.lean,
+            faults=submission.faults, attempt=group.attempt,
+        )
+        job_id = self._next_job
+        self._next_job += 1
+        slot.inbox.put(("run", job_id, payload))
+        slot.current = group
+        slot.job_id = job_id
+        self._notify(
+            submission, "dispatch",
+            gid=group.gid, cells=len(group.cells),
+            detail=f"slot {slot.index}" + (
+                f", attempt {group.attempt}" if group.attempt else ""
+            ),
+        )
+        # Deadlines measure group runtime: the clock starts at
+        # dispatch only for booted workers, otherwise when the
+        # worker's ready message arrives.
+        timeout = submission.group_timeout
+        slot.deadline = (
+            now + timeout if timeout is not None and slot.ready else None
+        )
 
     # -- collection -----------------------------------------------------
     def _collect_ready(self, *, block: bool, fire_interrupts: bool) -> bool:
@@ -1151,6 +1206,40 @@ class SweepPool:
                 self._check_timeouts(now)
         except KeyboardInterrupt:
             self._interrupt()
+
+    def pump_once(self) -> bool:
+        """Run one dispatch/collect/supervise cycle and return.
+
+        The cooperative alternative to blocking on
+        :meth:`SweepTicket.result`: an external driver (the sweep
+        service's orchestrator thread) interleaves ``pump_once`` with
+        its own work — accepting new submissions between cycles — while
+        the pool makes progress on everything outstanding.  Blocks at
+        most ~`_POLL_INTERVAL` waiting for worker replies.  Returns
+        True when any reply was merged this cycle (results may have
+        completed).  A ``KeyboardInterrupt`` — real or
+        :class:`FaultPlan`-injected — tears the pool down exactly as
+        the blocking path does and resolves all tickets as interrupted
+        partials.
+        """
+        try:
+            now = time.monotonic()
+            self._dispatch_ready(now)
+            if self._collect_ready(block=True, fire_interrupts=True):
+                return True
+            self._check_crashes(now)
+            self._check_timeouts(now)
+            return False
+        except KeyboardInterrupt:
+            self._interrupt()
+            return True
+
+    @property
+    def busy(self) -> bool:
+        """True while any group is pending or dispatched."""
+        return bool(self._pending) or any(
+            not s.idle for s in self._slots
+        )
 
     def _interrupt(self) -> None:
         try:

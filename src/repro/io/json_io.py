@@ -679,6 +679,85 @@ def sweep_result_from_dict(data: Mapping[str, Any]) -> SweepResult:
 
 
 # ---------------------------------------------------------------------------
+# service wire payloads
+# ---------------------------------------------------------------------------
+def pool_event_to_dict(event: Any) -> Dict[str, Any]:
+    """Dict form of a :class:`repro.experiment.PoolEvent` milestone.
+
+    Duck-typed on the producer side (``kind`` / ``gid`` / ``cells`` /
+    ``groups`` / ``detail``) so this module stays import-light; the
+    fields are plain ints and strings, no tagged values needed.
+    """
+    return {
+        "kind": event.kind,
+        "gid": event.gid,
+        "cells": event.cells,
+        "groups": event.groups,
+        "detail": event.detail,
+    }
+
+
+def pool_event_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`pool_event_to_dict`."""
+    from ..experiment.pool import PoolEvent
+
+    kind = data.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise FormatError(f"pool event needs a 'kind' string, got {kind!r}")
+    gid = data.get("gid")
+    if gid is not None and not isinstance(gid, int):
+        raise FormatError(f"pool event 'gid' must be an int or null: {gid!r}")
+    return PoolEvent(
+        kind=kind,
+        gid=gid,
+        cells=int(data.get("cells", 0)),
+        groups=int(data.get("groups", 0)),
+        detail=str(data.get("detail", "")),
+    )
+
+
+def ticket_status_to_dict(status: Any) -> Dict[str, Any]:
+    """Dict form of a service ticket status snapshot.
+
+    Duck-typed (``ticket`` / ``client`` / ``state`` / ``cells`` /
+    ``rows_streamed`` / ``done`` — produced by
+    :class:`repro.service.TicketStatus`) so the io layer does not
+    import the service layer it serves.
+    """
+    return {
+        "ticket": status.ticket,
+        "client": status.client,
+        "state": status.state,
+        "cells": status.cells,
+        "rows_streamed": status.rows_streamed,
+        "done": status.done,
+    }
+
+
+def ticket_status_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`ticket_status_to_dict`."""
+    from ..service.orchestrator import TICKET_STATES, TicketStatus
+
+    ticket = data.get("ticket")
+    if not isinstance(ticket, int):
+        raise FormatError(f"ticket status needs an int 'ticket': {ticket!r}")
+    state = data.get("state")
+    if state not in TICKET_STATES:
+        raise FormatError(f"unrecognised ticket state {state!r}")
+    client = data.get("client")
+    if client is not None and not isinstance(client, str):
+        raise FormatError(f"'client' must be a string or null: {client!r}")
+    return TicketStatus(
+        ticket=ticket,
+        client=client,
+        state=state,
+        cells=int(data.get("cells", 0)),
+        rows_streamed=int(data.get("rows_streamed", 0)),
+        done=bool(data.get("done", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
 # file helpers
 # ---------------------------------------------------------------------------
 def save_json(data: Mapping[str, Any], path: str) -> None:

@@ -6,7 +6,9 @@ operational layer (``python -m repro``):
 * :class:`SpanObserver` — an :class:`~repro.runtime.observers.
   ExecutionObserver` that maps a run onto an OpenTelemetry-shaped span
   tree: one *run span* (opened at ``on_run_start``, closed at
-  ``on_run_end``) parenting one *kernel span* per executed job instance
+  ``on_run_end``) parenting one *frame span* per executed frame (the
+  frame's record envelope, from the ``on_record`` stream), each
+  parenting the frame's *kernel spans* — one per executed job instance
   (opened/closed by the ``on_job_data_start/end`` pair).  The result is
   a plain list of :class:`Span` values — no OpenTelemetry dependency —
   serialisable via :func:`repro.io.json_io.spans_to_jsonable` and
@@ -55,7 +57,7 @@ class Span:
     name: str
     span_id: int
     parent_id: Optional[int]
-    kind: str  # "run" | "kernel"
+    kind: str  # "run" | "frame" | "kernel"
     start: Time
     end: Optional[Time] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
@@ -66,18 +68,26 @@ _RUN_SPAN_ID = 1
 
 
 class SpanObserver(ExecutionObserver):
-    """Collect a run as an OTel-style span list (run span + kernel spans).
+    """Collect a run as an OTel-style span tree (run / frame / kernel).
 
-    Attach to ``Experiment.run(observers=[...])`` or ``replay(result,
-    ...)``; live and replayed runs produce identical span lists (the
-    replay contract re-emits data events in the live order).  Because
-    this observer overrides the data hooks, attaching it to a live run
-    keeps the data phase on — a ``records_only`` scenario emits no
-    kernel spans and yields just the run span.
+    Three levels: one *run span* parents one *frame span* per executed
+    frame (interval = the frame's record envelope, built from the
+    ``on_record`` stream), and each frame span parents the *kernel
+    spans* of the jobs it contains.  Attach to
+    ``Experiment.run(observers=[...])`` or ``replay(result, ...)``;
+    live and replayed runs produce identical span lists: kernel spans
+    follow the trace's data-event order in both, and the frame level is
+    assembled from the completed record stream at ``on_run_end`` —
+    records arrive interleaved live but up-front in replay, so frames
+    cannot be allocated ids in arrival order.  Because this observer
+    overrides the data hooks, attaching it to a live run keeps the data
+    phase on — a ``records_only`` scenario emits no kernel spans and
+    yields the run span plus its frame envelopes.
 
     The run span closes at the latest record end time, tracked from the
     ``on_record`` stream rather than ``result.makespan()`` so the
-    observer also works on lean runs that suppress record collection.
+    observer also works on lean runs that suppress record collection
+    (those also see no frame spans — no records, no envelopes).
     """
 
     def __init__(self) -> None:
@@ -86,6 +96,8 @@ class SpanObserver(ExecutionObserver):
         self._open: Dict[Tuple[str, int], Span] = {}
         self._run_span: Optional[Span] = None
         self._run_end: Time = ZERO
+        self._frame_bounds: Dict[int, Tuple[Time, Time]] = {}
+        self._kernel_spans: List[Span] = []
 
     def on_run_start(self, meta: RunMeta) -> None:
         # Full reset so a reused observer holds exactly one run's spans.
@@ -93,6 +105,8 @@ class SpanObserver(ExecutionObserver):
         self._next_id = _RUN_SPAN_ID
         self._open = {}
         self._run_end = ZERO
+        self._frame_bounds = {}
+        self._kernel_spans = []
         self._run_span = Span(
             name=f"run:{meta.network}",
             span_id=self._next_id,
@@ -112,10 +126,19 @@ class SpanObserver(ExecutionObserver):
     def on_record(self, record: Any) -> None:
         if record.end > self._run_end:
             self._run_end = record.end
+        bounds = self._frame_bounds.get(record.frame)
+        if bounds is None:
+            self._frame_bounds[record.frame] = (record.start, record.end)
+        else:
+            self._frame_bounds[record.frame] = (
+                min(bounds[0], record.start), max(bounds[1], record.end)
+            )
 
     def on_job_data_start(
         self, process: str, k: int, frame: int, start: Time
     ) -> None:
+        # Parented to the run for now; frames re-parent at on_run_end,
+        # once the record stream has named every frame envelope.
         span = Span(
             name=f"{process}[{k}]",
             span_id=self._next_id,
@@ -126,14 +149,42 @@ class SpanObserver(ExecutionObserver):
         )
         self._next_id += 1
         self._open[(process, k)] = span
+        self._kernel_spans.append(span)
         self.spans.append(span)
 
     def on_job_data_end(self, process: str, k: int, frame: int, end: Time) -> None:
         self._open.pop((process, k)).end = end
 
     def on_run_end(self, result: Any) -> None:
-        if self._run_span is not None:
-            self._run_span.end = self._run_end
+        if self._run_span is None:
+            return
+        self._run_span.end = self._run_end
+        # The frame level is assembled here, not as records arrive:
+        # record order differs between live runs (interleaved with data
+        # events) and replay (records first), and span ids must not.
+        # Ids continue past the kernel spans, in frame order; the spans
+        # sit between the run span and the kernels in the list.
+        frame_ids: Dict[int, int] = {}
+        frame_spans: List[Span] = []
+        for frame in sorted(self._frame_bounds):
+            start, end = self._frame_bounds[frame]
+            span = Span(
+                name=f"frame[{frame}]",
+                span_id=self._next_id,
+                parent_id=_RUN_SPAN_ID,
+                kind="frame",
+                start=start,
+                end=end,
+                attributes={"frame": frame},
+            )
+            self._next_id += 1
+            frame_ids[frame] = span.span_id
+            frame_spans.append(span)
+        self.spans[1:1] = frame_spans
+        for span in self._kernel_spans:
+            frame_id = frame_ids.get(span.attributes["frame"])
+            if frame_id is not None:
+                span.parent_id = frame_id
 
 
 class ProgressObserver:

@@ -1,0 +1,226 @@
+"""The sweep service wire protocol: newline-delimited JSON-RPC 2.0.
+
+Every message is one JSON object on one ``\\n``-terminated line —
+requests and responses carry an ``id``, server-to-client notifications
+do not.  Payload values travel through the :mod:`repro.io.json_io`
+tagged codecs, so exact rationals (`$frac`), complex FFT samples
+(`$complex`) and the rest of the library's value vocabulary survive the
+wire losslessly; the served rows are bit-identical to an in-process
+sweep.
+
+Methods (client to server):
+
+``ping``
+    Liveness probe; responds ``{"pong": true}``.
+``submit``
+    Params: ``matrix`` (``fppn-matrix`` document), ``metrics`` (list of
+    names), optional ``faults`` (fault-plan dict), ``on_error``
+    (``"capture"``/``"raise"``), ``client`` (fair-scheduling tag).
+    Responds with the new ticket id and its status snapshot.
+``status``
+    Params: ``ticket``.  Responds with a ticket-status dict.
+``stream``
+    Params: ``ticket``.  The *response* arrives when the sweep
+    finishes, carrying the final ``fppn-sweep`` document; until then
+    the server interleaves ``sweep.row`` and ``sweep.event``
+    notifications on the connection.  A failed ``on_error="raise"``
+    sweep answers with error code ``SWEEP_FAILED`` instead.
+``cancel``
+    Params: ``ticket``.  Withdraws not-yet-dispatched groups; responds
+    ``{"cancelled": bool, "status": {...}}``.
+``shutdown``
+    Responds ``{"ok": true}``, then stops the server.
+
+Notifications (server to client):
+
+``sweep.row``
+    Params: ``ticket`` plus one encoded row (cell, metrics or error).
+``sweep.event``
+    Params: ``ticket`` plus one encoded
+    :class:`~repro.experiment.PoolEvent`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..experiment.sweep import SweepCellError, SweepRow
+from ..io.json_io import value_from_jsonable, value_to_jsonable
+
+__all__ = [
+    "JSONRPC_VERSION",
+    "MAX_LINE_BYTES",
+    "PARSE_ERROR",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "INVALID_PARAMS",
+    "INTERNAL_ERROR",
+    "SWEEP_FAILED",
+    "encode",
+    "decode_line",
+    "request",
+    "notification",
+    "response",
+    "error_response",
+    "check_request",
+    "sweep_row_to_wire",
+    "sweep_row_from_wire",
+]
+
+JSONRPC_VERSION = "2.0"
+
+#: Per-line ceiling for both directions.  A final ``fppn-sweep``
+#: document for a large matrix is the biggest single message; 64 MiB is
+#: far beyond any sweep this library runs while still bounding a
+#: malformed peer.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+# JSON-RPC 2.0 standard error codes, plus one application code.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+#: The sweep itself failed (``on_error="raise"`` with a failing cell).
+#: Clients surface this as :class:`~repro.errors.SweepError`, exactly
+#: like the in-process path.
+SWEEP_FAILED = -32000
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """One wire line: compact JSON, newline-terminated.
+
+    Keys are **not** sorted: axis order in a matrix document is
+    semantic (it fixes the cell product order, hence row order), so the
+    wire must preserve insertion order end to end.
+    """
+    return json.dumps(
+        message, separators=(",", ":")
+    ).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message object."""
+    try:
+        message = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"unparseable wire line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"wire message must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def request(
+    method: str, params: Optional[Mapping[str, Any]], rid: int
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {
+        "jsonrpc": JSONRPC_VERSION, "id": rid, "method": method,
+    }
+    if params is not None:
+        message["params"] = dict(params)
+    return message
+
+
+def notification(
+    method: str, params: Mapping[str, Any]
+) -> Dict[str, Any]:
+    return {
+        "jsonrpc": JSONRPC_VERSION, "method": method, "params": dict(params),
+    }
+
+
+def response(rid: Any, result: Any) -> Dict[str, Any]:
+    return {"jsonrpc": JSONRPC_VERSION, "id": rid, "result": result}
+
+
+def error_response(rid: Any, code: int, message: str) -> Dict[str, Any]:
+    return {
+        "jsonrpc": JSONRPC_VERSION,
+        "id": rid,
+        "error": {"code": code, "message": message},
+    }
+
+
+def check_request(
+    message: Mapping[str, Any],
+) -> Tuple[str, Dict[str, Any], Any]:
+    """Validate an incoming request; returns (method, params, id).
+
+    Raises :class:`~repro.errors.ProtocolError` on shape violations —
+    the server maps that to an ``INVALID_REQUEST`` error response.
+    """
+    if message.get("jsonrpc") != JSONRPC_VERSION:
+        raise ProtocolError(
+            f"missing/unsupported jsonrpc version "
+            f"{message.get('jsonrpc')!r}"
+        )
+    method = message.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError("request needs a non-empty 'method' string")
+    rid = message.get("id")
+    if rid is None:
+        raise ProtocolError(
+            "client notifications are not part of this protocol — "
+            "every request needs an 'id'"
+        )
+    params = message.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object when present")
+    return method, params, rid
+
+
+# ---------------------------------------------------------------------------
+# row payloads — the streaming unit (final tables use the fppn-sweep
+# document from json_io; a live row travels alone)
+# ---------------------------------------------------------------------------
+def sweep_row_to_wire(row: SweepRow) -> Dict[str, Any]:
+    """Encode one row — healthy (metrics) or failed (error record)."""
+    out: Dict[str, Any] = {
+        "cell": {
+            name: value_to_jsonable(v) for name, v in row.cell.items()
+        },
+    }
+    if row.error is not None:
+        out["error"] = {
+            "type": row.error.error_type,
+            "message": row.error.message,
+            "stage": row.error.stage,
+            "retries": row.error.retries,
+        }
+    else:
+        out["metrics"] = {
+            name: value_to_jsonable(v) for name, v in row.metrics.items()
+        }
+    return out
+
+
+def sweep_row_from_wire(data: Mapping[str, Any]) -> SweepRow:
+    """Inverse of :func:`sweep_row_to_wire` (``result`` never travels)."""
+    cell = {
+        name: value_from_jsonable(v)
+        for name, v in data.get("cell", {}).items()
+    }
+    error = data.get("error")
+    if error is not None:
+        return SweepRow(
+            cell=cell,
+            metrics={},
+            error=SweepCellError(
+                error_type=error["type"],
+                message=error["message"],
+                stage=error.get("stage", "run"),
+                retries=int(error.get("retries", 0)),
+            ),
+        )
+    return SweepRow(
+        cell=cell,
+        metrics={
+            name: value_from_jsonable(v)
+            for name, v in data.get("metrics", {}).items()
+        },
+    )

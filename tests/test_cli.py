@@ -98,8 +98,13 @@ class TestRun:
         assert document["format"] == "fppn-spans"
         spans = document["spans"]
         assert spans[0]["kind"] == "run" and spans[0]["parent_id"] is None
-        assert all(s["parent_id"] == 1 for s in spans[1:])
-        assert len(spans) > 1  # kernel spans present
+        frame_ids = {s["span_id"] for s in spans if s["kind"] == "frame"}
+        assert frame_ids  # the frame level sits between run and kernels
+        assert all(
+            s["parent_id"] == 1 for s in spans if s["kind"] == "frame"
+        )
+        kernels = [s for s in spans if s["kind"] == "kernel"]
+        assert kernels and all(s["parent_id"] in frame_ids for s in kernels)
         # The metrics table is still produced alongside the spans.
         assert json.loads(out.read_text())["rows"]
 

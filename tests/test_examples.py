@@ -4,12 +4,20 @@ import json
 import pathlib
 import subprocess
 import sys
+import time
 
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
-CLI_CONFIGS = sorted(EXAMPLES_DIR.glob("*.json"))
+ALL_CONFIGS = sorted(EXAMPLES_DIR.glob("*.json"))
+# Server configs boot a long-running process; they get their own smoke
+# test below instead of the run/sweep round-trip.
+CLI_CONFIGS = [
+    p for p in ALL_CONFIGS
+    if json.loads(p.read_text()).get("format") != "fppn-server"
+]
+SERVER_CONFIGS = [p for p in ALL_CONFIGS if p not in CLI_CONFIGS]
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -32,6 +40,39 @@ def test_examples_exist():
     assert {p.name for p in CLI_CONFIGS} >= {
         "fig1_run.json", "fig1_sweep.json"
     }
+    assert {p.name for p in SERVER_CONFIGS} >= {"sweep_server.json"}
+
+
+@pytest.mark.parametrize("config", SERVER_CONFIGS, ids=lambda p: p.name)
+def test_server_demo_config_boots(config, tmp_path):
+    # The shipped server config must actually bring a server up; we wait
+    # for the ready file, then take it down cleanly.
+    ready = tmp_path / "addr"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(config),
+         "--ready-file", str(ready)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = 60.0
+        while deadline > 0 and not ready.exists():
+            if proc.poll() is not None:
+                pytest.fail(proc.communicate()[1][-2000:])
+            deadline -= 0.1
+            time.sleep(0.1)
+        host, _, port = ready.read_text().strip().rpartition(":")
+        from repro.service import ServiceClient
+        with ServiceClient(host, int(port)) as client:
+            assert client.ping()
+            client.shutdown()
+        proc.wait(timeout=30)
+        assert proc.returncode == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
 
 
 @pytest.mark.parametrize("config", CLI_CONFIGS, ids=lambda p: p.name)

@@ -159,3 +159,78 @@ class TestFileHelpers:
         save_json(task_graph_to_dict(fig1_graph), str(path))
         back = task_graph_from_dict(load_json(str(path)))
         assert len(back) == len(fig1_graph)
+
+
+class TestServiceWireCodecs:
+    """PoolEvent / ticket-status codecs (ISSUE 9): the payloads the
+    sweep service streams over JSON-RPC."""
+
+    def test_pool_event_round_trip(self):
+        from repro.experiment import PoolEvent
+        from repro.io.json_io import pool_event_from_dict, pool_event_to_dict
+
+        event = PoolEvent(
+            kind="dispatch", gid=3, cells=4, groups=0,
+            detail="slot 1, attempt 2",
+        )
+        encoded = pool_event_to_dict(event)
+        json.dumps(encoded)  # pure JSON
+        assert pool_event_from_dict(encoded) == event
+
+    def test_pool_event_defaults_and_null_gid(self):
+        from repro.experiment import PoolEvent
+        from repro.io.json_io import pool_event_from_dict, pool_event_to_dict
+
+        event = PoolEvent(kind="finished")
+        back = pool_event_from_dict(pool_event_to_dict(event))
+        assert back == event and back.gid is None
+
+    def test_pool_event_rejects_bad_shapes(self):
+        from repro.io.json_io import pool_event_from_dict
+
+        with pytest.raises(FormatError):
+            pool_event_from_dict({"cells": 3})  # no kind
+        with pytest.raises(FormatError):
+            pool_event_from_dict({"kind": "dispatch", "gid": "three"})
+
+    def test_ticket_status_round_trip(self):
+        from repro.io.json_io import (
+            ticket_status_from_dict,
+            ticket_status_to_dict,
+        )
+        from repro.service.orchestrator import TicketStatus
+
+        status = TicketStatus(
+            ticket=7, client="alice", state="running", cells=6,
+            rows_streamed=2, done=False,
+        )
+        encoded = ticket_status_to_dict(status)
+        json.dumps(encoded)
+        assert ticket_status_from_dict(encoded) == status
+
+    def test_ticket_status_untagged_client(self):
+        from repro.io.json_io import (
+            ticket_status_from_dict,
+            ticket_status_to_dict,
+        )
+        from repro.service.orchestrator import TicketStatus
+
+        status = TicketStatus(
+            ticket=1, client=None, state="done", cells=1,
+            rows_streamed=1, done=True,
+        )
+        assert ticket_status_from_dict(
+            ticket_status_to_dict(status)
+        ) == status
+
+    def test_ticket_status_rejects_bad_shapes(self):
+        from repro.io.json_io import ticket_status_from_dict
+
+        with pytest.raises(FormatError):
+            ticket_status_from_dict({"state": "running"})  # no ticket
+        with pytest.raises(FormatError):
+            ticket_status_from_dict({"ticket": 1, "state": "sleeping"})
+        with pytest.raises(FormatError):
+            ticket_status_from_dict(
+                {"ticket": 1, "state": "done", "client": 5}
+            )

@@ -370,5 +370,73 @@ class TestProgressEvents:
             assert "dispatch" not in kinds
 
 
+# ---------------------------------------------------------------------------
+# fair scheduling across client tags (ISSUE 9)
+# ---------------------------------------------------------------------------
+class TestFairScheduling:
+    def test_round_robin_across_client_tags(self):
+        """Tagged clients take turns: a one-group submission from a
+        second client dispatches between the first client's groups
+        instead of queueing behind all of them."""
+        events = []
+
+        def sink(tag):
+            return lambda e: events.append((tag, e.kind))
+
+        with SweepPool(workers=1) as pool:
+            big = pool.submit(
+                fms_2x3_matrix(), METRICS, client="alice",
+                on_progress=sink("alice"),
+            )
+            small = pool.submit(
+                ScenarioMatrix(
+                    fig1_scenario(n_frames=1), {"jitter_seed": [0, 1]}
+                ),
+                METRICS, client="bob", on_progress=sink("bob"),
+            )
+            big_result = big.result()
+            small_result = small.result()
+        dispatches = [tag for tag, kind in events if kind == "dispatch"]
+        assert dispatches == ["alice", "bob", "alice"]
+        assert len(big_result.rows) == 6 and not big_result.failed_rows
+        assert len(small_result.rows) == 2 and not small_result.failed_rows
+
+    def test_untagged_submissions_stay_fifo(self):
+        """No tags (every pre-service caller) degenerates to the old
+        FIFO-over-groups order — all of the first submission's groups
+        dispatch before any of the second's."""
+        events = []
+
+        def sink(tag):
+            return lambda e: events.append((tag, e.kind))
+
+        with SweepPool(workers=1) as pool:
+            first = pool.submit(
+                fms_2x3_matrix(), METRICS, on_progress=sink("first")
+            )
+            second = pool.submit(
+                fig1_matrix(), METRICS, on_progress=sink("second")
+            )
+            first.result()
+            second.result()
+        dispatches = [tag for tag, kind in events if kind == "dispatch"]
+        assert dispatches == ["first", "first", "second", "second"]
+
+    def test_pump_once_drives_to_completion(self):
+        """The cooperative drive hook makes the same progress as
+        ``result()``'s internal loop, one bounded cycle at a time."""
+        with SweepPool(workers=1) as pool:
+            ticket = pool.submit(fig1_matrix(), METRICS)
+            assert pool.busy
+            for _ in range(10_000):
+                if ticket.done:
+                    break
+                pool.pump_once()
+            assert ticket.done
+            assert not pool.busy
+            result = ticket.result()  # already finished: no more driving
+        assert len(result.rows) == len(fig1_matrix())
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

@@ -21,11 +21,13 @@ def scenario(**overrides):
 # SpanObserver
 # ---------------------------------------------------------------------------
 class TestSpanObserver:
-    def test_run_span_parents_kernel_spans(self):
+    def test_span_tree_run_frames_kernels(self):
         observer = SpanObserver()
         result = Experiment(scenario()).run(observers=[observer])
         spans = observer.spans
-        run_span, kernel_spans = spans[0], spans[1:]
+        run_span = spans[0]
+        frame_spans = [s for s in spans if s.kind == "frame"]
+        kernel_spans = [s for s in spans if s.kind == "kernel"]
 
         assert run_span.kind == "run"
         assert run_span.span_id == 1 and run_span.parent_id is None
@@ -35,16 +37,32 @@ class TestSpanObserver:
         assert run_span.attributes["processors"] == 2
         assert run_span.attributes["frames"] == 2
 
-        # One kernel span per executed (non-false) job, all closed, all
-        # parented to the run span, ids sequential in open order.
+        # One frame span per executed frame, parented to the run,
+        # placed between the run span and the kernels, each covering
+        # its frame's record envelope exactly.
+        assert spans[1:1 + len(frame_spans)] == frame_spans
+        assert [s.attributes["frame"] for s in frame_spans] == [0, 1]
         executed = [r for r in result.records if not r.is_false]
+        for frame_span in frame_spans:
+            records = [
+                r for r in result.records
+                if r.frame == frame_span.attributes["frame"]
+            ]
+            assert frame_span.parent_id == 1
+            assert frame_span.name == f"frame[{frame_span.attributes['frame']}]"
+            assert frame_span.start == min(r.start for r in records)
+            assert frame_span.end == max(r.end for r in records)
+
+        # One kernel span per executed (non-false) job, all closed, all
+        # parented to their frame's span, ids sequential in open order.
+        frame_id = {s.attributes["frame"]: s.span_id for s in frame_spans}
         assert len(kernel_spans) == len(executed)
         assert [s.span_id for s in kernel_spans] == list(
             range(2, 2 + len(kernel_spans))
         )
         for span in kernel_spans:
             assert span.kind == "kernel"
-            assert span.parent_id == 1
+            assert span.parent_id == frame_id[span.attributes["frame"]]
             assert span.end is not None and span.end >= span.start
         # Span intervals match the job records exactly.
         by_key = {(r.process, r.global_k): r for r in executed}
@@ -62,11 +80,13 @@ class TestSpanObserver:
         replay(result, replayed)
         assert replayed.spans == live.spans
 
-    def test_records_only_run_yields_run_span_only(self):
+    def test_records_only_run_yields_no_kernel_spans(self):
         observer = SpanObserver()
         exp = Experiment(scenario(records_only=True))
         result = exp.run(observers=[observer])
-        assert [s.kind for s in observer.spans] == ["run"]
+        # Timing records still flow, so the frame envelopes survive;
+        # only the kernel level (data phase never ran) is absent.
+        assert [s.kind for s in observer.spans] == ["run", "frame", "frame"]
         assert observer.spans[0].end == result.makespan()
 
     def test_observer_resets_between_runs(self):
