@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-faults test-pool bench bench-smoke bench-json bench-diff cov lint cli-smoke service-smoke
+.PHONY: test test-faults test-pool test-hetero bench bench-smoke bench-json bench-diff cov lint cli-smoke service-smoke
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks-as-tests.
 test:
@@ -20,6 +20,13 @@ test-faults:
 test-pool:
 	$(PY) -m pytest tests/test_sweep_pool.py -q
 
+# Heterogeneous-platform lane: the degenerate-platform bit-identity
+# contract against the Fraction oracles, exact speed scaling, platform
+# sweep axes, and the pre-platform JSON back-compat fixtures.  Also part
+# of the tier-1 run.
+test-hetero:
+	$(PY) -m pytest tests/test_hetero_equivalence.py tests/test_io_json.py -q
+
 # Error-level lint (ruff.toml: syntax errors / undefined names only).
 # Skips gracefully when ruff is not in the environment; CI installs it.
 lint:
@@ -30,14 +37,17 @@ lint:
 	fi
 
 # Line coverage of the runtime package (the executor hot paths this repo
-# keeps optimising) and the experiment layer (the public scenario API,
+# keeps optimising), the experiment layer (the public scenario API,
 # including experiment.store / experiment.faults / experiment.parallel —
-# the fault-tolerance surface) with a hard floor.  Skips gracefully when
-# pytest-cov is not in the environment; CI installs it.
+# the fault-tolerance surface) and the scheduling package (the
+# platform-aware list scheduler / search / optimizer paths) with a hard
+# floor.  Skips gracefully when pytest-cov is not in the environment; CI
+# installs it.
 cov:
 	@if $(PY) -c "import pytest_cov" 2>/dev/null; then \
 		$(PY) -m pytest tests -q \
 			--cov=repro.runtime --cov=repro.experiment \
+			--cov=repro.scheduling \
 			--cov-report=term-missing --cov-fail-under=85; \
 	else \
 		echo "pytest-cov not installed — skipping coverage (pip install pytest-cov)"; \

@@ -394,6 +394,39 @@ def _case_fms_sweep_resume(fast: bool):
     }
 
 
+def _case_fms_hetero_sweep(fast: bool):
+    """Heterogeneous-platform sweep (ISSUE 10): a 2-class platform axis
+    over the FMS case study.  WCET tables key on processor-class *names*,
+    so the derivation is platform-independent — both platform cells share
+    one derivation and the axis only pays per-platform scheduling passes,
+    which the case asserts via the ``SweepStats`` counters.  Cells run in
+    the lean timing-only mode, so the case isolates what heterogeneity
+    adds to the schedule stage."""
+    from repro.core.platform import Platform
+
+    frames = 2 if fast else 10
+    platforms = [
+        Platform.homogeneous(2),
+        Platform.of(("big", 1), ("little", 1, "1/2")),
+    ]
+    matrix = ScenarioMatrix(
+        fms_scenario(n_frames=frames),
+        {"platform": platforms, "jitter_seed": [0, 1]},
+    )
+
+    def sweep():
+        result = run_sweep(matrix, metrics=_PAR_SWEEP_METRICS)
+        assert not result.failed_rows
+        assert result.stats.derivations_computed == 1
+        assert result.stats.schedules_computed == len(platforms)
+        return result
+
+    return sweep, {
+        "experiment": "sweep", "frames": frames, "cells": len(matrix),
+        "mode": "2-class platform axis, shared derivation",
+    }
+
+
 def _case_fms_sweep_3x3_naive(fast: bool):
     frames = 2 if fast else 10
     net = build_fms_network()
@@ -440,6 +473,7 @@ CASES: List[Case] = [
     ("fms_sweep_3x3", _case_fms_sweep_3x3),
     ("fms_sweep_3x3_naive", _case_fms_sweep_3x3_naive),
     ("fms_sweep_resume", _case_fms_sweep_resume),
+    ("fms_hetero_sweep", _case_fms_hetero_sweep),
     ("fms_sweep_2x3_serial", _parallel_sweep_case(workers=1)),
     ("fms_sweep_2x3_workers2", _parallel_sweep_case(workers=2)),
     ("fms_sweep_pool_cold", _pool_sweep_case(warm=False)),

@@ -279,6 +279,32 @@ def main() -> None:
         f"bit-identical to the in-process table"
     )
 
+    # -- 12. heterogeneous platforms: processor classes as a sweep axis ----
+    # A Platform is an ordered multiset of named processor classes, each
+    # with an exact rational speed (speed 1/2 runs every job twice as
+    # long); per-process WCET *tables* pin class-specific values that
+    # override the speed scaling.  `Platform.homogeneous(m)` is the
+    # degenerate platform — bit-identical to `processors=m` — and
+    # platforms are hashable, so they sweep like any other axis.  WCET
+    # tables are keyed by class *name*, which keeps the derivation
+    # platform-independent: every platform cell below shares one task
+    # graph and pays only its own scheduling pass.
+    from repro.core.platform import Platform
+
+    big_little = Platform.of(("big", 1), ("little", 1, "1/2"))
+    hetero_matrix = ScenarioMatrix(
+        fig1_scenario(n_frames=1),
+        {"platform": [Platform.homogeneous(2), big_little]},
+    )
+    hetero = run_sweep(hetero_matrix, metrics=("makespan", "executed_jobs"))
+    assert not hetero.failed_rows
+    assert hetero.stats.derivations_computed == 1  # shared across platforms
+    assert hetero.stats.schedules_computed == 2  # one per platform
+    print(f"platform sweep over [2xcpu, {big_little}]:")
+    print(hetero.table())
+    # See examples/hetero_sweep.py for WCET tables, processor identities
+    # on job records, and the exact speed-scaling guarantee.
+
 
 if __name__ == "__main__":
     main()

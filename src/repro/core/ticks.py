@@ -196,6 +196,11 @@ class JobTicks:
             values.append(j.arrival)
             values.append(j.deadline)
             values.append(j.wcet)
+            # Per-class WCET tables (heterogeneous platforms) enter the
+            # domain too, so class-resolved durations convert exactly.
+            table = getattr(j, "wcet_by_class", None)
+            if table is not None:
+                values.extend(v for _, v in table)
         if hyperperiod is not None:
             values.append(as_time(hyperperiod))
         self.domain = TickDomain.for_values(values)

@@ -99,3 +99,13 @@ class ServiceError(FPPNError):
 
 class ProtocolError(ServiceError):
     """A JSON-RPC wire message is malformed or violates the protocol."""
+
+
+class UnknownTicketError(ServiceError):
+    """A service ticket id does not resolve to a live record.
+
+    Raised for ids that never existed *and* for finished tickets whose
+    records were garbage-collected by the orchestrator's bounded ticket
+    history — callers distinguishing the two must poll before the record
+    ages out of the ``max_finished_tickets`` window.
+    """

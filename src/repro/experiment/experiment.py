@@ -121,7 +121,7 @@ class PipelineCache:
             with _stage("scheduling"):
                 schedule = find_feasible_schedule(
                     self.task_graph(scenario),
-                    scenario.processors,
+                    scenario.scheduling_target(),
                     scenario.heuristics or DEFAULT_PORTFOLIO,
                 )
             self._schedules[key] = schedule
@@ -269,6 +269,8 @@ class Experiment:
         rep.add("hyperperiod [ms]", "-", graph.hyperperiod)
         rep.add("load", "-", f"{float(load.load):.3f}")
         rep.add("processors", f">= {load.min_processors}", s.processors)
+        if s.platform is not None and not s.platform.is_unit:
+            rep.add("platform", "-", s.platform.describe())
         rep.add("frames simulated", "-", s.n_frames)
         rep.add("jobs executed", "-", summary.executed_jobs)
         rep.add("deadline misses", "-", summary.missed_jobs)

@@ -36,10 +36,12 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from ..core.invocations import Stimulus
 from ..core.network import Network
+from ..core.platform import PlatformLike, as_platform
 from ..core.timebase import Time, TimeLike, as_positive_time, as_time
 from ..errors import ModelError
 from ..runtime.executor import ExecutionTimeSpec, jittered_execution
 from ..runtime.overheads import OverheadModel
+from ..taskgraph.jobs import normalize_wcet_table
 
 __all__ = [
     "Scenario",
@@ -129,6 +131,15 @@ def _is_normalized_pairs(value: Any) -> bool:
     )
 
 
+def _normalize_wcet_value(name: str, value: Any) -> Any:
+    """One wcet-map entry: callable, per-class table, or Time scalar."""
+    if callable(value):
+        return value
+    if isinstance(value, Mapping) or _is_normalized_pairs(value):
+        return normalize_wcet_table(value, f"WCET of {name!r}")
+    return as_time(value)
+
+
 def _normalize_wcet(wcet: Any) -> Any:
     """Canonical immutable form: Time scalar, or sorted (name, value) pairs."""
     if _is_normalized_pairs(wcet):
@@ -136,7 +147,7 @@ def _normalize_wcet(wcet: Any) -> Any:
     if isinstance(wcet, Mapping):
         return tuple(
             sorted(
-                (name, value if callable(value) else as_time(value))
+                (name, _normalize_wcet_value(name, value))
                 for name, value in wcet.items()
             )
         )
@@ -188,7 +199,14 @@ class Scenario:
         (exactly what :func:`~repro.taskgraph.derivation.derive_task_graph`
         accepts).  Normalised to an immutable canonical form.
     processors:
-        Processor count handed to the list scheduler.
+        Processor count handed to the list scheduler.  Derived from
+        *platform* when one is given (the two always agree).
+    platform:
+        Optional heterogeneous :class:`~repro.core.platform.Platform`
+        (or anything :func:`~repro.core.platform.as_platform` accepts).
+        When set, scheduling and execution resolve per-class WCETs on it
+        and *processors* is forced to its total core count.  ``None``
+        (the default) keeps the classic homogeneous path.
     n_frames:
         Number of hyperperiod frames the runtime simulates.
     horizon:
@@ -232,12 +250,22 @@ class Scenario:
     collect_records: bool = True
     collect_trace: bool = True
     label: Optional[str] = None
+    platform: Optional[PlatformLike] = None
 
     def __post_init__(self) -> None:
         if not (callable(self.workload) or isinstance(self.workload, str)):
             raise ModelError(
                 "workload must be a registered name or a network factory"
             )
+        set_ = object.__setattr__  # frozen: normalise through the back door
+        if self.platform is not None:
+            try:
+                set_(self, "platform", as_platform(self.platform))
+            except (TypeError, ValueError) as exc:
+                raise ModelError(str(exc)) from None
+            # processors is a derived view of the platform: keep the two
+            # in lock-step so every consumer of the count stays correct.
+            set_(self, "processors", self.platform.processors)
         if self.processors < 1:
             raise ModelError("processors must be >= 1")
         if self.n_frames < 1:
@@ -253,7 +281,6 @@ class Scenario:
             raise ModelError("overheads must be an OverheadModel")
         if self.stimulus is not None and not isinstance(self.stimulus, Stimulus):
             raise ModelError("stimulus must be a Stimulus (or None)")
-        set_ = object.__setattr__  # frozen: normalise through the back door
         set_(self, "wcet", _normalize_wcet(self.wcet))
         set_(self, "execution_time",
              _normalize_table(self.execution_time, "execution_time"))
@@ -273,7 +300,7 @@ class Scenario:
             self.horizon, self.heuristics, self.execution_time,
             self.jitter_seed, self.jitter_low, self.overheads,
             self.records_only, self.collect_records, self.collect_trace,
-            self.label,
+            self.label, self.platform,
         ))
 
     # -- derived views --------------------------------------------------
@@ -351,11 +378,24 @@ class Scenario:
         return (self.workload_key(), self.wcet, self.horizon)
 
     def schedule_key(self) -> Tuple[Any, ...]:
-        """Scenarios with equal keys share one static schedule."""
-        return self.derivation_key() + (
+        """Scenarios with equal keys share one static schedule.
+
+        The platform joins the key only when set, so classic scenarios
+        keep their exact pre-platform keys (stored artifacts stay valid)
+        while cells of a platform axis schedule once per platform but
+        share one derivation (WCET tables are class-*name* keyed).
+        """
+        key = self.derivation_key() + (
             self.processors,
             self.heuristics,
         )
+        if self.platform is not None:
+            key += (self.platform,)
+        return key
+
+    def scheduling_target(self) -> PlatformLike:
+        """What the list scheduler should schedule onto."""
+        return self.platform if self.platform is not None else self.processors
 
     def describe(self) -> str:
         """One-line human-readable summary (sweep tables, reports)."""
@@ -365,7 +405,11 @@ class Scenario:
         )
         bits = [
             f"workload={workload}",
-            f"M={self.processors}",
+            (
+                f"platform={self.platform.describe()}"
+                if self.platform is not None and not self.platform.is_unit
+                else f"M={self.processors}"
+            ),
             f"frames={self.n_frames}",
         ]
         if self.jitter_seed is not None:

@@ -65,6 +65,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.platform import Platform
 from ..core.timebase import ZERO
 from ..errors import ModelError, RuntimeModelError
 from ..runtime.executor import RuntimeResult
@@ -372,6 +373,8 @@ class SweepResult:
 def _cell_str(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
+    if isinstance(value, Platform):
+        return value.describe()
     if isinstance(value, OverheadModel):
         return (
             f"ov({value.first_frame_arrival}/"

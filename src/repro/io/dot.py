@@ -104,6 +104,11 @@ def task_graph_to_dot(
             f"{job.name}\\n({time_str(job.arrival)},"
             f"{time_str(job.deadline)},{time_str(job.wcet)})"
         )
+        if job.wcet_by_class is not None:
+            per_class = " ".join(
+                f"{name}:{time_str(v)}" for name, v in job.wcet_by_class
+            )
+            label += f"\\nC by class: {per_class}"
         shape = "box" if job.is_server else "ellipse"
         lines.append(f"  {_quote(job.name)} [label={_quote(label)}, shape={shape}];")
     for i, j in graph.edges():

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 from ..core.channels import ChannelKind
 from ..core.invocations import Stimulus
 from ..core.network import Network
+from ..core.platform import Platform, ProcessorClass
 from ..core.process import JobContext
 from ..core.timebase import Time, as_time
 from ..errors import FPPNError
@@ -69,10 +70,53 @@ def _time_in(value: Any, what: str) -> Time:
 
 
 # ---------------------------------------------------------------------------
+# platforms
+# ---------------------------------------------------------------------------
+def platform_to_jsonable(platform: Platform) -> List[List[Any]]:
+    """Ordered ``[name, speed, count]`` rows (lossless, rational speeds)."""
+    return [
+        [cls.name, _time_out(cls.speed), count]
+        for cls, count in platform.entries
+    ]
+
+
+def platform_from_jsonable(data: Any, what: str = "platform") -> Platform:
+    """Inverse of :func:`platform_to_jsonable`."""
+    if not isinstance(data, list) or not data:
+        raise FormatError(f"bad {what}: expected a non-empty list of rows")
+    entries = []
+    for row in data:
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            raise FormatError(f"bad {what} row {row!r}")
+        name, speed, count = row
+        entries.append(
+            (
+                ProcessorClass(name, _time_in(speed, f"{what} speed")),
+                int(count),
+            )
+        )
+    return Platform(tuple(entries))
+
+
+def _default_platform(platform: Platform, processors: int) -> bool:
+    """True for the implicit homogeneous platform ``processors`` implies.
+
+    Such platforms are *omitted* from encodings: pre-platform documents
+    decode unchanged and re-encode byte-identically.
+    """
+    return platform == Platform.homogeneous(processors)
+
+
+# ---------------------------------------------------------------------------
 # task graphs
 # ---------------------------------------------------------------------------
 def task_graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
-    """Lossless dict form of a task graph."""
+    """Lossless dict form of a task graph.
+
+    Per-class WCET tables (``wcet_by_class``) are emitted only on jobs
+    that carry one, so homogeneous graphs keep their exact pre-platform
+    byte layout.
+    """
     return {
         "format": "fppn-taskgraph",
         "version": FORMAT_VERSION,
@@ -87,6 +131,15 @@ def task_graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
                 "is_server": j.is_server,
                 "subset_index": j.subset_index,
                 "slot": j.slot,
+                **(
+                    {
+                        "wcet_by_class": [
+                            [name, _time_out(v)] for name, v in j.wcet_by_class
+                        ]
+                    }
+                    if j.wcet_by_class is not None
+                    else {}
+                ),
             }
             for j in graph.jobs
         ],
@@ -99,6 +152,7 @@ def task_graph_from_dict(data: Mapping[str, Any]) -> TaskGraph:
     _check_header(data, "fppn-taskgraph")
     jobs = []
     for i, row in enumerate(data.get("jobs", [])):
+        table = row.get("wcet_by_class")
         try:
             jobs.append(
                 Job(
@@ -110,6 +164,12 @@ def task_graph_from_dict(data: Mapping[str, Any]) -> TaskGraph:
                     is_server=bool(row.get("is_server", False)),
                     subset_index=row.get("subset_index"),
                     slot=row.get("slot"),
+                    wcet_by_class=(
+                        None if table is None else tuple(
+                            (name, _time_in(v, f"job {i} wcet of {name!r}"))
+                            for name, v in table
+                        )
+                    ),
                 )
             )
         except KeyError as exc:
@@ -126,11 +186,21 @@ def task_graph_from_dict(data: Mapping[str, Any]) -> TaskGraph:
 # schedules
 # ---------------------------------------------------------------------------
 def schedule_to_dict(schedule: StaticSchedule) -> Dict[str, Any]:
-    """Lossless dict form of a static schedule (references jobs by name)."""
+    """Lossless dict form of a static schedule (references jobs by name).
+
+    The platform is emitted only when it is *not* the implicit homogeneous
+    one the processor count already describes — classic schedules keep
+    their exact pre-platform byte layout.
+    """
     return {
         "format": "fppn-schedule",
         "version": FORMAT_VERSION,
         "processors": schedule.processors,
+        **(
+            {"platform": platform_to_jsonable(schedule.platform)}
+            if not _default_platform(schedule.platform, schedule.processors)
+            else {}
+        ),
         "graph": task_graph_to_dict(schedule.graph),
         "entries": [
             {
@@ -156,7 +226,12 @@ def schedule_from_dict(data: Mapping[str, Any]) -> StaticSchedule:
                 _time_in(row["start"], f"start of {row['job']}"),
             )
         )
-    return StaticSchedule(graph, int(data["processors"]), entries)
+    platform = data.get("platform")
+    target = (
+        int(data["processors"]) if platform is None
+        else platform_from_jsonable(platform, "schedule platform")
+    )
+    return StaticSchedule(graph, target, entries)
 
 
 # ---------------------------------------------------------------------------
@@ -272,6 +347,8 @@ def value_to_jsonable(value: Any) -> Any:
         return {"$tuple": [value_to_jsonable(v) for v in value]}
     if isinstance(value, list):
         return [value_to_jsonable(v) for v in value]
+    if isinstance(value, Platform):
+        return {"$platform": platform_to_jsonable(value)}
     if isinstance(value, OverheadModel):
         return {
             "$overheads": [
@@ -290,7 +367,7 @@ def value_to_jsonable(value: Any) -> Any:
     raise FormatError(
         f"value {value!r} of type {type(value).__name__} is not "
         "JSON-serialisable — supported: scalars, Fraction, complex, "
-        "tuple/list, mappings, OverheadModel"
+        "tuple/list, mappings, Platform, OverheadModel"
     )
 
 
@@ -307,6 +384,8 @@ def value_from_jsonable(data: Any) -> Any:
                 return complex(payload[0], payload[1])
             if tag == "$tuple":
                 return tuple(value_from_jsonable(v) for v in payload)
+            if tag == "$platform":
+                return platform_from_jsonable(payload, "tagged platform")
             if tag == "$overheads":
                 return OverheadModel(
                     _time_in(payload[0], "overheads.first_frame_arrival"),
@@ -375,7 +454,15 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
                     f"wcet of {name!r} is a callable — per-job WCET models "
                     "do not serialise"
                 )
-        wcet_out: Any = {name: _time_out(value) for name, value in wcet}
+        # Per-class tables encode as [name, time] rows; scalars keep the
+        # plain "num/den" form so pre-platform documents stay byte-stable.
+        wcet_out: Any = {
+            name: (
+                [[n, _time_out(v)] for n, v in value]
+                if isinstance(value, tuple) else _time_out(value)
+            )
+            for name, value in wcet
+        }
     else:
         wcet_out = _time_out(wcet)
     return {
@@ -404,6 +491,13 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         "collect_records": scenario.collect_records,
         "collect_trace": scenario.collect_trace,
         "label": scenario.label,
+        # Omitted when unset: pre-platform scenario documents (and their
+        # content hashes) stay byte-identical.
+        **(
+            {"platform": platform_to_jsonable(scenario.platform)}
+            if scenario.platform is not None
+            else {}
+        ),
     }
 
 
@@ -413,7 +507,15 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     wcet = data["wcet"]
     if isinstance(wcet, Mapping):
         wcet = {
-            name: _time_in(v, f"wcet of {name!r}") for name, v in wcet.items()
+            name: (
+                tuple(
+                    (n, _time_in(t, f"wcet of {name!r} on {n!r}"))
+                    for n, t in v
+                )
+                if isinstance(v, list)
+                else _time_in(v, f"wcet of {name!r}")
+            )
+            for name, v in wcet.items()
         }
     else:
         wcet = _time_in(wcet, "wcet")
@@ -426,6 +528,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     horizon = data.get("horizon")
     stimulus = data.get("stimulus")
     heuristics = data.get("heuristics")
+    platform = data.get("platform")
     return Scenario(
         workload=data["workload"],
         wcet=wcet,
@@ -442,6 +545,10 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         collect_records=bool(data.get("collect_records", True)),
         collect_trace=bool(data.get("collect_trace", True)),
         label=data.get("label"),
+        platform=(
+            None if platform is None
+            else platform_from_jsonable(platform, "scenario platform")
+        ),
     )
 
 

@@ -140,6 +140,9 @@ class JobRecord:
     deadline: Time      # real absolute deadline: release + dp
     is_false: bool
     is_server: bool
+    #: Name of the processor class the job's slot is bound to ("cpu" on
+    #: classic homogeneous schedules).
+    processor_class: str = "cpu"
 
     @classmethod
     def _from_fields(
@@ -155,6 +158,7 @@ class JobRecord:
         deadline: Time,
         is_false: bool,
         is_server: bool,
+        processor_class: str = "cpu",
     ) -> "JobRecord":
         """Hot-loop constructor bypassing the frozen ``__setattr__`` guards.
 
@@ -178,6 +182,7 @@ class JobRecord:
             "deadline": deadline,
             "is_false": is_false,
             "is_server": is_server,
+            "processor_class": processor_class,
         })
         return rec
 
@@ -198,12 +203,13 @@ class JobRecord:
 _JOB_RECORD_FIELDS = (
     "process", "frame", "k_frame", "global_k", "processor",
     "release", "start", "end", "deadline", "is_false", "is_server",
+    "processor_class",
 )
 check_trusted_constructor(
     JobRecord, _JOB_RECORD_FIELDS, JobRecord._from_fields,
     dict(process="p", frame=0, k_frame=1, global_k=1, processor=0,
          release=Time(0), start=Time(0), end=Time(1), deadline=Time(2),
-         is_false=False, is_server=False),
+         is_false=False, is_server=False, processor_class="cpu"),
 )
 
 
@@ -581,6 +587,9 @@ class MultiprocessorExecutor:
         is_server_of = [j.is_server for j in jobs]
         k_of = [j.k for j in jobs]
         process_of = [j.process for j in jobs]
+        class_name_of = [
+            cls.name for cls in self.plan.platform.class_per_processor()
+        ]
         rec_append = records.append if collect_records else None
         # The instance hand-off only feeds the data phase; skip it when the
         # caller will not run one (records_only), keeping long timing-only
@@ -687,6 +696,7 @@ class MultiprocessorExecutor:
                     "deadline": deadline_f,
                     "is_false": is_false,
                     "is_server": is_server_of[i],
+                    "processor_class": class_name_of[proc],
                 })
                 if rec_append is not None:
                     rec_append(rec)
@@ -743,11 +753,55 @@ class MultiprocessorExecutor:
         schedule-topological order — the same call sequence the timing loop
         itself makes — so even a stateful callable observes the original
         evaluation order.  False jobs get ``None`` (they never execute).
+
+        On a heterogeneous platform the default model charges each job its
+        class-resolved WCET on the processor its slot is bound to, and
+        sampled models (tables, callables) are scaled by the exact
+        ``effective / base`` WCET ratio of that class — a jitter model
+        expressing "this instance ran at 70% of its WCET" keeps that
+        meaning on every class.
         """
         jobs = self.graph.jobs
         per_job_ov = self.overheads.per_job
+        platform = self.plan.platform
+        if platform.is_unit and all(j.wcet_by_class is None for j in jobs):
+            # Degenerate platform: the exact pre-platform duration model.
+            if spec is None:
+                return [j.wcet + per_job_ov for j in jobs], None
+            if not callable(spec):
+                table = {
+                    name: as_positive_time(value, f"execution time of {name!r}")
+                    for name, value in spec.items()
+                }
+                missing = sorted({j.process for j in jobs} - set(table))
+                if missing:
+                    raise RuntimeModelError(f"missing execution time for {missing!r}")
+                return [table[j.process] + per_job_ov for j in jobs], None
+
+            rows: List[List[Optional[Time]]] = []
+            for frame in range(n_frames):
+                brow = bound_rows[frame]
+                row: List[Optional[Time]] = [None] * len(jobs)
+                for i in topo:
+                    job = jobs[i]
+                    if job.is_server and i not in brow:
+                        continue  # false job in this frame
+                    row[i] = as_time(spec(job, frame)) + per_job_ov
+                rows.append(row)
+            return None, rows
+
+        cls_of = [
+            platform.class_of(self.plan.processor_of(i))
+            for i in range(len(jobs))
+        ]
         if spec is None:
-            return [j.wcet + per_job_ov for j in jobs], None
+            return [
+                j.wcet_on(cls_of[i]) + per_job_ov
+                for i, j in enumerate(jobs)
+            ], None
+        scale = [
+            j.wcet_on(cls_of[i]) / j.wcet for i, j in enumerate(jobs)
+        ]
         if not callable(spec):
             table = {
                 name: as_positive_time(value, f"execution time of {name!r}")
@@ -756,19 +810,22 @@ class MultiprocessorExecutor:
             missing = sorted({j.process for j in jobs} - set(table))
             if missing:
                 raise RuntimeModelError(f"missing execution time for {missing!r}")
-            return [table[j.process] + per_job_ov for j in jobs], None
+            return [
+                table[j.process] * scale[i] + per_job_ov
+                for i, j in enumerate(jobs)
+            ], None
 
-        rows: List[List[Optional[Time]]] = []
+        het_rows: List[List[Optional[Time]]] = []
         for frame in range(n_frames):
             brow = bound_rows[frame]
-            row: List[Optional[Time]] = [None] * len(jobs)
+            row = [None] * len(jobs)
             for i in topo:
                 job = jobs[i]
                 if job.is_server and i not in brow:
                     continue  # false job in this frame
-                row[i] = as_time(spec(job, frame)) + per_job_ov
-            rows.append(row)
-        return None, rows
+                row[i] = as_time(spec(job, frame)) * scale[i] + per_job_ov
+            het_rows.append(row)
+        return None, het_rows
 
     # ------------------------------------------------------------------
     def _data_phase(

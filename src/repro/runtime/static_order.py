@@ -219,8 +219,17 @@ class FramePlan:
     def processors(self) -> int:
         return self.schedule.processors
 
+    @property
+    def platform(self):
+        """The schedule's platform (degenerate for classic int schedules)."""
+        return self.schedule.platform
+
     def processor_of(self, job_index: int) -> int:
         return self.schedule.mapping(job_index)
+
+    def identity_of(self, job_index: int) -> Tuple[str, int]:
+        """Concrete ``(class name, local index)`` binding of a job's slot."""
+        return self.schedule.processor_identity(job_index)
 
     def jobs_per_frame(self) -> int:
         return len(self.graph)

@@ -1,6 +1,10 @@
 """Compile-time scheduling: list scheduler, SP heuristics, baselines."""
 
-from .list_scheduler import list_schedule
+from .list_scheduler import (
+    hetero_tick_tables,
+    list_schedule,
+    platform_is_heterogeneous,
+)
 from .optimizer import (
     Attempt,
     DEFAULT_PORTFOLIO,
@@ -12,6 +16,8 @@ from .optimizer import (
     try_portfolio,
 )
 from .priorities import (
+    WCET_AGGREGATES,
+    aggregate_wcets,
     alap_priority,
     arrival_priority,
     available_heuristics,
@@ -33,7 +39,11 @@ from .uniprocessor import (
 )
 
 __all__ = [
+    "hetero_tick_tables",
     "list_schedule",
+    "platform_is_heterogeneous",
+    "WCET_AGGREGATES",
+    "aggregate_wcets",
     "Attempt",
     "DEFAULT_PORTFOLIO",
     "QualityReport",

@@ -30,19 +30,59 @@ was suboptimal — try another one via the portfolio optimizer).
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..errors import SchedulingError
+from ..core.platform import Platform, PlatformLike, as_platform
 from ..core.ticks import JobTicks
 from ..taskgraph.graph import TaskGraph
 from .priorities import get_heuristic
 from .schedule import ScheduledJob, StaticSchedule
 
 
+def platform_is_heterogeneous(graph: TaskGraph, platform: Platform) -> bool:
+    """True when scheduling *graph* on *platform* needs class awareness.
+
+    False for the degenerate single-class speed-1 platform with
+    table-free jobs — the gate every layer uses to take the exact
+    pre-platform code path (the bit-identical invariant).
+    """
+    return (not platform.is_unit) or any(
+        j.wcet_by_class is not None for j in graph.jobs
+    )
+
+
+def hetero_tick_tables(
+    graph: TaskGraph, platform: Platform
+) -> Tuple[JobTicks, List[List[int]]]:
+    """Class-resolved duration tables for the tick-domain event loop.
+
+    Returns the graph's tick view rescaled so every ``(job, class)``
+    duration converts exactly, plus one integer duration array per *flat
+    processor id* (rows of the same class share one list).  The LCM
+    extension keeps everything exact — ``to_ticks`` raises rather than
+    rounds, preserving the library-wide invariant.
+    """
+    classes = platform.classes
+    durations = [
+        [job.wcet_on(cls) for job in graph.jobs] for cls in classes
+    ]
+    tt = graph.tick_times().rescaled_to(
+        v for row in durations for v in row
+    )
+    dur_t = [tt.domain.ticks(row) for row in durations]
+    by_class = {cls.name: row for cls, row in zip(classes, dur_t)}
+    per_proc = [
+        by_class[cls.name] for cls in platform.class_per_processor()
+    ]
+    return tt, per_proc
+
+
 def list_schedule(
     graph: TaskGraph,
-    processors: int,
+    processors: PlatformLike,
     priority: "str | Sequence[int]" = "alap",
+    wcet_aggregate: str = "mean",
 ) -> StaticSchedule:
     """Construct a static schedule by priority-driven list scheduling.
 
@@ -51,10 +91,17 @@ def list_schedule(
     graph:
         The task graph (jobs in ``<J`` topological order).
     processors:
-        Number ``M`` of identical processors.
+        Number ``M`` of identical processors, or a
+        :class:`~repro.core.platform.Platform` for heterogeneous
+        scheduling — a job's duration is then its class-resolved WCET on
+        the processor it is dispatched to.
     priority:
         Either the name of a registered SP heuristic or an explicit rank
         list (``rank[i]`` = position of job *i*, 0 = highest priority).
+    wcet_aggregate:
+        How platform-aware heuristics collapse per-class WCETs into one
+        ranking value (``min`` / ``max`` / ``mean``); ignored on
+        degenerate platforms and by explicit rank lists.
 
     Returns
     -------
@@ -63,11 +110,25 @@ def list_schedule(
         exclusion by construction.  Deadlines are *not* enforced during
         construction (check feasibility afterwards).
     """
-    if processors < 1:
-        raise SchedulingError("list_schedule needs at least one processor")
-    ranks = _resolve_priority(graph, priority)
-    tt = graph.tick_times()
-    start_t, proc_of = _schedule_ticks(graph, tt, processors, ranks)
+    try:
+        platform = as_platform(processors)
+    except (TypeError, ValueError) as exc:
+        raise SchedulingError(str(exc)) from None
+    if not platform_is_heterogeneous(graph, platform):
+        ranks = _resolve_priority(graph, priority)
+        tt = graph.tick_times()
+        start_t, proc_of = _schedule_ticks(
+            graph, tt, platform.processors, ranks
+        )
+    else:
+        ranks = _resolve_priority(
+            graph, priority, platform=platform,
+            wcet_aggregate=wcet_aggregate,
+        )
+        tt, dur_of_proc = hetero_tick_tables(graph, platform)
+        start_t, proc_of = _schedule_ticks(
+            graph, tt, platform.processors, ranks, dur_of_proc
+        )
     from_ticks = tt.domain.from_ticks
     # Emit entries pre-sorted in the schedule's canonical order so the
     # StaticSchedule constructor's sort is a linear no-op.
@@ -77,7 +138,7 @@ def list_schedule(
     entries = [
         ScheduledJob(i, proc_of[i], from_ticks(start_t[i])) for i in order
     ]
-    return StaticSchedule(graph, processors, entries)
+    return StaticSchedule(graph, platform, entries)
 
 
 def _schedule_ticks(
@@ -85,6 +146,7 @@ def _schedule_ticks(
     tt: JobTicks,
     processors: int,
     ranks: Sequence[int],
+    dur_of_proc: Optional[Sequence[Sequence[int]]] = None,
 ) -> Tuple[List[int], List[int]]:
     """The list-scheduling event loop in pure integer ticks.
 
@@ -92,6 +154,12 @@ def _schedule_ticks(
     :func:`list_schedule` and the priority search (which evaluates thousands
     of rank permutations and must not pay Fraction arithmetic or
     re-materialise a :class:`StaticSchedule` per candidate).
+
+    ``dur_of_proc`` (from :func:`hetero_tick_tables`) switches the loop
+    heterogeneous: ``dur_of_proc[proc][i]`` is job *i*'s duration on flat
+    processor *proc*, so a dispatch charges the class-resolved WCET of
+    the processor it lands on.  Dispatch order itself is unchanged —
+    highest-SP ready job onto the lowest free processor id.
     """
     n = len(graph)
     arrival = tt.arrival
@@ -132,7 +200,11 @@ def _schedule_ticks(
             proc = heapq.heappop(free)
             start_t[i] = now
             proc_of[i] = proc
-            heapq.heappush(running, (now + wcet[i], proc, i))
+            dur = (
+                wcet[i] if dur_of_proc is None
+                else dur_of_proc[proc][i]
+            )
+            heapq.heappush(running, (now + dur, proc, i))
             scheduled += 1
         if scheduled >= n:
             break
@@ -166,10 +238,18 @@ def _schedule_ticks(
 
 
 def _resolve_priority(
-    graph: TaskGraph, priority: "str | Sequence[int]"
+    graph: TaskGraph,
+    priority: "str | Sequence[int]",
+    platform: Optional[Platform] = None,
+    wcet_aggregate: str = "mean",
 ) -> List[int]:
     if isinstance(priority, str):
-        return get_heuristic(priority)(graph)
+        fn = get_heuristic(priority)
+        if platform is not None and getattr(fn, "platform_aware", False):
+            return fn(
+                graph, platform=platform, wcet_aggregate=wcet_aggregate
+            )
+        return fn(graph)
     ranks = list(priority)
     if len(ranks) != len(graph):
         raise SchedulingError(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import InfeasibleError
+from ..core.platform import Platform, PlatformLike
 from ..core.timebase import Time
 from ..taskgraph.graph import TaskGraph
 from ..taskgraph.load import task_graph_load
@@ -45,7 +46,7 @@ class Attempt:
 
 def try_portfolio(
     graph: TaskGraph,
-    processors: int,
+    processors: PlatformLike,
     heuristics: Sequence[str] = DEFAULT_PORTFOLIO,
 ) -> List[Attempt]:
     """Run every heuristic and report all attempts (no early exit)."""
@@ -58,10 +59,14 @@ def try_portfolio(
 
 def find_feasible_schedule(
     graph: TaskGraph,
-    processors: int,
+    processors: PlatformLike,
     heuristics: Sequence[str] = DEFAULT_PORTFOLIO,
 ) -> StaticSchedule:
     """First feasible schedule over the heuristic portfolio.
+
+    ``processors`` is a core count or a
+    :class:`~repro.core.platform.Platform`; heterogeneous platforms
+    schedule with class-resolved durations throughout the portfolio.
 
     Raises
     ------
@@ -80,8 +85,12 @@ def find_feasible_schedule(
             best = attempt
     assert best is not None
     sample = "; ".join(str(v) for v in best.schedule.violations()[:3])
+    platform_str = (
+        processors.describe() if isinstance(processors, Platform)
+        else f"{processors} processors"
+    )
     raise InfeasibleError(
-        f"no feasible schedule on {processors} processors "
+        f"no feasible schedule on {platform_str} "
         f"(best: {best.heuristic!r} with {best.violations} violations)",
         diagnostics=sample,
     )
@@ -121,7 +130,7 @@ class QualityReport:
 
 
 def schedule_quality(
-    graph: TaskGraph, processors: int, heuristic: str
+    graph: TaskGraph, processors: PlatformLike, heuristic: str
 ) -> QualityReport:
     """Evaluate one heuristic: feasibility, makespan, lateness (bench E8)."""
     schedule = list_schedule(graph, processors, heuristic)

@@ -25,31 +25,83 @@ Sort keys are built from the graph's integer tick view
 (:meth:`TaskGraph.tick_times`): the tick map is strictly monotone, so the
 resulting orders — and therefore the rank lists — are identical to sorting
 the exact rational times, at a fraction of the comparison cost.
+
+**Heterogeneous platforms.**  On a platform with several processor
+classes a job has no single WCET before placement, so WCET-consuming
+heuristics (``alap``, ``blevel``) rank against a configurable *aggregate*
+over the classes — ``min`` (optimistic), ``max`` (conservative) or
+``mean`` (STOMP-style expected duration; the default).  Built-in
+heuristics are marked ``platform_aware`` and receive the platform and
+aggregate as keywords; externally registered platform-blind heuristics
+keep ranking on the base WCETs, which remains a valid total order.  A
+degenerate platform never reaches the aggregate path, so homogeneous
+rankings are bit-identical to the pre-platform ones.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import SchedulingError
+from ..core.platform import Platform
+from ..core.timebase import Time
 from ..taskgraph.asap_alap import compute_bounds_ticks
 from ..taskgraph.graph import TaskGraph
 
 Heuristic = Callable[[TaskGraph], List[int]]
 
+#: Supported per-class WCET aggregates for platform-aware ranking.
+WCET_AGGREGATES = ("min", "max", "mean")
+
 _REGISTRY: Dict[str, Heuristic] = {}
 
 
-def register_heuristic(name: str) -> Callable[[Heuristic], Heuristic]:
-    """Decorator registering a named SP heuristic."""
+def register_heuristic(
+    name: str, *, platform_aware: bool = False
+) -> Callable[[Heuristic], Heuristic]:
+    """Decorator registering a named SP heuristic.
+
+    ``platform_aware`` heuristics additionally accept ``platform`` and
+    ``wcet_aggregate`` keywords when scheduling targets a heterogeneous
+    platform; plain heuristics are always called with the graph alone.
+    """
 
     def deco(fn: Heuristic) -> Heuristic:
         if name in _REGISTRY:
             raise SchedulingError(f"heuristic {name!r} already registered")
+        fn.platform_aware = platform_aware  # type: ignore[attr-defined]
         _REGISTRY[name] = fn
         return fn
 
     return deco
+
+
+def aggregate_wcets(
+    graph: TaskGraph, platform: Platform, aggregate: str = "mean"
+) -> List[Time]:
+    """Per-job WCETs aggregated over the platform's classes (exact).
+
+    The ranking seam for heterogeneous platforms: ``min``/``max`` pick
+    the best/worst class, ``mean`` the exact rational average — no
+    floats, so tick domains extended with these values stay LCM-exact.
+    """
+    if aggregate not in WCET_AGGREGATES:
+        raise SchedulingError(
+            f"unknown WCET aggregate {aggregate!r}; "
+            f"supported: {list(WCET_AGGREGATES)}"
+        )
+    classes = platform.classes
+    out: List[Time] = []
+    for job in graph.jobs:
+        values = [job.wcet_on(cls) for cls in classes]
+        if aggregate == "min":
+            out.append(min(values))
+        elif aggregate == "max":
+            out.append(max(values))
+        else:
+            out.append(sum(values, Fraction(0)) / len(values))
+    return out
 
 
 def available_heuristics() -> List[str]:
@@ -75,10 +127,19 @@ def _ranks_from_keys(keys: Sequence) -> List[int]:
     return ranks
 
 
-@register_heuristic("alap")
-def alap_priority(graph: TaskGraph) -> List[int]:
+@register_heuristic("alap", platform_aware=True)
+def alap_priority(
+    graph: TaskGraph,
+    platform: Optional[Platform] = None,
+    wcet_aggregate: str = "mean",
+) -> List[int]:
     """EDF on ALAP completion times (ties: ASAP, then ``<J`` index)."""
-    asap_t, alap_t = compute_bounds_ticks(graph)
+    if platform is None:
+        asap_t, alap_t = compute_bounds_ticks(graph)
+    else:
+        asap_t, alap_t = compute_bounds_ticks(
+            graph, aggregate_wcets(graph, platform, wcet_aggregate)
+        )
     keys = [(alap_t[i], asap_t[i], i) for i in range(len(graph))]
     return _ranks_from_keys(keys)
 
@@ -93,8 +154,12 @@ def deadline_priority(graph: TaskGraph) -> List[int]:
     return _ranks_from_keys(keys)
 
 
-@register_heuristic("blevel")
-def blevel_priority(graph: TaskGraph) -> List[int]:
+@register_heuristic("blevel", platform_aware=True)
+def blevel_priority(
+    graph: TaskGraph,
+    platform: Optional[Platform] = None,
+    wcet_aggregate: str = "mean",
+) -> List[int]:
     """Descending b-level: longest WCET path from the job to any sink.
 
     Jobs on long critical paths are urgent even when their deadline is far;
@@ -102,7 +167,13 @@ def blevel_priority(graph: TaskGraph) -> List[int]:
     """
     n = len(graph)
     tt = graph.tick_times()
-    wcet = tt.wcet
+    if platform is None:
+        wcet: Sequence = tt.wcet
+    else:
+        # Rank on platform-aggregated WCETs; exact rationals compare and
+        # add exactly, and the b-level component is only ever compared to
+        # other b-levels, so no shared tick domain is needed.
+        wcet = aggregate_wcets(graph, platform, wcet_aggregate)
     succ_table = graph.successor_table()
     blevel: List[int] = [0] * n
     for i in range(n - 1, -1, -1):

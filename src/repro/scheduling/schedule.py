@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from itertools import chain
+
 from ..errors import SchedulingError
+from ..core.platform import Platform, PlatformLike, as_platform
 from ..core.ticks import TickDomain
 from ..core.timebase import Time, time_str
 from ..taskgraph.graph import TaskGraph
@@ -51,18 +54,36 @@ class Violation:
 
 
 class StaticSchedule:
-    """A complete static schedule for a task graph on ``M`` processors."""
+    """A complete static schedule for a task graph on a platform.
+
+    ``processors`` accepts either the classic core count (the degenerate
+    homogeneous platform) or a :class:`~repro.core.platform.Platform`;
+    ``self.processors`` stays the flat total either way.  On a
+    heterogeneous platform a job's duration is its class-resolved WCET on
+    the processor it is placed on (:meth:`duration`), which every
+    feasibility check and the tick view charge consistently.
+    """
 
     def __init__(
         self,
         graph: TaskGraph,
-        processors: int,
+        processors: PlatformLike,
         entries: Sequence[ScheduledJob],
     ) -> None:
-        if processors < 1:
-            raise SchedulingError("schedule needs at least one processor")
+        try:
+            platform = as_platform(processors)
+        except (TypeError, ValueError) as exc:
+            raise SchedulingError(str(exc)) from None
+        processors = platform.processors
         self.graph = graph
+        self.platform: Platform = platform
         self.processors = processors
+        # Heterogeneous iff the platform is non-degenerate or any job
+        # carries a per-class WCET table; the degenerate case takes the
+        # pre-platform code paths verbatim (the bit-identical invariant).
+        self._hetero = (not platform.is_unit) or any(
+            j.wcet_by_class is not None for j in graph.jobs
+        )
         self.entries: List[ScheduledJob] = sorted(
             entries, key=lambda e: (e.start, e.processor, e.job_index)
         )
@@ -94,11 +115,26 @@ class StaticSchedule:
     def start(self, job_index: int) -> Time:
         return self.entry(job_index).start
 
+    def duration(self, job_index: int) -> Time:
+        """The job's execution time on its assigned processor.
+
+        The base WCET on a degenerate platform; the class-resolved WCET
+        (table entry or speed-scaled, still an exact rational) otherwise.
+        """
+        job = self.graph.jobs[job_index]
+        if not self._hetero:
+            return job.wcet
+        return job.wcet_on(self.platform.class_of(self.entry(job_index).processor))
+
     def end(self, job_index: int) -> Time:
-        return self.entry(job_index).start + self.graph.jobs[job_index].wcet
+        return self.entry(job_index).start + self.duration(job_index)
 
     def mapping(self, job_index: int) -> int:
         return self.entry(job_index).processor
+
+    def processor_identity(self, job_index: int) -> Tuple[str, int]:
+        """``(class name, local index)`` of the job's assigned processor."""
+        return self.platform.identity(self.entry(job_index).processor)
 
     def tick_view(
         self,
@@ -110,16 +146,41 @@ class StaticSchedule:
         the rational values.  Built lazily once (schedules are immutable
         after construction) and shared by the feasibility checks and the
         runtime executor's frame ordering.
+
+        On a heterogeneous platform the ``wcet`` array holds each
+        *scheduled* job's class-resolved duration on its assigned
+        processor (unscheduled jobs keep their base WCET), and the domain
+        is extended so every class-scaled value converts exactly —
+        ``to_ticks`` still raises rather than rounds.
         """
         cached = self._ticks
         if cached is None:
-            tt = self.graph.tick_times().rescaled_to(
-                e.start for e in self.entries
-            )
+            if not self._hetero:
+                tt = self.graph.tick_times().rescaled_to(
+                    e.start for e in self.entries
+                )
+                to_ticks = tt.domain.to_ticks
+                start_t = {
+                    e.job_index: to_ticks(e.start) for e in self.entries
+                }
+                cached = self._ticks = (
+                    tt.domain, start_t, tt.arrival, tt.wcet, tt.deadline
+                )
+                return cached
+            durations = {
+                e.job_index: self.duration(e.job_index)
+                for e in self.entries
+            }
+            tt = self.graph.tick_times().rescaled_to(chain(
+                (e.start for e in self.entries), durations.values()
+            ))
             to_ticks = tt.domain.to_ticks
             start_t = {e.job_index: to_ticks(e.start) for e in self.entries}
+            wcet_t = list(tt.wcet)
+            for i, d in durations.items():
+                wcet_t[i] = to_ticks(d)
             cached = self._ticks = (
-                tt.domain, start_t, tt.arrival, tt.wcet, tt.deadline
+                tt.domain, start_t, tt.arrival, wcet_t, tt.deadline
             )
         return cached
 
@@ -171,7 +232,7 @@ class StaticSchedule:
                 out.append(
                     Violation(
                         "deadline",
-                        f"{job.name} ends at {time_str(e.start + job.wcet)} "
+                        f"{job.name} ends at {time_str(self.end(i))} "
                         f"after deadline {time_str(job.deadline)}",
                     )
                 )

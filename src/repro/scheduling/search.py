@@ -33,11 +33,19 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.platform import PlatformLike, as_platform
+from ..core.ticks import JobTicks
 from ..core.timebase import Time
 from ..errors import InfeasibleError
 from ..taskgraph.graph import TaskGraph
-from .list_scheduler import _schedule_ticks, list_schedule
-from .priorities import available_heuristics, get_heuristic
+from .list_scheduler import (
+    _resolve_priority,
+    _schedule_ticks,
+    hetero_tick_tables,
+    list_schedule,
+    platform_is_heterogeneous,
+)
+from .priorities import available_heuristics
 from .schedule import StaticSchedule
 
 Objective = Tuple[int, Time, Time]
@@ -47,23 +55,37 @@ _TickObjective = Tuple[int, int, int]
 
 
 def _evaluate_ticks(
-    graph: TaskGraph, processors: int, ranks: Sequence[int]
+    graph: TaskGraph,
+    processors: int,
+    ranks: Sequence[int],
+    tt: Optional[JobTicks] = None,
+    dur_of_proc: Optional[Sequence[Sequence[int]]] = None,
 ) -> Tuple[_TickObjective, List[int]]:
     """One list-scheduling pass; objective and late jobs in pure ticks.
 
     The late-job list is ordered like the schedule's canonical entry order
     (start, processor, index) so the swap bias samples jobs exactly as an
-    entry-iterating implementation would.
+    entry-iterating implementation would.  ``tt`` / ``dur_of_proc`` carry
+    the precomputed heterogeneous duration tables (the search builds them
+    once, not per candidate); without them the loop charges the platform-
+    blind base WCETs exactly as before.
     """
-    tt = graph.tick_times()
-    start_t, proc_of = _schedule_ticks(graph, tt, processors, ranks)
+    if tt is None:
+        tt = graph.tick_times()
+    start_t, proc_of = _schedule_ticks(
+        graph, tt, processors, ranks, dur_of_proc
+    )
     wcet, deadline = tt.wcet, tt.deadline
     violations = 0
     lateness = 0
     makespan = 0
     late: List[Tuple[int, int, int]] = []
     for i in range(len(start_t)):
-        end = start_t[i] + wcet[i]
+        dur = (
+            wcet[i] if dur_of_proc is None
+            else dur_of_proc[proc_of[i]][i]
+        )
+        end = start_t[i] + dur
         if end > makespan:
             makespan = end
         if end > deadline[i]:
@@ -91,21 +113,32 @@ class SearchResult:
 
 def search_priorities(
     graph: TaskGraph,
-    processors: int,
+    processors: PlatformLike,
     seed: int = 0,
     max_iterations: int = 2000,
     restarts: int = 4,
     seeds_from: Optional[Sequence[str]] = None,
+    wcet_aggregate: str = "mean",
 ) -> SearchResult:
     """Hill-climb SP permutations; returns the best schedule found.
 
     Stops early as soon as a feasible schedule appears.  The result is the
     lexicographically best ``(violations, lateness, makespan)`` across all
-    restarts.
+    restarts.  On a heterogeneous platform every candidate is evaluated
+    with class-resolved durations (tables built once up front) and the
+    seeding heuristics rank with *wcet_aggregate*.
     """
     n = len(graph)
     rng = random.Random(seed)
     heuristic_names = list(seeds_from or available_heuristics())
+    platform = as_platform(processors)
+    if platform_is_heterogeneous(graph, platform):
+        tt, dur_of_proc = hetero_tick_tables(graph, platform)
+        seed_platform = platform
+    else:
+        tt, dur_of_proc = None, None
+        seed_platform = None
+    processors = platform.processors
 
     best_ranks: Optional[List[int]] = None
     best_objective: Optional[_TickObjective] = None
@@ -115,11 +148,16 @@ def search_priorities(
 
     for restart in range(max(1, restarts)):
         if restart < len(heuristic_names):
-            ranks = list(get_heuristic(heuristic_names[restart])(graph))
+            ranks = list(_resolve_priority(
+                graph, heuristic_names[restart],
+                platform=seed_platform, wcet_aggregate=wcet_aggregate,
+            ))
         else:
             ranks = list(range(n))
             rng.shuffle(ranks)
-        objective, late = _evaluate_ticks(graph, processors, ranks)
+        objective, late = _evaluate_ticks(
+            graph, processors, ranks, tt, dur_of_proc
+        )
         budget = max_iterations // max(1, restarts)
 
         for _ in range(budget):
@@ -135,7 +173,9 @@ def search_priorities(
             if i == j:
                 continue
             ranks[i], ranks[j] = ranks[j], ranks[i]
-            cand_objective, cand_late = _evaluate_ticks(graph, processors, ranks)
+            cand_objective, cand_late = _evaluate_ticks(
+                graph, processors, ranks, tt, dur_of_proc
+            )
             if cand_objective <= objective:
                 objective, late = cand_objective, cand_late
             else:
@@ -151,9 +191,13 @@ def search_priorities(
 
     assert best_ranks is not None and best_objective is not None
     # Materialise the winning schedule once (the tick core is deterministic,
-    # so this reproduces the evaluated candidate exactly).
-    schedule = list_schedule(graph, processors, best_ranks)
-    from_ticks = graph.tick_times().domain.from_ticks
+    # so this reproduces the evaluated candidate exactly).  The objective
+    # converts in the domain it was evaluated in (the hetero tables live
+    # in an extended domain).
+    schedule = list_schedule(graph, platform, best_ranks)
+    from_ticks = (
+        tt if tt is not None else graph.tick_times()
+    ).domain.from_ticks
     return SearchResult(
         schedule=schedule,
         ranks=best_ranks,
@@ -169,7 +213,7 @@ def search_priorities(
 
 def find_feasible_schedule_with_search(
     graph: TaskGraph,
-    processors: int,
+    processors: PlatformLike,
     seed: int = 0,
     max_iterations: int = 2000,
 ) -> StaticSchedule:

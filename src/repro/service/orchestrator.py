@@ -38,7 +38,7 @@ from typing import (
     Union,
 )
 
-from ..errors import ServiceError
+from ..errors import ServiceError, UnknownTicketError
 from ..experiment.faults import FaultPlan
 from ..experiment.pool import SweepPool, SweepTicket
 from ..experiment.store import SqliteSweepStore, SweepStore
@@ -145,6 +145,14 @@ class SweepOrchestrator:
         thread** (sqlite3 connections are single-threaded; passing the
         path is the safe spelling).  Hit rows stream back without any
         dispatch; computed rows persist for every later client.
+    max_finished_tickets:
+        Bound on retained *finished* ticket records.  A long-lived
+        service would otherwise grow its ticket table forever (every
+        submission leaves a record); once a terminal ticket ages past
+        the newest ``max_finished_tickets`` finished ones, its record is
+        dropped and later :meth:`status`/:meth:`stream` lookups raise
+        :class:`~repro.errors.UnknownTicketError`.  Live (queued or
+        running) tickets are never evicted.
     """
 
     def __init__(
@@ -153,8 +161,13 @@ class SweepOrchestrator:
         *,
         workers: int = 2,
         store: Union[None, str, SweepStore] = None,
+        max_finished_tickets: int = 256,
         **pool_options: Any,
     ) -> None:
+        if max_finished_tickets < 1:
+            raise ServiceError("max_finished_tickets must be >= 1")
+        self._max_finished = max_finished_tickets
+        self._finished: Deque[int] = deque()
         self._owns_pool = pool is None
         self._pool = (
             SweepPool(workers=workers, **pool_options)
@@ -316,8 +329,25 @@ class SweepOrchestrator:
         with self._tickets_lock:
             record = self._tickets.get(ticket)
         if record is None:
-            raise ServiceError(f"unknown ticket {ticket}")
+            raise UnknownTicketError(
+                f"unknown ticket {ticket} (never issued, or finished and "
+                "evicted from the bounded ticket history)"
+            )
         return record
+
+    def _retire(self, ticket: _Ticket) -> None:
+        """Book a terminal ticket into the bounded finished history.
+
+        Driver-thread side, called at every terminal transition.  The
+        oldest finished records beyond ``max_finished_tickets`` are
+        dropped; live tickets are untouched (they are not in the
+        finished deque until they terminate).
+        """
+        with self._tickets_lock:
+            self._finished.append(ticket.tid)
+            while len(self._finished) > self._max_finished:
+                evicted = self._finished.popleft()
+                self._tickets.pop(evicted, None)
 
     # -- driver thread ---------------------------------------------------
     def _drive(self) -> None:
@@ -436,12 +466,14 @@ class SweepOrchestrator:
             except Exception as exc:
                 ticket.error = exc
                 ticket.state = "failed"
+                self._retire(ticket)
                 ticket.push("error", exc)
                 continue
             ticket.result = result
             ticket.state = (
                 "cancelled" if pool_ticket.cancelled else "done"
             )
+            self._retire(ticket)
             ticket.push("done", result)
 
     def _shutdown(self) -> None:
@@ -472,8 +504,10 @@ class SweepOrchestrator:
             except Exception as exc:
                 ticket.error = exc
                 ticket.state = "failed"
+                self._retire(ticket)
                 ticket.push("error", exc)
                 continue
             ticket.result = result
             ticket.state = "cancelled"
+            self._retire(ticket)
             ticket.push("done", result)

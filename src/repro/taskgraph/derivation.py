@@ -50,11 +50,19 @@ from ..core.network import Network
 from ..core.ticks import TickDomain
 from ..core.timebase import Time, TimeLike, as_positive_time, hyperperiod as lcm_periods
 from .graph import TaskGraph
-from .jobs import Job
+from .jobs import Job, WcetTable, normalize_wcet_table
 from .servers import TransformedNetwork, transform
 from .transitive import reduce_edge_list
 
-WcetLike = Union[TimeLike, Callable[[str, int], TimeLike]]
+#: A per-process WCET spec entry: a scalar, a per-job callable, or a
+#: per-processor-class table (``{class name: value}`` or canonical
+#: name-sorted pairs) for heterogeneous platforms.
+WcetLike = Union[
+    TimeLike,
+    Callable[[str, int], TimeLike],
+    Mapping[str, TimeLike],
+    WcetTable,
+]
 WcetMap = Union[Mapping[str, WcetLike], TimeLike]
 
 #: One entry of the tick-domain invocation sequence: ``(tick, rank, name, k)``.
@@ -91,8 +99,13 @@ def derive_task_graph(
         A network satisfying the Section III-A subclass restrictions.
     wcet:
         Either a single value (uniform WCET, like the 25 ms of Fig. 3), or a
-        mapping ``process name -> value`` where each value is a time-like or
-        a callable ``(process, k) -> time-like`` for per-job WCETs.
+        mapping ``process name -> value`` where each value is a time-like, a
+        callable ``(process, k) -> time-like`` for per-job WCETs, or a
+        per-processor-class table ``{class name: value}`` for heterogeneous
+        platforms.  Table-carrying jobs materialise with ``wcet`` set to the
+        conservative maximum over the classes and the resolved table in
+        ``wcet_by_class`` — the tick domain spans every class value, so all
+        class-resolved durations stay exactly representable.
     horizon:
         Frame length; defaults to the hyperperiod of ``PN'``.  Must be a
         positive multiple of every effective period when given (the paper
@@ -205,7 +218,7 @@ def _make_jobs(
     servers).  Conversion back to exact rationals happens only here, at the
     graph boundary, memoised per distinct tick value.
     """
-    wcet_of = _wcet_resolver(pn.network, wcet)
+    wcet_of, class_tables = _wcet_resolver(pn.network, wcet)
     from_ticks = dom.from_ticks
     memo: Dict[int, Time] = {}
 
@@ -236,26 +249,54 @@ def _make_jobs(
             append(make(
                 name, k, arrival, deadline, wcet_of(name, k),
                 True, (k - 1) // burst + 1, (k - 1) % burst + 1,
+                class_tables.get(name),
             ))
         else:
-            append(make(name, k, arrival, deadline, wcet_of(name, k)))
+            append(make(
+                name, k, arrival, deadline, wcet_of(name, k),
+                False, None, None, class_tables.get(name),
+            ))
     return jobs
 
 
 def _wcet_resolver(
     network: Network, wcet: WcetMap
-) -> Callable[[str, int], Time]:
+) -> Tuple[Callable[[str, int], Time], Dict[str, WcetTable]]:
+    """Resolve the WCET spec to a per-job scalar plus per-class tables.
+
+    The returned callable yields each job's scalar ``Ci``; for processes
+    whose spec entry is a per-class table this is the maximum over the
+    classes (the conservative, platform-blind worst case), and the
+    normalised table itself lands in the second return value so the jobs
+    can carry it.
+    """
     if isinstance(wcet, Mapping):
         table: Dict[str, WcetLike] = dict(wcet)
         missing = sorted(set(network.processes) - set(table))
         if missing:
             raise ModelError(f"missing WCET for processes {missing!r}")
+        # Per-class table entries normalise up front (they are data, not
+        # code); everything else keeps the scalar/callable fast path.
+        class_tables: Dict[str, WcetTable] = {}
+        for process, entry in table.items():
+            if callable(entry):
+                continue
+            if isinstance(entry, Mapping) or isinstance(entry, tuple):
+                normalized = normalize_wcet_table(
+                    entry, f"WCET of {process!r}"
+                )
+                class_tables[process] = normalized
         # Non-callable entries normalise once per process, not once per job.
         resolved: Dict[str, Time] = {}
 
         def resolve(process: str, k: int) -> Time:
             value = resolved.get(process)
             if value is not None:
+                return value
+            entry = class_tables.get(process)
+            if entry is not None:
+                value = max(v for _, v in entry)
+                resolved[process] = value
                 return value
             entry = table[process]
             if callable(entry):
@@ -264,10 +305,10 @@ def _wcet_resolver(
             resolved[process] = value
             return value
 
-        return resolve
+        return resolve, class_tables
 
     uniform = as_positive_time(wcet, "WCET")
-    return lambda process, k: uniform
+    return (lambda process, k: uniform), {}
 
 
 def _generating_edges(

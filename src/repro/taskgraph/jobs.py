@@ -17,10 +17,14 @@ run-time sporadic arrivals onto them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional, Tuple
 
-from ..core.timebase import Time, time_str
+from ..core.platform import ProcessorClass
+from ..core.timebase import Time, as_positive_time, time_str
 from ..core.trusted import check_trusted_constructor
+
+#: Canonical per-class WCET table: name-sorted ``(class name, Ci)`` pairs.
+WcetTable = Tuple[Tuple[str, Time], ...]
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,14 @@ class Job:
     slot:
         For server jobs: 1-based position ``t`` within the subset — the job
         represents the ``t``-th real sporadic invocation of its window.
+    wcet_by_class:
+        Optional per-processor-class WCET table as name-sorted
+        ``(class name, Ci)`` pairs.  When present, ``wcet`` is the
+        conservative worst case over the classes (the scalar every
+        platform-blind computation keeps using) and
+        :meth:`wcet_on` resolves the class-specific value; when absent
+        the job is class-agnostic and classes scale ``wcet`` by their
+        speed.
     """
 
     process: str
@@ -60,8 +72,14 @@ class Job:
     is_server: bool = False
     subset_index: Optional[int] = None
     slot: Optional[int] = None
+    wcet_by_class: Optional[WcetTable] = None
 
     def __post_init__(self) -> None:
+        if self.wcet_by_class is not None:
+            object.__setattr__(
+                self, "wcet_by_class",
+                normalize_wcet_table(self.wcet_by_class, self.name),
+            )
         if self.k < 1:
             raise ValueError("job invocation count k is 1-based")
         if self.arrival < 0:
@@ -87,6 +105,7 @@ class Job:
         is_server: bool = False,
         subset_index: Optional[int] = None,
         slot: Optional[int] = None,
+        wcet_by_class: Optional[WcetTable] = None,
     ) -> "Job":
         """Trusted constructor for the derivation hot path.
 
@@ -108,6 +127,7 @@ class Job:
             "is_server": is_server,
             "subset_index": subset_index,
             "slot": slot,
+            "wcet_by_class": wcet_by_class,
         })
         return job
 
@@ -115,6 +135,27 @@ class Job:
     def name(self) -> str:
         """Paper notation ``p[k]``."""
         return f"{self.process}[{self.k}]"
+
+    def wcet_on(self, cls: ProcessorClass) -> Time:
+        """The job's WCET when placed on processor class *cls*.
+
+        An explicit table entry is authoritative; otherwise the scalar
+        ``wcet`` scales by the class speed (exact rational division).
+        A speed-1 class returns ``wcet`` itself — same object, so the
+        degenerate platform stays bit-identical to the homogeneous path.
+        """
+        if self.wcet_by_class is not None:
+            for name, value in self.wcet_by_class:
+                if name == cls.name:
+                    return value
+            raise KeyError(
+                f"job {self.name} has no WCET for processor class "
+                f"{cls.name!r} (table covers "
+                f"{[n for n, _ in self.wcet_by_class]})"
+            )
+        if cls.speed == 1:
+            return self.wcet
+        return self.wcet / cls.speed
 
     @property
     def laxity(self) -> Time:
@@ -132,9 +173,36 @@ class Job:
         return self.describe()
 
 
+def normalize_wcet_table(
+    table: "Mapping[str, Time] | WcetTable", what: str
+) -> WcetTable:
+    """Canonicalise a per-class WCET table to name-sorted positive pairs."""
+    pairs = (
+        tuple(sorted(table.items()))
+        if isinstance(table, Mapping)
+        else tuple(tuple(p) for p in table)
+    )
+    out = []
+    seen = set()
+    for pair in pairs:
+        if len(pair) != 2 or not isinstance(pair[0], str) or not pair[0]:
+            raise ValueError(
+                f"{what}: WCET table entries are (class name, Ci) pairs, "
+                f"got {pair!r}"
+            )
+        name, value = pair
+        if name in seen:
+            raise ValueError(f"{what}: duplicate WCET table class {name!r}")
+        seen.add(name)
+        out.append((name, as_positive_time(value, f"{what} WCET on {name!r}")))
+    if not out:
+        raise ValueError(f"{what}: WCET table must not be empty")
+    return tuple(sorted(out))
+
+
 _JOB_FIELDS = (
     "process", "k", "arrival", "deadline", "wcet",
-    "is_server", "subset_index", "slot",
+    "is_server", "subset_index", "slot", "wcet_by_class",
 )
 check_trusted_constructor(
     Job, _JOB_FIELDS, Job._of,

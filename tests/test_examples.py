@@ -36,7 +36,7 @@ def test_examples_exist():
     names = {p.name for p in EXAMPLES}
     assert {"quickstart.py", "fft_streaming.py", "fms_avionics.py",
             "deterministic_replay.py", "resilient_sweep.py",
-            "sweep_service.py"} <= names
+            "sweep_service.py", "hetero_sweep.py"} <= names
     assert {p.name for p in CLI_CONFIGS} >= {
         "fig1_run.json", "fig1_sweep.json"
     }

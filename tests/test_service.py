@@ -13,7 +13,12 @@ import pytest
 from repro import FaultPlan, ScenarioMatrix, run_sweep
 from repro.analysis.compare import compare_payloads
 from repro.apps import fig1_scenario, fms_scenario
-from repro.errors import ProtocolError, ServiceError, SweepError
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    SweepError,
+    UnknownTicketError,
+)
 from repro.experiment import SweepPool
 from repro.experiment.sweep import SweepCellError, SweepRow
 from repro.io.json_io import sweep_result_to_dict
@@ -140,8 +145,32 @@ class TestOrchestrator:
 
     def test_unknown_ticket_raises(self):
         with SweepOrchestrator(workers=1) as orch:
-            with pytest.raises(ServiceError, match="unknown ticket"):
+            with pytest.raises(UnknownTicketError, match="unknown ticket"):
                 orch.status(99)
+
+    def test_finished_tickets_are_garbage_collected(self):
+        async def run_one(orch):
+            tid = await orch.submit(small_matrix(), METRICS, client="gc")
+            async for kind, _ in orch.stream(tid):
+                if kind == "done":
+                    break
+            return tid
+
+        with SweepOrchestrator(workers=1, max_finished_tickets=2) as orch:
+            tids = [asyncio.run(run_one(orch)) for _ in range(3)]
+            # The two newest finished tickets are retained ...
+            assert orch.status(tids[1]).state == "done"
+            assert orch.status(tids[2]).state == "done"
+            # ... the oldest was evicted: a typed ServiceError subclass,
+            # never a bare KeyError from the ticket table.
+            with pytest.raises(UnknownTicketError, match="unknown ticket"):
+                orch.status(tids[0])
+            with pytest.raises(ServiceError):
+                orch.status(tids[0])
+
+    def test_bad_max_finished_tickets_rejected(self):
+        with pytest.raises(ServiceError, match="max_finished_tickets"):
+            SweepOrchestrator(workers=1, max_finished_tickets=0)
 
     def test_external_pool_is_not_closed(self, fig1_serial):
         async def scenario(orch):
